@@ -1,0 +1,1 @@
+bench/ablation.ml: Evaluator Exact_solver Figures Heuristics Int List Local_search Periodic Printf Schedule Wfc_core Wfc_dag Wfc_platform Wfc_reporting Wfc_simulator Wfc_workflows

@@ -1,0 +1,1 @@
+bench/figures.ml: Evaluator Filename Heuristics List Option Printf String Wfc_core Wfc_dag Wfc_platform Wfc_reporting Wfc_workflows

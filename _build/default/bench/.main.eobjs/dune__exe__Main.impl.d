@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Figures Int Micro Printf Sys Unix

@@ -1,0 +1,240 @@
+(* Reproduction of every figure of the paper's evaluation section.
+
+   Each sub-figure is a set of series (one line in the plot); a series maps
+   the x axis (task count for Figures 2-6, failure rate for Figure 7) to the
+   ratio T / T_inf, where T is the expected makespan of the schedule built by
+   one heuristic and T_inf the failure-free, checkpoint-free time.
+
+   Environment knobs (read by [main.ml] and passed here):
+   - full:  extend task counts to the paper's 50..700 range (default: a
+     faster 50..300 sweep with the same shape);
+   - csv:   directory to dump the series as CSV files;
+   - seed:  workflow generation seed. *)
+
+open Wfc_core
+module Dag = Wfc_dag.Dag
+module Linearize = Wfc_dag.Linearize
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+
+type config = {
+  full : bool;
+  csv_dir : string option;
+  seed : int;
+  seeds : int;  (* number of workflow seeds averaged per point *)
+  search : Heuristics.search;
+}
+
+let default_config =
+  { full = false; csv_dir = None; seed = 42; seeds = 1;
+    search = Heuristics.Grid 32 }
+
+(* average a per-seed ratio over cfg.seeds workflow instances *)
+let averaged cfg f =
+  let acc = ref 0. in
+  for s = 0 to cfg.seeds - 1 do
+    acc := !acc +. f (cfg.seed + s)
+  done;
+  !acc /. float_of_int cfg.seeds
+
+let task_counts cfg =
+  if cfg.full then [ 50; 100; 200; 300; 400; 500; 600; 700 ]
+  else [ 50; 100; 150; 200; 300 ]
+
+(* The failure rates of the evaluation section: lambda = 1e-3 everywhere
+   except Genome, whose tasks are an order of magnitude heavier. *)
+let lambda_for = function
+  | P.Montage | P.Ligo | P.Cybershake -> 1e-3
+  (* heavy tasks (Genome's map, SIPHT's Blast) call for a longer MTBF *)
+  | P.Genome | P.Sipht -> 1e-4
+
+let lin_name = Linearize.strategy_name
+let ck_name = Heuristics.ckpt_strategy_name
+
+(* Deterministic RF linearizations: a fresh stream per (figure, point). *)
+let rf_rand cfg ~salt =
+  let rng = Wfc_platform.Rng.create (cfg.seed + (salt * 7919)) in
+  fun b -> Wfc_platform.Rng.int rng b
+
+let prepared_workflow ?seed cfg family ~n ~cost =
+  let seed = Option.value seed ~default:cfg.seed in
+  CM.apply cost (P.generate family ~n ~seed)
+
+let ratio_of_outcome g (o : Heuristics.outcome) =
+  o.Heuristics.makespan /. Evaluator.fail_free_time g
+
+(* One (linearization, strategy) point. *)
+let point_fixed_lin cfg model g ~salt lin ckpt =
+  let o =
+    Heuristics.run ~search:cfg.search ~rand:(rf_rand cfg ~salt) model g ~lin
+      ~ckpt
+  in
+  ratio_of_outcome g o
+
+(* Best linearization for a strategy, as plotted in Figures 3 and 5-7; the
+   paper restricts the CkptNvr and CkptAlws baselines to DF. *)
+let point_best_lin cfg model g ~salt ckpt =
+  match ckpt with
+  | Heuristics.Ckpt_never | Heuristics.Ckpt_always ->
+      point_fixed_lin cfg model g ~salt Linearize.Depth_first ckpt
+  | _ ->
+      let _, o =
+        Heuristics.best_over_linearizations ~search:cfg.search
+          ~rand:(rf_rand cfg ~salt) model g ~ckpt
+      in
+      ratio_of_outcome g o
+
+(* ---- figure skeletons ---- *)
+
+let emit cfg ~figure ~title ~x_label series =
+  Printf.printf "\n== %s: %s ==\n" figure title;
+  Wfc_reporting.Table.print (Wfc_reporting.Series.to_table ~x_label series);
+  match cfg.csv_dir with
+  | None -> ()
+  | Some dir ->
+      let file =
+        Filename.concat dir
+          (String.map (function ' ' | ',' | '=' | '/' -> '_' | c -> c)
+             (figure ^ "_" ^ title)
+          ^ ".csv")
+      in
+      Wfc_reporting.Csv.write_file file
+        ~header:[ "series"; x_label; "ratio" ]
+        ~rows:(Wfc_reporting.Series.to_csv_rows series)
+
+(* Figures 2 and 4: impact of the linearization strategy; series are
+   {DF,BF,RF} x {CkptW, CkptC}. *)
+let linearization_figure cfg ~figure family ~cost =
+  let lambda = lambda_for family in
+  let model = FM.make ~lambda () in
+  let counts = task_counts cfg in
+  let series =
+    List.concat_map
+      (fun ckpt ->
+        List.map
+          (fun lin ->
+            let points =
+              List.mapi
+                (fun i n ->
+                  ( float_of_int n,
+                    averaged cfg (fun seed ->
+                        let g = prepared_workflow ~seed cfg family ~n ~cost in
+                        point_fixed_lin cfg model g
+                          ~salt:((i * 31) + n + seed)
+                          lin ckpt) ))
+                counts
+            in
+            Wfc_reporting.Series.make
+              ~name:(lin_name lin ^ "-" ^ ck_name ckpt)
+              ~points)
+          Linearize.all)
+      [ Heuristics.Ckpt_weight; Heuristics.Ckpt_cost ]
+  in
+  emit cfg ~figure
+    ~title:
+      (Printf.sprintf "%s lambda=%g %s" (P.family_name family) lambda
+         (CM.name cost))
+    ~x_label:"n" series
+
+(* Figures 3, 5 and 6: impact of the checkpointing strategy (best
+   linearization per strategy). *)
+let checkpointing_figure cfg ~figure family ~cost =
+  let lambda = lambda_for family in
+  let model = FM.make ~lambda () in
+  let counts = task_counts cfg in
+  let series =
+    List.map
+      (fun ckpt ->
+        let points =
+          List.mapi
+            (fun i n ->
+              ( float_of_int n,
+                averaged cfg (fun seed ->
+                    let g = prepared_workflow ~seed cfg family ~n ~cost in
+                    point_best_lin cfg model g ~salt:((i * 17) + n + seed) ckpt)
+              ))
+            counts
+        in
+        Wfc_reporting.Series.make ~name:(ck_name ckpt) ~points)
+      Heuristics.all_ckpt_strategies
+  in
+  emit cfg ~figure
+    ~title:
+      (Printf.sprintf "%s lambda=%g %s" (P.family_name family) lambda
+         (CM.name cost))
+    ~x_label:"n" series
+
+(* Figure 7: 200-task workflows under a failure-rate sweep. *)
+let lambda_sweep_figure cfg ~figure family ~cost =
+  let lambdas =
+    match family with
+    | P.Genome -> [ 1e-6; 5e-5; 9e-5; 1.4e-4; 1.8e-4; 2.3e-4; 2.7e-4 ]
+    | _ -> [ 1e-4; 2.5e-4; 3.8e-4; 5.2e-4; 6.6e-4; 8e-4; 9.3e-4 ]
+  in
+  let n = 200 in
+  let series =
+    List.map
+      (fun ckpt ->
+        let points =
+          List.mapi
+            (fun i lambda ->
+              let model = FM.make ~lambda () in
+              ( lambda,
+                averaged cfg (fun seed ->
+                    let g = prepared_workflow ~seed cfg family ~n ~cost in
+                    point_best_lin cfg model g ~salt:(i + 1 + seed) ckpt) ))
+            lambdas
+        in
+        Wfc_reporting.Series.make ~name:(ck_name ckpt) ~points)
+      Heuristics.all_ckpt_strategies
+  in
+  emit cfg ~figure
+    ~title:(Printf.sprintf "%s %d tasks %s" (P.family_name family) n (CM.name cost))
+    ~x_label:"lambda" series
+
+(* ---- the figures themselves ---- *)
+
+let figure2 cfg =
+  List.iter
+    (fun family ->
+      linearization_figure cfg ~figure:"fig2" family ~cost:(CM.Proportional 0.1))
+    [ P.Cybershake; P.Ligo; P.Genome ]
+
+let figure3 cfg =
+  List.iter
+    (fun family ->
+      checkpointing_figure cfg ~figure:"fig3" family ~cost:(CM.Proportional 0.1))
+    P.all
+
+let figure4 cfg =
+  List.iter
+    (fun cost -> linearization_figure cfg ~figure:"fig4" P.Cybershake ~cost)
+    [ CM.Constant 10.; CM.Constant 5.; CM.Proportional 0.01 ]
+
+let figure5 cfg =
+  List.iter
+    (fun family ->
+      checkpointing_figure cfg ~figure:"fig5" family ~cost:(CM.Proportional 0.01))
+    P.all
+
+let figure6 cfg =
+  List.iter
+    (fun family ->
+      checkpointing_figure cfg ~figure:"fig6" family ~cost:(CM.Constant 5.))
+    P.all
+
+let figure7 cfg =
+  List.iter
+    (fun family ->
+      lambda_sweep_figure cfg ~figure:"fig7" family ~cost:(CM.Proportional 0.1))
+    P.all
+
+let all_figures = [ (2, figure2); (3, figure3); (4, figure4); (5, figure5); (6, figure6); (7, figure7) ]
+
+let run cfg = function
+  | Some id -> (
+      match List.assoc_opt id all_figures with
+      | Some f -> f cfg
+      | None -> Printf.eprintf "unknown figure %d (expected 2..7)\n" id)
+  | None -> List.iter (fun (_, f) -> f cfg) all_figures

@@ -1,0 +1,414 @@
+(* wfc — command-line front end to the workflow-checkpointing library.
+
+   Subcommands:
+     generate   emit a synthetic Pegasus workflow (stats or DOT)
+     evaluate   expected makespan of one heuristic schedule
+     schedule   compare all heuristics on one workflow
+     simulate   Monte Carlo fault injection vs the analytic evaluator
+     solve      optimal solvers on special structures (chain / fork / join) *)
+
+open Cmdliner
+open Wfc_core
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+module Linearize = Wfc_dag.Linearize
+
+(* ---- shared converters and options ---- *)
+
+let family_conv =
+  let parse s =
+    match P.family_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown workflow family %S" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (P.family_name f))
+
+let cost_conv =
+  let parse s =
+    match CM.of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg "cost must look like 0.1w or 5s")
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (CM.name c))
+
+let lin_conv =
+  let parse s =
+    match Linearize.strategy_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg "linearization must be DF, BF or RF")
+  in
+  Arg.conv
+    (parse, fun ppf l -> Format.pp_print_string ppf (Linearize.strategy_name l))
+
+let ckpt_conv =
+  let parse s =
+    match Heuristics.ckpt_strategy_of_string s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg "strategy must be CkptNvr, CkptAlws, CkptW, CkptC, CkptD or CkptPer")
+  in
+  Arg.conv
+    (parse, fun ppf c -> Format.pp_print_string ppf (Heuristics.ckpt_strategy_name c))
+
+let family_t =
+  Arg.(value & opt family_conv P.Montage & info [ "w"; "workflow" ] ~doc:"Workflow family: Montage, Ligo, CyberShake or Genome.")
+
+let n_t = Arg.(value & opt int 100 & info [ "n"; "tasks" ] ~doc:"Number of tasks.")
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generation seed.")
+
+let mtbf_t =
+  Arg.(value & opt float 1000. & info [ "mtbf" ] ~doc:"Platform MTBF in seconds.")
+
+let downtime_t =
+  Arg.(value & opt float 0. & info [ "downtime" ] ~doc:"Downtime after each failure (s).")
+
+let cost_t =
+  Arg.(value & opt cost_conv (CM.Proportional 0.1)
+       & info [ "c"; "cost" ] ~doc:"Checkpoint cost model: e.g. 0.1w (proportional) or 5s (constant). Recovery cost equals checkpoint cost.")
+
+let lin_t =
+  Arg.(value & opt lin_conv Linearize.Depth_first
+       & info [ "l"; "linearization" ] ~doc:"Linearization strategy: DF, BF or RF.")
+
+let ckpt_t =
+  Arg.(value & opt ckpt_conv Heuristics.Ckpt_weight
+       & info [ "s"; "strategy" ] ~doc:"Checkpointing strategy.")
+
+let grid_t =
+  Arg.(value & opt int 0
+       & info [ "grid" ] ~doc:"Search the checkpoint count on a grid of at most this many values (0 = exhaustive).")
+
+let load_t =
+  Arg.(value & opt (some string) None
+       & info [ "load" ] ~docv:"FILE"
+           ~doc:"Load the workflow from a JSON or Pegasus DAX file (by \
+                 extension) instead of generating one. JSON files carry \
+                 their own costs; DAX files get the $(b,--cost) model \
+                 applied.")
+
+let workflow ~load family n seed cost =
+  match load with
+  | Some path -> (
+      let is_dax =
+        Filename.check_suffix path ".dax" || Filename.check_suffix path ".xml"
+      in
+      let loader =
+        if is_dax then Wfc_io.Dax.load else Wfc_io.Workflow_format.load_dag
+      in
+      match loader path with
+      (* DAX carries no checkpoint costs: apply the --cost model *)
+      | Ok g when is_dax -> CM.apply cost g
+      | Ok g -> g
+      | Error msg ->
+          Printf.eprintf "cannot load %s: %s\n" path msg;
+          exit 1)
+  | None -> CM.apply cost (P.generate family ~n ~seed)
+
+let model mtbf downtime = FM.of_mtbf ~mtbf ~downtime ()
+
+let search_of_grid grid =
+  if grid <= 0 then Heuristics.Exhaustive else Heuristics.Grid grid
+
+(* ---- generate ---- *)
+
+let generate family n seed cost dot json dax =
+  let g = workflow ~load:None family n seed cost in
+  let emitted = ref false in
+  (match dot with
+  | Some path ->
+      Wfc_dag.Dot.write_file path (Wfc_dag.Dot.to_dot ~name:(P.family_name family) g);
+      Format.printf "wrote %s@." path;
+      emitted := true
+  | None -> ());
+  (match json with
+  | Some path ->
+      Wfc_io.Workflow_format.save_dag
+        ~name:(Printf.sprintf "%s-%d" (P.family_name family) n)
+        path g;
+      Format.printf "wrote %s@." path;
+      emitted := true
+  | None -> ());
+  (match dax with
+  | Some path ->
+      Wfc_io.Dax.save ~name:(P.family_name family) path g;
+      Format.printf "wrote %s@." path;
+      emitted := true
+  | None -> ());
+  if not !emitted then begin
+    Format.printf "%a@." Wfc_dag.Dag.pp_stats g;
+    Format.printf "sources: %d, sinks: %d, critical path: %.1f s@."
+      (List.length (Wfc_dag.Dag.sources g))
+      (List.length (Wfc_dag.Dag.sinks g))
+      (Wfc_dag.Dag.critical_path g)
+  end
+
+let generate_cmd =
+  let dot_t =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write the DAG in DOT format to $(docv)." ~docv:"FILE")
+  in
+  let json_t =
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Write the workflow as JSON to $(docv) (reloadable with --load)." ~docv:"FILE")
+  in
+  let dax_t =
+    Arg.(value & opt (some string) None & info [ "dax" ] ~doc:"Write the workflow as a Pegasus DAX file to $(docv)." ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic Pegasus workflow")
+    Term.(const generate $ family_t $ n_t $ seed_t $ cost_t $ dot_t $ json_t
+          $ dax_t)
+
+(* ---- evaluate ---- *)
+
+let source_name ~load family =
+  match load with Some path -> path | None -> P.family_name family
+
+let evaluate family n seed cost mtbf downtime lin ckpt grid load save =
+  let g = workflow ~load family n seed cost in
+  let model = model mtbf downtime in
+  let o = Heuristics.run ~search:(search_of_grid grid) model g ~lin ~ckpt in
+  (match save with
+  | Some path ->
+      Wfc_io.Workflow_format.save_schedule path o.Heuristics.schedule;
+      Format.printf "schedule written to %s@." path
+  | None -> ());
+  let tinf = Evaluator.fail_free_time g in
+  Format.printf "%s on %s (%d tasks), %a@."
+    (Heuristics.name lin ckpt) (source_name ~load family)
+    (Wfc_dag.Dag.n_tasks g) FM.pp model;
+  Format.printf "  E[makespan] = %.2f s@." o.Heuristics.makespan;
+  Format.printf "  T_inf       = %.2f s (ratio %.4f)@." tinf
+    (o.Heuristics.makespan /. tinf);
+  Format.printf "  checkpoints = %d (evaluator calls: %d)@."
+    (Schedule.checkpoint_count o.Heuristics.schedule)
+    o.Heuristics.evaluations
+
+let evaluate_cmd =
+  let save_t =
+    Arg.(value & opt (some string) None
+         & info [ "save-schedule" ] ~docv:"FILE"
+             ~doc:"Write the chosen schedule (order + checkpoint set) as \
+                   JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Expected makespan of one heuristic schedule")
+    Term.(const evaluate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
+          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ load_t $ save_t)
+
+(* ---- schedule (compare heuristics) ---- *)
+
+let schedule family n seed cost mtbf downtime grid load extended =
+  let g = workflow ~load family n seed cost in
+  let model = model mtbf downtime in
+  let tinf = Evaluator.fail_free_time g in
+  Format.printf "%s, %d tasks, %s, %a@.@." (source_name ~load family)
+    (Wfc_dag.Dag.n_tasks g) (CM.name cost) FM.pp model;
+  let table =
+    Wfc_reporting.Table.create
+      ~columns:[ "heuristic"; "E[makespan]"; "ratio"; "checkpoints" ]
+  in
+  let strategies =
+    if extended then Heuristics.extended_ckpt_strategies
+    else Heuristics.all_ckpt_strategies
+  in
+  let linearizations = if extended then Linearize.extended else Linearize.all in
+  List.iter
+    (fun ckpt ->
+      let lins =
+        match ckpt with
+        | Heuristics.Ckpt_never | Heuristics.Ckpt_always ->
+            [ Linearize.Depth_first ]
+        | _ -> linearizations
+      in
+      List.iter
+        (fun lin ->
+          let o = Heuristics.run ~search:(search_of_grid grid) model g ~lin ~ckpt in
+          Wfc_reporting.Table.add_row table
+            [
+              Heuristics.name lin ckpt;
+              Printf.sprintf "%.1f" o.Heuristics.makespan;
+              Printf.sprintf "%.4f" (o.Heuristics.makespan /. tinf);
+              string_of_int (Schedule.checkpoint_count o.Heuristics.schedule);
+            ])
+        lins)
+    strategies;
+  Wfc_reporting.Table.print table
+
+let schedule_cmd =
+  let extended_t =
+    Arg.(value & flag
+         & info [ "extended" ]
+             ~doc:"Also run the extension strategies (DF-BL linearization, \
+                   CkptE checkpointing).")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Compare all 14 heuristics on one workflow")
+    Term.(const schedule $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
+          $ downtime_t $ grid_t $ load_t $ extended_t)
+
+(* ---- simulate ---- *)
+
+let simulate family n seed cost mtbf downtime lin ckpt grid runs load
+    weibull_shape overlap trace =
+  let g = workflow ~load family n seed cost in
+  let model = model mtbf downtime in
+  let o = Heuristics.run ~search:(search_of_grid grid) model g ~lin ~ckpt in
+  (match trace with
+  | Some limit ->
+      let _, events =
+        Wfc_simulator.Sim_trace.run ~rng:(Wfc_platform.Rng.create seed) model g
+          o.Heuristics.schedule
+      in
+      Format.printf "-- trace of one run (%d of %d events) --@."
+        (Int.min limit (List.length events))
+        (List.length events);
+      List.iteri
+        (fun i e ->
+          if i < limit then
+            Format.printf "%a@." Wfc_simulator.Sim_trace.pp_event e)
+        events;
+      if Wfc_dag.Dag.n_tasks g <= 40 then
+        Format.printf "%s" (Wfc_simulator.Sim_trace.render_timeline events)
+  | None -> ());
+  let failures =
+    match weibull_shape with
+    | None -> Wfc_platform.Distribution.exponential ~rate:model.FM.lambda
+    | Some shape -> Wfc_platform.Distribution.weibull_of_mean ~shape ~mean:mtbf
+  in
+  let est =
+    match overlap with
+    | Some interference ->
+        Wfc_simulator.Monte_carlo.estimate_overlap ~runs ~seed
+          { Wfc_simulator.Sim_overlap.interference; failures; downtime }
+          g o.Heuristics.schedule
+    | None -> (
+        match weibull_shape with
+        | None ->
+            Wfc_simulator.Monte_carlo.estimate ~runs ~seed model g
+              o.Heuristics.schedule
+        | Some _ ->
+            Wfc_simulator.Monte_carlo.estimate_renewal ~runs ~seed ~failures
+              ~downtime g o.Heuristics.schedule)
+  in
+  let module Stats = Wfc_platform.Stats in
+  let mc = est.Wfc_simulator.Monte_carlo.makespan in
+  let lo, hi = Stats.confidence95 mc in
+  Format.printf "%s on %s (%d tasks), %a, failures %s%s@."
+    (Heuristics.name lin ckpt) (source_name ~load family) (Wfc_dag.Dag.n_tasks g)
+    FM.pp model
+    (Wfc_platform.Distribution.name failures)
+    (match overlap with
+    | Some s -> Printf.sprintf ", non-blocking checkpoints (interference %g)" s
+    | None -> "");
+  Format.printf "  analytic E[makespan] : %.2f s (exponential, blocking model)@."
+    o.Heuristics.makespan;
+  Format.printf "  simulated mean       : %.2f s  (95%% CI [%.2f, %.2f], %d runs)@."
+    (Stats.mean mc) lo hi runs;
+  Format.printf "  failures per run     : %.2f (max %.0f)@."
+    (Stats.mean est.Wfc_simulator.Monte_carlo.failures)
+    (Stats.max_value est.Wfc_simulator.Monte_carlo.failures);
+  Format.printf "  wasted time per run  : %.2f s@."
+    (Stats.mean est.Wfc_simulator.Monte_carlo.wasted)
+
+let simulate_cmd =
+  let runs_t =
+    Arg.(value & opt int 10_000 & info [ "runs" ] ~doc:"Number of Monte Carlo runs.")
+  in
+  let weibull_t =
+    Arg.(value & opt (some float) None
+         & info [ "weibull-shape" ]
+             ~doc:"Inject Weibull failures of this shape (renewal process at \
+                   the same MTBF) instead of exponential ones.")
+  in
+  let overlap_t =
+    Arg.(value & opt (some float) None
+         & info [ "overlap" ] ~docv:"INTERFERENCE"
+             ~doc:"Simulate non-blocking checkpoints: writes proceed in the \
+                   background while computation slows down by $(docv) in \
+                   [0,1].")
+  in
+  let trace_t =
+    Arg.(value & opt (some int) None
+         & info [ "trace" ] ~docv:"EVENTS"
+             ~doc:"Print the first $(docv) events of one traced run before \
+                   the Monte Carlo summary.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte Carlo fault injection vs the analytic evaluator")
+    Term.(const simulate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
+          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ runs_t $ load_t
+          $ weibull_t $ overlap_t $ trace_t)
+
+(* ---- solve (special structures) ---- *)
+
+let solve kind n seed mtbf downtime =
+  let model = model mtbf downtime in
+  let rng = Wfc_platform.Rng.create seed in
+  let rand b = Wfc_platform.Rng.float rng b in
+  match kind with
+  | "chain" ->
+      let weights = Array.init n (fun _ -> 10. +. rand 90.) in
+      let g =
+        Wfc_dag.Builders.chain ~weights
+          ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+          ~recovery_cost:(fun _ w -> 0.1 *. w)
+          ()
+      in
+      let sol = Chain_solver.solve model g in
+      Format.printf "random chain of %d tasks: optimal E[makespan] = %.2f s@." n
+        sol.Chain_solver.makespan;
+      Format.printf "checkpointed tasks: %s@."
+        (String.concat " "
+           (List.filteri (fun i _ -> sol.Chain_solver.checkpointed.(i))
+              (List.init n string_of_int)
+           |> List.map (fun s -> "T" ^ s)))
+  | "fork" ->
+      let g =
+        Wfc_dag.Builders.fork ~source_weight:(50. +. rand 50.)
+          ~sink_weights:(Array.init (n - 1) (fun _ -> 10. +. rand 40.))
+          ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+          ~recovery_cost:(fun _ w -> 0.1 *. w)
+          ()
+      in
+      let sol = Fork_solver.solve model g in
+      Format.printf
+        "random fork (1 + %d tasks): checkpoint source? %b@.  with ckpt %.2f s, without %.2f s@."
+        (n - 1) sol.Fork_solver.checkpoint_source
+        sol.Fork_solver.makespan_if_checkpointed sol.Fork_solver.makespan_if_not
+  | "join" ->
+      let k = Int.min (n - 1) 16 in
+      let g =
+        Wfc_dag.Builders.join
+          ~source_weights:(Array.init k (fun _ -> 10. +. rand 40.))
+          ~sink_weight:(5. +. rand 10.)
+          ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+          ~recovery_cost:(fun _ w -> 0.1 *. w)
+          ()
+      in
+      let sol = Join_solver.solve_exact model g in
+      let chosen =
+        List.filteri (fun i _ -> sol.Join_solver.ckpt.(i)) (List.init k Fun.id)
+        |> List.map (fun i -> "T" ^ string_of_int i)
+      in
+      Format.printf
+        "random join (%d + 1 tasks): optimal E[makespan] = %.2f s@.checkpointed sources: %s@."
+        k sol.Join_solver.makespan
+        (if chosen = [] then "(none)" else String.concat " " chosen)
+  | other -> Format.eprintf "unknown structure %S (chain, fork or join)@." other
+
+let solve_cmd =
+  let kind_t =
+    Arg.(value & pos 0 string "chain" & info [] ~docv:"STRUCTURE" ~doc:"chain, fork or join.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Optimal solvers on special structures")
+    Term.(const solve $ kind_t $ n_t $ seed_t $ mtbf_t $ downtime_t)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "wfc" ~version:"1.0.0"
+       ~doc:"Scheduling computational workflows on failure-prone platforms")
+    [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/chain_pipeline.ml: Array Chain_solver Evaluator Format Fun Heuristics List Schedule Wfc_core Wfc_dag Wfc_platform

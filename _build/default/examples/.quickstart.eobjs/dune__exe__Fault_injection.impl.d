@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Evaluator Float Format Heuristics List Printf Schedule Wfc_core Wfc_dag Wfc_platform Wfc_reporting Wfc_simulator Wfc_workflows

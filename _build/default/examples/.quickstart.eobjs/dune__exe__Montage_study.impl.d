@@ -1,0 +1,1 @@
+examples/montage_study.ml: Array Evaluator Format Heuristics List Printf Schedule Sys Wfc_core Wfc_dag Wfc_platform Wfc_reporting Wfc_workflows

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Evaluator Format Heuristics Schedule Wfc_core Wfc_dag Wfc_platform Wfc_simulator

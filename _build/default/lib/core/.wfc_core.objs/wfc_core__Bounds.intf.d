@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Evaluator List Option Schedule Wfc_dag

@@ -1,0 +1,1 @@
+lib/core/brute_force.mli: Schedule Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/chain_solver.ml: Array Printf Wfc_dag Wfc_platform

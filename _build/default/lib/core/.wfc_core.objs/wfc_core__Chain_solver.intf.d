@@ -1,0 +1,1 @@
+lib/core/chain_solver.mli: Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Float Lost_work Schedule Wfc_dag Wfc_platform

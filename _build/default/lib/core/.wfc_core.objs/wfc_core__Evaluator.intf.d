@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Lost_work Schedule Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/evaluator_reference.ml: Float Hashtbl Lost_work_reference Schedule Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/evaluator_reference.mli: Schedule Wfc_dag Wfc_platform

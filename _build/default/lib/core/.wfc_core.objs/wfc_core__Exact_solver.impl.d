@@ -1,0 +1,1 @@
+lib/core/exact_solver.ml: Array Evaluator Heuristics List Schedule Wfc_dag Wfc_platform

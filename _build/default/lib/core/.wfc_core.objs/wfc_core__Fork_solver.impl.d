@@ -1,0 +1,1 @@
+lib/core/fork_solver.ml: Array Float Fun List Schedule Wfc_dag Wfc_platform

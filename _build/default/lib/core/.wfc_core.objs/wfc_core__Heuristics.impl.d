@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Evaluator Float Fun Int List Option Schedule Set String Wfc_dag

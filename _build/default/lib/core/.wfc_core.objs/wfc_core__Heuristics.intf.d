@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Schedule Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/join_solver.ml: Array Float Fun Int List Option Schedule Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/join_solver.mli: Schedule Wfc_dag Wfc_platform

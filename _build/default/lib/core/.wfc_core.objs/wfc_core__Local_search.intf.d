@@ -1,0 +1,1 @@
+lib/core/local_search.mli: Schedule Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/core/lost_work.ml: Array Printf Schedule Wfc_dag

@@ -1,0 +1,1 @@
+lib/core/lost_work.mli: Schedule Wfc_dag

@@ -1,0 +1,1 @@
+lib/core/lost_work_reference.ml: Array Fun List Schedule Wfc_dag

@@ -1,0 +1,1 @@
+lib/core/lost_work_reference.mli: Schedule Wfc_dag

@@ -1,0 +1,1 @@
+lib/core/periodic.ml: Float Int List Printf Wfc_platform

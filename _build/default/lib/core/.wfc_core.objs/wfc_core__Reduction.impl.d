@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Float Int Join_solver List Printf Wfc_dag Wfc_platform

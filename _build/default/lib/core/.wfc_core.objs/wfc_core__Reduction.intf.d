@@ -1,0 +1,1 @@
+lib/core/reduction.mli: Wfc_dag Wfc_platform

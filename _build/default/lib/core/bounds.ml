@@ -1,0 +1,18 @@
+let lower_bound model g =
+  let e = Wfc_platform.Failure_model.expected_exec_time model in
+  Array.fold_left
+    (fun acc (t : Wfc_dag.Task.t) ->
+      acc +. e ~work:t.Wfc_dag.Task.weight ~checkpoint:0. ~recovery:0.)
+    0.
+    (Wfc_dag.Dag.tasks g)
+
+let upper_bound model g =
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  let sched = Schedule.all_checkpoints g ~order in
+  Evaluator.expected_makespan model g sched
+
+let optimality_gap model g ~makespan =
+  let lb = lower_bound model g in
+  if makespan < lb *. (1. -. 1e-9) then
+    invalid_arg "Bounds.optimality_gap: makespan below the lower bound";
+  (makespan -. lb) /. lb

@@ -1,0 +1,30 @@
+(** Bounds on the optimal expected makespan of DAG-ChkptSched.
+
+    The problem is NP-complete (Theorem 2), so certified bounds are the only
+    scalable way to judge heuristic quality on instances too large for
+    {!Brute_force}. *)
+
+val lower_bound : Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> float
+(** A lower bound valid for every schedule: each task must at some point
+    execute its own weight within a single failure-free stretch, and the
+    interval [X_i] of the linearization devoted to it costs at least
+    [E\[t(w_i; 0; 0)\]] (replay and checkpoint only add work). Hence
+
+    [sum_i E\[t(w_i; 0; 0)\] <= E\[makespan\]]
+
+    for every linearization and checkpoint set. Reduces to [T_inf] when
+    [lambda = 0]. *)
+
+val upper_bound : Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> float
+(** The expected makespan of an explicit schedule (depth-first
+    linearization, every task checkpointed), hence an upper bound on the
+    optimum. *)
+
+val optimality_gap :
+  Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> makespan:float -> float
+(** [optimality_gap model g ~makespan] is [(makespan - lb) /. lb], an upper
+    bound on the relative distance of the given schedule's expected makespan
+    from the optimum.
+
+    @raise Invalid_argument if [makespan] is below the lower bound (modulo
+    rounding), which would indicate an evaluator inconsistency. *)

@@ -1,0 +1,58 @@
+let linearizations ?(limit = 100_000) g =
+  let n = Wfc_dag.Dag.n_tasks g in
+  let indeg = Array.init n (Wfc_dag.Dag.in_degree g) in
+  let current = Array.make n (-1) in
+  let acc = ref [] and count = ref 0 in
+  let rec extend depth =
+    if depth = n then begin
+      incr count;
+      if !count > limit then
+        invalid_arg "Brute_force.linearizations: too many linearizations";
+      acc := Array.copy current :: !acc
+    end
+    else
+      for v = 0 to n - 1 do
+        if indeg.(v) = 0 then begin
+          indeg.(v) <- -1;
+          current.(depth) <- v;
+          Array.iter
+            (fun s -> indeg.(s) <- indeg.(s) - 1)
+            (Wfc_dag.Dag.succs_array g v);
+          extend (depth + 1);
+          Array.iter
+            (fun s -> indeg.(s) <- indeg.(s) + 1)
+            (Wfc_dag.Dag.succs_array g v);
+          indeg.(v) <- 0
+        end
+      done
+  in
+  extend 0;
+  List.rev !acc
+
+let optimal_checkpoints_for_order model g ~order =
+  let n = Wfc_dag.Dag.n_tasks g in
+  if n > 16 then
+    invalid_arg "Brute_force.optimal_checkpoints_for_order: DAG too large";
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let checkpointed = Array.init n (fun v -> mask land (1 lsl v) <> 0) in
+    let sched = Schedule.make g ~order ~checkpointed in
+    let makespan = Evaluator.expected_makespan model g sched in
+    match !best with
+    | Some (_, m) when m <= makespan -> ()
+    | _ -> best := Some (sched, makespan)
+  done;
+  Option.get !best
+
+let optimal model g =
+  if Wfc_dag.Dag.n_tasks g > 9 then
+    invalid_arg "Brute_force.optimal: DAG too large";
+  let best = ref None in
+  List.iter
+    (fun order ->
+      let cand, makespan = optimal_checkpoints_for_order model g ~order in
+      match !best with
+      | Some (_, m) when m <= makespan -> ()
+      | _ -> best := Some (cand, makespan))
+    (linearizations g);
+  Option.get !best

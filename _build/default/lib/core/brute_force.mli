@@ -1,0 +1,26 @@
+(** Exhaustive search over schedules, for validating heuristics and solvers
+    on small instances. Cost grows as [n! * 2^n]; hard guards keep usage
+    honest. *)
+
+val linearizations : ?limit:int -> Wfc_dag.Dag.t -> int array list
+(** All linearizations of the DAG, in lexicographic order.
+
+    @raise Invalid_argument if their number exceeds [limit] (default
+    100_000). *)
+
+val optimal_checkpoints_for_order :
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  Schedule.t * float
+(** Best checkpoint subset for a fixed linearization, by enumerating all
+    [2^n] subsets.
+
+    @raise Invalid_argument if the DAG has more than 16 tasks. *)
+
+val optimal :
+  Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> Schedule.t * float
+(** Globally optimal schedule: every linearization combined with every
+    checkpoint subset.
+
+    @raise Invalid_argument if the DAG has more than 9 tasks. *)

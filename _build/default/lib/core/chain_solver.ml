@@ -1,0 +1,87 @@
+let is_chain g =
+  let n = Wfc_dag.Dag.n_tasks g in
+  let ok = ref (Wfc_dag.Dag.n_edges g = n - 1) in
+  for i = 0 to n - 2 do
+    if not (Wfc_dag.Dag.is_edge g i (i + 1)) then ok := false
+  done;
+  !ok
+
+type solution = { checkpointed : bool array; makespan : float }
+
+let check_chain g name =
+  if not (is_chain g) then
+    invalid_arg (Printf.sprintf "Chain_solver.%s: not a chain in id order" name)
+
+(* Expected time of the segment of tasks k+1..m (0-based, with k = -1 for
+   the chain start), recovering from task k's checkpoint on each retry and
+   checkpointing task m at the end iff [ckpt_end]. *)
+let segment model g ~last_ckpt:k ~until:m ~ckpt_end =
+  let work = ref 0. in
+  for l = k + 1 to m do
+    work := !work +. Wfc_dag.Dag.weight g l
+  done;
+  let recovery =
+    if k < 0 then 0. else (Wfc_dag.Dag.task g k).Wfc_dag.Task.recovery_cost
+  in
+  let checkpoint =
+    if ckpt_end then (Wfc_dag.Dag.task g m).Wfc_dag.Task.checkpoint_cost else 0.
+  in
+  Wfc_platform.Failure_model.expected_exec_time model ~work:!work ~checkpoint
+    ~recovery
+
+let solve model g =
+  check_chain g "solve";
+  let n = Wfc_dag.Dag.n_tasks g in
+  (* dp.(m+1): best expected time to finish tasks 0..m with m checkpointed;
+     dp.(0) = 0 stands for the virtual start. *)
+  let dp = Array.make (n + 1) infinity in
+  let prev = Array.make (n + 1) (-2) in
+  dp.(0) <- 0.;
+  for m = 0 to n - 1 do
+    for k = -1 to m - 1 do
+      let cand =
+        dp.(k + 1) +. segment model g ~last_ckpt:k ~until:m ~ckpt_end:true
+      in
+      if cand < dp.(m + 1) then begin
+        dp.(m + 1) <- cand;
+        prev.(m + 1) <- k
+      end
+    done
+  done;
+  (* close with a final, non-checkpointed segment (possibly empty) *)
+  let best = ref dp.(n) and best_last = ref (n - 1) in
+  for k = -1 to n - 2 do
+    let cand =
+      dp.(k + 1) +. segment model g ~last_ckpt:k ~until:(n - 1) ~ckpt_end:false
+    in
+    if cand < !best then begin
+      best := cand;
+      best_last := k
+    end
+  done;
+  let checkpointed = Array.make n false in
+  let rec mark m =
+    if m >= 0 then begin
+      checkpointed.(m) <- true;
+      mark prev.(m + 1)
+    end
+  in
+  mark !best_last;
+  { checkpointed; makespan = !best }
+
+let segment_makespan model g ~checkpointed =
+  check_chain g "segment_makespan";
+  let n = Wfc_dag.Dag.n_tasks g in
+  if Array.length checkpointed <> n then
+    invalid_arg "Chain_solver.segment_makespan: flag size mismatch";
+  let total = ref 0. and last = ref (-1) in
+  for m = 0 to n - 1 do
+    if checkpointed.(m) then begin
+      total := !total +. segment model g ~last_ckpt:!last ~until:m ~ckpt_end:true;
+      last := m
+    end
+  done;
+  if !last < n - 1 then
+    total :=
+      !total +. segment model g ~last_ckpt:!last ~until:(n - 1) ~ckpt_end:false;
+  !total

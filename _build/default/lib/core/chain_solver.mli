@@ -1,0 +1,32 @@
+(** Optimal checkpoint placement on linear chains.
+
+    This is the dynamic program of Toueg & Babaoglu (SIAM J. Comput. 1984)
+    instantiated for the paper's failure model — the only previously solved
+    case of DAG-ChkptSched, used as a correctness baseline. The chain has a
+    single linearization, so only the checkpoint set remains: splitting the
+    chain into segments ending at checkpointed tasks gives
+
+    [dp(m) = min_{k < m} dp(k) + E\[t(w_{k+1..m}; c_m; r_k)\]]
+
+    with a virtual segment start ([r = 0]) before the first task and an
+    optional final unchecked segment. [O(n^2)] time. *)
+
+type solution = {
+  checkpointed : bool array;  (** indexed by task id *)
+  makespan : float;
+}
+
+val is_chain : Wfc_dag.Dag.t -> bool
+(** True when the DAG is a single path [0 -> 1 -> ... -> n-1]. *)
+
+val solve : Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> solution
+(** @raise Invalid_argument if the DAG is not a chain in id order. *)
+
+val segment_makespan :
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  checkpointed:bool array ->
+  float
+(** Expected makespan of the chain under a given checkpoint set, computed by
+    the segment decomposition (independent of {!Evaluator}, for
+    cross-checking). *)

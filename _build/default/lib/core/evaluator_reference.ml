@@ -1,0 +1,71 @@
+(* Direct transcription of Section 4.2. Positions are the paper's indices
+   (tasks renumbered along the linearization); [k = -1] encodes the paper's
+   Z^i_0 limit case "no fault so far". Everything is recomputed from scratch
+   through Lost_work_reference — intentionally naive. *)
+
+let expected_makespan model g sched =
+  let n = Schedule.n_tasks sched in
+  let weight p =
+    (Wfc_dag.Dag.task g (Schedule.task_at sched p)).Wfc_dag.Task.weight
+  in
+  let ckpt p =
+    let v = Schedule.task_at sched p in
+    if Schedule.is_checkpointed sched v then
+      (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost
+    else 0.
+  in
+  let lost k i =
+    Lost_work_reference.replay_time g sched ~last_fault:k ~position:i
+  in
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  (* P(Z^i_k), memoized by recomputation order: increasing i *)
+  let prob = Hashtbl.create (n * n) in
+  let p_z i k = Hashtbl.find prob (i, k) in
+  for i = 0 to n - 1 do
+    (* recurrence (A): no fault during X_{k+1} .. X_{i-1}, each of which
+       carries its replay, weight and checkpoint *)
+    let separating k =
+      let acc = ref 0. in
+      for j = k + 1 to i - 1 do
+        acc := !acc +. lost k j +. weight j +. ckpt j
+      done;
+      !acc
+    in
+    (* k = -1: no fault since the start *)
+    let sep_start = ref 0. in
+    for j = 0 to i - 1 do
+      sep_start := !sep_start +. weight j +. ckpt j
+    done;
+    Hashtbl.replace prob (i, -1) (Float.exp (-.lambda *. !sep_start));
+    for k = 0 to i - 2 do
+      (* P(Z^{k+1}_k) is the fault probability of X_k, already computed when
+         i reached k + 1 via recurrence (B) *)
+      Hashtbl.replace prob (i, k)
+        (Float.exp (-.lambda *. separating k) *. p_z (k + 1) k)
+    done;
+    if i >= 1 then begin
+      (* recurrence (B): the events partition the space *)
+      let others = ref (p_z i (-1)) in
+      for k = 0 to i - 2 do
+        others := !others +. p_z i k
+      done;
+      Hashtbl.replace prob (i, i - 1) (Float.max 0. (1. -. !others))
+    end
+  done;
+  (* property (C): conditional expectations through Equation (1) *)
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    let full = lost i i in
+    for k = -1 to i - 1 do
+      let l = if k = -1 then 0. else lost k i in
+      let p = p_z i k in
+      if p > 0. then
+        total :=
+          !total
+          +. p
+             *. Wfc_platform.Failure_model.expected_exec_time model
+                  ~work:(l +. weight i) ~checkpoint:(ckpt i)
+                  ~recovery:(Float.max 0. (full -. l))
+    done
+  done;
+  !total

@@ -1,0 +1,17 @@
+(** Literal transcription of the Theorem 3 expectation formulas.
+
+    {!Evaluator} computes the same quantities with incremental prefix sums
+    and the optimized lost-work matrix; this module re-derives every
+    probability and conditional expectation directly from the published
+    recurrences, using the [O(n^4)] {!Lost_work_reference} sets. It exists
+    purely as an executable specification for differential testing —
+    quadratic caching is deliberately absent. Use on small schedules only. *)
+
+val expected_makespan :
+  Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> Schedule.t -> float
+(** Same contract as {!Evaluator.expected_makespan}, computed the slow way:
+
+    [E = sum_i sum_{k} P(Z^i_k) E\[t(W^i_k + R^i_k + w_i ; d_i c_i ;
+    W^i_i + R^i_i - W^i_k - R^i_k)\]]
+
+    with [P(Z^i_k)] from recurrences (A) and (B). *)

@@ -1,0 +1,93 @@
+type solution = { schedule : Schedule.t; makespan : float; nodes : int }
+
+exception Node_budget_exceeded
+
+let optimal_checkpoints ?(max_nodes = 1_000_000) model g ~order =
+  if not (Wfc_dag.Dag.is_linearization g order) then
+    invalid_arg "Exact_solver.optimal_checkpoints: invalid order";
+  let n = Array.length order in
+  (* admissible tail bound: each remaining interval costs at least its own
+     failure-free-retry expectation *)
+  let tail = Array.make (n + 1) 0. in
+  for i = n - 1 downto 0 do
+    tail.(i) <-
+      tail.(i + 1)
+      +. Wfc_platform.Failure_model.expected_exec_time model
+           ~work:(Wfc_dag.Dag.weight g order.(i))
+           ~checkpoint:0. ~recovery:0.
+  done;
+  let flags = Array.make n false in
+  (* E[X_j] for j < i only depends on flags at positions < i, so evaluating
+     with the suffix left untouched yields exact prefix costs *)
+  let prefix_cost upto =
+    let r =
+      Evaluator.evaluate model g (Schedule.make g ~order ~checkpointed:flags)
+    in
+    let acc = ref 0. in
+    for j = 0 to upto - 1 do
+      acc := !acc +. r.Evaluator.per_position.(j)
+    done;
+    !acc
+  in
+  (* warm start: best searched heuristic as the incumbent *)
+  let incumbent_flags = ref (Array.make n false) in
+  let incumbent = ref infinity in
+  let try_incumbent candidate =
+    let m =
+      Evaluator.expected_makespan model g
+        (Schedule.make g ~order ~checkpointed:candidate)
+    in
+    if m < !incumbent then begin
+      incumbent := m;
+      incumbent_flags := Array.copy candidate
+    end
+  in
+  try_incumbent (Array.make n false);
+  try_incumbent (Array.make n true);
+  List.iter
+    (fun ckpt ->
+      List.iter
+        (fun n_ckpt ->
+          try_incumbent (Heuristics.checkpoint_flags ckpt g ~order ~n_ckpt))
+        (Heuristics.candidate_counts (Heuristics.Grid 16) ~n))
+    [ Heuristics.Ckpt_weight; Heuristics.Ckpt_cost ];
+  let nodes = ref 0 in
+  let rec go i cost =
+    incr nodes;
+    if !nodes > max_nodes then raise Node_budget_exceeded;
+    if i = n then begin
+      if cost < !incumbent then begin
+        incumbent := cost;
+        incumbent_flags := Array.copy flags
+      end
+    end
+    else begin
+      let v = order.(i) in
+      (* evaluate both children, then explore the cheaper one first: good
+         incumbents early tighten the pruning *)
+      let child b =
+        flags.(v) <- b;
+        prefix_cost (i + 1)
+      in
+      let cost_true = child true in
+      let cost_false = child false in
+      let ordered =
+        if cost_false <= cost_true then [ (false, cost_false); (true, cost_true) ]
+        else [ (true, cost_true); (false, cost_false) ]
+      in
+      List.iter
+        (fun (b, c) ->
+          if c +. tail.(i + 1) < !incumbent -. 1e-12 then begin
+            flags.(v) <- b;
+            go (i + 1) c
+          end)
+        ordered;
+      flags.(v) <- false
+    end
+  in
+  go 0 0.;
+  {
+    schedule = Schedule.make g ~order ~checkpointed:!incumbent_flags;
+    makespan = !incumbent;
+    nodes = !nodes;
+  }

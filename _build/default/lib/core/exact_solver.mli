@@ -1,0 +1,38 @@
+(** Exact checkpoint placement for a fixed linearization, by branch and
+    bound.
+
+    {!Brute_force.optimal_checkpoints_for_order} enumerates all [2^n]
+    subsets; this solver reaches noticeably larger instances by exploiting
+    two facts:
+
+    - the expectation decomposes as [sum_i E\[X_i\]] where [E\[X_i\]] only
+      depends on the checkpoint flags of positions [<= i], so flags can be
+      fixed left to right with exact prefix costs;
+    - [E\[X_i\] >= E\[t(w_i; 0; 0)\]] whatever the flags (see {!Bounds}),
+      giving an admissible bound on any completion of a prefix.
+
+    Still worst-case exponential — DAG-ChkptSched is NP-complete — but
+    routinely solves 20-30 task instances, which is enough to audit the
+    heuristics well beyond brute-force reach. *)
+
+type solution = {
+  schedule : Schedule.t;
+  makespan : float;
+  nodes : int;  (** search nodes expanded *)
+}
+
+exception Node_budget_exceeded
+
+val optimal_checkpoints :
+  ?max_nodes:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  solution
+(** [optimal_checkpoints model g ~order] finds the checkpoint set minimizing
+    the expected makespan among all [2^n] subsets for the given
+    linearization.
+
+    @raise Node_budget_exceeded after [max_nodes] (default [1_000_000])
+    expansions.
+    @raise Invalid_argument if [order] is not a linearization of [g]. *)

@@ -1,0 +1,65 @@
+type solution = {
+  checkpoint_source : bool;
+  makespan : float;
+  makespan_if_checkpointed : float;
+  makespan_if_not : float;
+}
+
+let is_fork g =
+  match Wfc_dag.Dag.sources g with
+  | [ src ] ->
+      let n = Wfc_dag.Dag.n_tasks g in
+      let others = List.filter (fun v -> v <> src) (List.init n Fun.id) in
+      if
+        others <> []
+        && List.for_all
+             (fun v ->
+               Wfc_dag.Dag.preds g v = [ src ] && Wfc_dag.Dag.succs g v = [])
+             others
+      then Some src
+      else None
+  | _ -> None
+
+let solve model g =
+  match is_fork g with
+  | None -> invalid_arg "Fork_solver.solve: not a fork DAG"
+  | Some src ->
+      let t = Wfc_dag.Dag.task g src in
+      let e = Wfc_platform.Failure_model.expected_exec_time model in
+      let sinks_total ~recovery =
+        List.fold_left
+          (fun acc v ->
+            acc
+            +. e ~work:(Wfc_dag.Dag.task g v).Wfc_dag.Task.weight ~checkpoint:0.
+                 ~recovery)
+          0.
+          (Wfc_dag.Dag.sinks g)
+      in
+      let with_ckpt =
+        e ~work:t.Wfc_dag.Task.weight ~checkpoint:t.Wfc_dag.Task.checkpoint_cost
+          ~recovery:0.
+        +. sinks_total ~recovery:t.Wfc_dag.Task.recovery_cost
+      in
+      let without =
+        e ~work:t.Wfc_dag.Task.weight ~checkpoint:0. ~recovery:0.
+        +. sinks_total ~recovery:t.Wfc_dag.Task.weight
+      in
+      {
+        checkpoint_source = with_ckpt < without;
+        makespan = Float.min with_ckpt without;
+        makespan_if_checkpointed = with_ckpt;
+        makespan_if_not = without;
+      }
+
+let schedule_of g sol =
+  match is_fork g with
+  | None -> invalid_arg "Fork_solver.schedule_of: not a fork DAG"
+  | Some src ->
+      let order =
+        Array.of_list
+          (src :: List.filter (fun v -> v <> src)
+                    (List.init (Wfc_dag.Dag.n_tasks g) Fun.id))
+      in
+      let checkpointed = Array.make (Wfc_dag.Dag.n_tasks g) false in
+      checkpointed.(src) <- sol.checkpoint_source;
+      Schedule.make g ~order ~checkpointed

@@ -1,0 +1,28 @@
+(** Optimal scheduling of fork DAGs (Theorem 1).
+
+    For a fork — one source whose output feeds [n] independent sinks — the
+    only decision is whether to checkpoint the source: sink ordering is
+    irrelevant under exponential failures. Comparing
+
+    [E\[t(w_src; c_src; 0)\] + sum_i E\[t(w_i; 0; r_src)\]]  (checkpoint)
+
+    with the same expression at [c_src = 0, r_src = w_src] (re-execute the
+    source on every failure) solves the problem in linear time. *)
+
+type solution = {
+  checkpoint_source : bool;
+  makespan : float;  (** expected makespan of the optimal schedule *)
+  makespan_if_checkpointed : float;
+  makespan_if_not : float;
+}
+
+val is_fork : Wfc_dag.Dag.t -> int option
+(** [is_fork g] returns the source id when [g] is a fork DAG with at least
+    one sink. *)
+
+val solve : Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> solution
+(** @raise Invalid_argument if the DAG is not a fork. *)
+
+val schedule_of : Wfc_dag.Dag.t -> solution -> Schedule.t
+(** Materializes the optimal schedule (source first, sinks in id order, only
+    the source possibly checkpointed). *)

@@ -1,0 +1,184 @@
+type ckpt_strategy =
+  | Ckpt_never
+  | Ckpt_always
+  | Ckpt_weight
+  | Ckpt_cost
+  | Ckpt_outweight
+  | Ckpt_periodic
+  | Ckpt_efficiency
+
+let all_ckpt_strategies =
+  [ Ckpt_never; Ckpt_always; Ckpt_weight; Ckpt_cost; Ckpt_outweight;
+    Ckpt_periodic ]
+
+let extended_ckpt_strategies = all_ckpt_strategies @ [ Ckpt_efficiency ]
+
+let ckpt_strategy_name = function
+  | Ckpt_never -> "CkptNvr"
+  | Ckpt_always -> "CkptAlws"
+  | Ckpt_weight -> "CkptW"
+  | Ckpt_cost -> "CkptC"
+  | Ckpt_outweight -> "CkptD"
+  | Ckpt_periodic -> "CkptPer"
+  | Ckpt_efficiency -> "CkptE"
+
+let ckpt_strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "ckptnvr" | "never" -> Some Ckpt_never
+  | "ckptalws" | "always" -> Some Ckpt_always
+  | "ckptw" | "weight" -> Some Ckpt_weight
+  | "ckptc" | "cost" -> Some Ckpt_cost
+  | "ckptd" | "outweight" -> Some Ckpt_outweight
+  | "ckptper" | "periodic" -> Some Ckpt_periodic
+  | "ckpte" | "efficiency" -> Some Ckpt_efficiency
+  | _ -> None
+
+type search = Exhaustive | Grid of int
+
+let candidate_counts search ~n =
+  if n <= 1 then []
+  else
+    let all = List.init (n - 1) (fun i -> i + 1) in
+    match search with
+    | Exhaustive -> all
+    | Grid budget when n - 1 <= budget -> all
+    | Grid budget ->
+        if budget < 2 then invalid_arg "Heuristics: grid budget too small";
+        (* half the budget spread geometrically (resolution where the
+           makespan curve bends), half linearly (coverage of large N) *)
+        let geo = budget / 2 and lin = budget - (budget / 2) in
+        let module Iset = Set.Make (Int) in
+        let acc = ref (Iset.of_list [ 1; n - 1 ]) in
+        let top = float_of_int (n - 1) in
+        for j = 0 to geo - 1 do
+          let x = top ** (float_of_int j /. float_of_int (Int.max 1 (geo - 1))) in
+          acc := Iset.add (Int.max 1 (int_of_float (Float.round x))) !acc
+        done;
+        for j = 0 to lin - 1 do
+          let x = 1. +. (top -. 1.) *. float_of_int j /. float_of_int (Int.max 1 (lin - 1)) in
+          acc := Iset.add (Int.max 1 (int_of_float (Float.round x))) !acc
+        done;
+        Iset.elements !acc
+
+(* Order task ids by a strategy-specific key, best-to-checkpoint first; ties
+   broken by id for determinism. *)
+let ranked_tasks strategy g =
+  let n = Wfc_dag.Dag.n_tasks g in
+  let ids = Array.init n Fun.id in
+  let key =
+    match strategy with
+    | Ckpt_weight -> fun v -> -.(Wfc_dag.Dag.task g v).Wfc_dag.Task.weight
+    | Ckpt_cost -> fun v -> (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost
+    | Ckpt_outweight -> fun v -> -.Wfc_dag.Dag.outweight g v
+    | Ckpt_efficiency ->
+        (* extension: protected work per checkpoint second, decreasing *)
+        fun v ->
+          let t = Wfc_dag.Dag.task g v in
+          -.(t.Wfc_dag.Task.weight
+             /. Float.max 1e-9 t.Wfc_dag.Task.checkpoint_cost)
+    | Ckpt_never | Ckpt_always | Ckpt_periodic ->
+        invalid_arg "Heuristics.ranked_tasks: not a ranking strategy"
+  in
+  Array.sort
+    (fun a b ->
+      match Float.compare (key a) (key b) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    ids;
+  ids
+
+let periodic_flags g ~order ~n_ckpt =
+  let n = Array.length order in
+  let flags = Array.make n false in
+  if n_ckpt >= 2 then begin
+    let total = Wfc_dag.Dag.total_weight g in
+    let period = total /. float_of_int n_ckpt in
+    (* walk the failure-free timeline; checkpoint the first task completing
+       at or after each threshold x * W / N *)
+    let elapsed = ref 0. and next = ref 1 in
+    Array.iter
+      (fun v ->
+        elapsed := !elapsed +. (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight;
+        if !next < n_ckpt && !elapsed >= (float_of_int !next *. period) -. 1e-9
+        then begin
+          flags.(v) <- true;
+          while
+            !next < n_ckpt
+            && !elapsed >= (float_of_int !next *. period) -. 1e-9
+          do
+            incr next
+          done
+        end)
+      order
+  end;
+  flags
+
+let checkpoint_flags strategy g ~order ~n_ckpt =
+  let n = Wfc_dag.Dag.n_tasks g in
+  if n_ckpt < 0 || n_ckpt > n then
+    invalid_arg "Heuristics.checkpoint_flags: n_ckpt out of range";
+  match strategy with
+  | Ckpt_never -> Array.make n false
+  | Ckpt_always -> Array.make n true
+  | Ckpt_periodic -> periodic_flags g ~order ~n_ckpt
+  | Ckpt_weight | Ckpt_cost | Ckpt_outweight | Ckpt_efficiency ->
+      let ranked = ranked_tasks strategy g in
+      let flags = Array.make n false in
+      for j = 0 to n_ckpt - 1 do
+        flags.(ranked.(j)) <- true
+      done;
+      flags
+
+type outcome = {
+  schedule : Schedule.t;
+  makespan : float;
+  n_ckpt : int;
+  evaluations : int;
+}
+
+let run ?(search = Exhaustive) ?rand model g ~lin ~ckpt =
+  let order = Wfc_dag.Linearize.run ?rand lin g in
+  let evaluate flags =
+    let sched = Schedule.make g ~order ~checkpointed:flags in
+    (sched, Evaluator.expected_makespan model g sched)
+  in
+  match ckpt with
+  | Ckpt_never | Ckpt_always ->
+      let n = Wfc_dag.Dag.n_tasks g in
+      let flags =
+        Array.make n (match ckpt with Ckpt_always -> true | _ -> false)
+      in
+      let schedule, makespan = evaluate flags in
+      { schedule; makespan; n_ckpt = Schedule.checkpoint_count schedule;
+        evaluations = 1 }
+  | Ckpt_weight | Ckpt_cost | Ckpt_outweight | Ckpt_periodic
+  | Ckpt_efficiency ->
+      let n = Wfc_dag.Dag.n_tasks g in
+      let counts = candidate_counts search ~n in
+      let counts = if counts = [] then [ 0 ] else counts in
+      let best = ref None and evaluations = ref 0 in
+      List.iter
+        (fun n_ckpt ->
+          let flags = checkpoint_flags ckpt g ~order ~n_ckpt in
+          let schedule, makespan = evaluate flags in
+          incr evaluations;
+          match !best with
+          | Some (_, m, _) when m <= makespan -> ()
+          | _ -> best := Some (schedule, makespan, n_ckpt))
+        counts;
+      let schedule, makespan, n_ckpt = Option.get !best in
+      { schedule; makespan; n_ckpt; evaluations = !evaluations }
+
+let best_over_linearizations ?search ?rand model g ~ckpt =
+  let outcomes =
+    List.map
+      (fun lin -> (lin, run ?search ?rand model g ~lin ~ckpt))
+      Wfc_dag.Linearize.all
+  in
+  List.fold_left
+    (fun ((_, acc) as best) ((_, o) as cand) ->
+      if o.makespan < acc.makespan then cand else best)
+    (List.hd outcomes) (List.tl outcomes)
+
+let name lin ckpt =
+  Wfc_dag.Linearize.strategy_name lin ^ "-" ^ ckpt_strategy_name ckpt

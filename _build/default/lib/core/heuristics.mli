@@ -1,0 +1,86 @@
+(** The scheduling heuristics of Section 5.
+
+    A heuristic combines a linearization strategy (DF, BF or RF, see
+    {!Wfc_dag.Linearize}) with a checkpointing strategy. CkptNvr and CkptAlws
+    are the baselines; CkptW, CkptC and CkptD checkpoint the [N] best tasks
+    under their respective criteria, and CkptPer spreads [N - 1] checkpoints
+    evenly over the failure-free timeline; all four search the checkpoint
+    count [N] that minimizes the expected makespan computed by
+    {!Evaluator}. *)
+
+type ckpt_strategy =
+  | Ckpt_never  (** no checkpoint at all *)
+  | Ckpt_always  (** checkpoint every task *)
+  | Ckpt_weight  (** decreasing [w_i]: longest computations first *)
+  | Ckpt_cost  (** increasing [c_i]: cheapest checkpoints first *)
+  | Ckpt_outweight  (** decreasing [d_i]: heaviest direct successors first *)
+  | Ckpt_periodic  (** positions closest to multiples of [W / N] *)
+  | Ckpt_efficiency
+      (** extension beyond the paper: decreasing [w_i / c_i], the work
+          protected per checkpoint second — interpolates between CkptW and
+          CkptC *)
+
+val all_ckpt_strategies : ckpt_strategy list
+(** The paper's six strategies (no [Ckpt_efficiency]) — what the figure
+    harness sweeps. *)
+
+val extended_ckpt_strategies : ckpt_strategy list
+(** [all_ckpt_strategies] plus [Ckpt_efficiency]. *)
+
+val ckpt_strategy_name : ckpt_strategy -> string
+(** "CkptNvr", "CkptAlws", "CkptW", "CkptC", "CkptD", "CkptPer" (the paper's
+    names) or "CkptE" (the extension). *)
+
+val ckpt_strategy_of_string : string -> ckpt_strategy option
+
+(** How to explore the number of checkpoints [N] in [1..n-1]. *)
+type search =
+  | Exhaustive  (** every value, as in the paper *)
+  | Grid of int  (** at most this many values, denser for small [N] *)
+
+val candidate_counts : search -> n:int -> int list
+(** The [N] values explored by [search] for an [n]-task workflow: an
+    increasing subset of [1..n-1] that always contains both bounds. *)
+
+val checkpoint_flags :
+  ckpt_strategy -> Wfc_dag.Dag.t -> order:int array -> n_ckpt:int -> bool array
+(** [checkpoint_flags strategy g ~order ~n_ckpt] selects which tasks
+    checkpoint when the strategy is allotted [n_ckpt] checkpoints. For
+    [Ckpt_periodic] the budget follows the paper: [n_ckpt = N] yields [N - 1]
+    checkpoints at the tasks completing earliest after [x * W / N],
+    [x = 1..N-1], on the failure-free timeline of [order]. [Ckpt_never] and
+    [Ckpt_always] ignore [n_ckpt].
+
+    @raise Invalid_argument if [n_ckpt] is outside [0..n]. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  makespan : float;
+  n_ckpt : int;  (** the best checkpoint budget found *)
+  evaluations : int;  (** number of evaluator calls performed *)
+}
+
+val run :
+  ?search:search ->
+  ?rand:(int -> int) ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  lin:Wfc_dag.Linearize.strategy ->
+  ckpt:ckpt_strategy ->
+  outcome
+(** [run model g ~lin ~ckpt] linearizes [g] with [lin] then optimizes the
+    checkpoint placement with [ckpt]. [search] defaults to [Exhaustive];
+    [rand] seeds the RF linearization. *)
+
+val best_over_linearizations :
+  ?search:search ->
+  ?rand:(int -> int) ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  ckpt:ckpt_strategy ->
+  Wfc_dag.Linearize.strategy * outcome
+(** Runs all three linearization strategies and keeps the best outcome —
+    how the paper reports Figures 3 and 5–7. *)
+
+val name : Wfc_dag.Linearize.strategy -> ckpt_strategy -> string
+(** e.g. ["DF-CkptW"]. *)

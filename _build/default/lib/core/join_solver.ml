@@ -1,0 +1,247 @@
+let is_join g =
+  match Wfc_dag.Dag.sinks g with
+  | [ sink ] ->
+      let n = Wfc_dag.Dag.n_tasks g in
+      let others = List.filter (fun v -> v <> sink) (List.init n Fun.id) in
+      if
+        others <> []
+        && List.for_all
+             (fun v ->
+               Wfc_dag.Dag.preds g v = [] && Wfc_dag.Dag.succs g v = [ sink ])
+             others
+      then Some sink
+      else None
+  | _ -> None
+
+let g_value model (t : Wfc_dag.Task.t) =
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  let wc = t.Wfc_dag.Task.weight +. t.Wfc_dag.Task.checkpoint_cost in
+  let r = t.Wfc_dag.Task.recovery_cost in
+  Float.exp (-.lambda *. (wc +. r))
+  +. Float.exp (-.lambda *. r)
+  -. Float.exp (-.lambda *. wc)
+
+(* Corrected exchange criterion (see the erratum in the interface): place a
+   before b iff (1-e^{-λ r_a})/(1-e^{-λ(w_a+c_a)}) <= same for b. *)
+let order_key model (t : Wfc_dag.Task.t) =
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  let wc = t.Wfc_dag.Task.weight +. t.Wfc_dag.Task.checkpoint_cost in
+  let r = t.Wfc_dag.Task.recovery_cost in
+  if lambda = 0. then if wc = 0. then (if r = 0. then 0. else infinity) else r /. wc
+  else
+    let num = -.Float.expm1 (-.lambda *. r) in
+    let den = -.Float.expm1 (-.lambda *. wc) in
+    if den = 0. then (if num = 0. then 0. else infinity) else num /. den
+
+let the_sink g =
+  match is_join g with
+  | Some sink -> sink
+  | None -> invalid_arg "Join_solver: not a join DAG"
+
+let check_flags g sink ~ckpt =
+  if Array.length ckpt <> Wfc_dag.Dag.n_tasks g then
+    invalid_arg "Join_solver: flag array size mismatch";
+  if ckpt.(sink) then
+    invalid_arg "Join_solver: checkpointing the sink is not modeled"
+
+(* Checkpointed sources in increasing order of the corrected key, ties by
+   id. *)
+let ckpt_order model g sink ~ckpt =
+  let cands =
+    List.filter (fun v -> v <> sink && ckpt.(v))
+      (List.init (Wfc_dag.Dag.n_tasks g) Fun.id)
+  in
+  List.sort
+    (fun a b ->
+      match
+        Float.compare
+          (order_key model (Wfc_dag.Dag.task g a))
+          (order_key model (Wfc_dag.Dag.task g b))
+      with
+      | 0 -> Int.compare a b
+      | c -> c)
+    cands
+
+let check_sigma g sink ~ckpt ~sigma =
+  let flagged =
+    List.filter (fun v -> v <> sink && ckpt.(v))
+      (List.init (Wfc_dag.Dag.n_tasks g) Fun.id)
+  in
+  if List.sort Int.compare sigma <> flagged then
+    invalid_arg "Join_solver: sigma is not a permutation of the flagged sources"
+
+let expected_makespan_order model g ~ckpt ~sigma =
+  let sink = the_sink g in
+  check_flags g sink ~ckpt;
+  check_sigma g sink ~ckpt ~sigma;
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  let downtime = model.Wfc_platform.Failure_model.downtime in
+  let task v = Wfc_dag.Dag.task g v in
+  let sigma = Array.of_list sigma in
+  let n_ckpt = Array.length sigma in
+  let w_nckpt =
+    Wfc_dag.Dag.total_weight g
+    -. Array.fold_left
+         (fun acc v -> acc +. (task v).Wfc_dag.Task.weight)
+         0. sigma
+  in
+  let e = Wfc_platform.Failure_model.expected_exec_time model in
+  (* phase 1: each checkpointed source completes independently *)
+  let phase1 =
+    Array.fold_left
+      (fun acc v ->
+        let t = task v in
+        acc
+        +. e ~work:t.Wfc_dag.Task.weight
+             ~checkpoint:t.Wfc_dag.Task.checkpoint_cost ~recovery:0.)
+      0. sigma
+  in
+  if lambda = 0. then phase1 +. w_nckpt
+  else if n_ckpt = 0 then phase1 +. e ~work:w_nckpt ~checkpoint:0. ~recovery:0.
+  else begin
+    (* phase 2, conditioned on which checkpointed task saw the last fault *)
+    let r_total =
+      Array.fold_left
+        (fun acc v -> acc +. (task v).Wfc_dag.Task.recovery_cost)
+        0. sigma
+    in
+    let t0 =
+      ((1. /. lambda) +. downtime)
+      *. Float.expm1 (lambda *. (w_nckpt +. r_total))
+    in
+    (* suffix.(k) = sum_{j >= k} (w + c) over sigma, for the q terms *)
+    let suffix = Array.make (n_ckpt + 1) 0. in
+    for k = n_ckpt - 1 downto 0 do
+      let t = task sigma.(k) in
+      suffix.(k) <-
+        suffix.(k + 1) +. t.Wfc_dag.Task.weight +. t.Wfc_dag.Task.checkpoint_cost
+    done;
+    let phase2 = ref 0. in
+    let r_prefix = ref 0. in
+    for k = 0 to n_ckpt - 1 do
+      let t = task sigma.(k) in
+      let q =
+        if k = 0 then Float.exp (-.lambda *. suffix.(1))
+        else
+          -.Float.expm1
+              (-.lambda
+              *. (t.Wfc_dag.Task.weight +. t.Wfc_dag.Task.checkpoint_cost))
+          *. Float.exp (-.lambda *. suffix.(k + 1))
+      in
+      let p = Float.exp (-.lambda *. (w_nckpt +. !r_prefix)) in
+      let t_k = (1. -. p) *. ((1. /. lambda) +. downtime +. t0) in
+      phase2 := !phase2 +. (q *. t_k);
+      r_prefix := !r_prefix +. t.Wfc_dag.Task.recovery_cost
+    done;
+    phase1 +. !phase2
+  end
+
+let expected_makespan model g ~ckpt =
+  let sink = the_sink g in
+  expected_makespan_order model g ~ckpt ~sigma:(ckpt_order model g sink ~ckpt)
+
+let schedule_of ?model g ~ckpt =
+  let sink = the_sink g in
+  check_flags g sink ~ckpt;
+  let model =
+    match model with
+    | Some m -> m
+    | None -> Wfc_platform.Failure_model.make ~lambda:1e-6 ()
+  in
+  let ck = ckpt_order model g sink ~ckpt in
+  let others =
+    List.filter (fun v -> v <> sink && not ckpt.(v))
+      (List.init (Wfc_dag.Dag.n_tasks g) Fun.id)
+  in
+  let order = Array.of_list (ck @ others @ [ sink ]) in
+  Schedule.make g ~order ~checkpointed:ckpt
+
+type solution = { ckpt : bool array; makespan : float }
+
+let sources_of g sink =
+  List.filter (fun v -> v <> sink) (List.init (Wfc_dag.Dag.n_tasks g) Fun.id)
+
+let solve_uniform_costs model g =
+  let sink = the_sink g in
+  let sources = sources_of g sink in
+  let c0 = (Wfc_dag.Dag.task g (List.hd sources)).Wfc_dag.Task.checkpoint_cost in
+  let r0 = (Wfc_dag.Dag.task g (List.hd sources)).Wfc_dag.Task.recovery_cost in
+  List.iter
+    (fun v ->
+      let t = Wfc_dag.Dag.task g v in
+      if
+        not
+          (Float.equal t.Wfc_dag.Task.checkpoint_cost c0
+          && Float.equal t.Wfc_dag.Task.recovery_cost r0)
+      then invalid_arg "Join_solver.solve_uniform_costs: non-uniform costs")
+    sources;
+  let by_weight =
+    List.sort
+      (fun a b ->
+        Float.compare
+          (Wfc_dag.Dag.task g b).Wfc_dag.Task.weight
+          (Wfc_dag.Dag.task g a).Wfc_dag.Task.weight)
+      sources
+  in
+  let n = Wfc_dag.Dag.n_tasks g in
+  let best = ref None in
+  for n_ckpt = 0 to List.length by_weight do
+    let ckpt = Array.make n false in
+    List.iteri (fun i v -> if i < n_ckpt then ckpt.(v) <- true) by_weight;
+    let makespan = expected_makespan model g ~ckpt in
+    match !best with
+    | Some s when s.makespan <= makespan -> ()
+    | _ -> best := Some { ckpt; makespan }
+  done;
+  Option.get !best
+
+let solve_exact model g =
+  let sink = the_sink g in
+  let sources = Array.of_list (sources_of g sink) in
+  let k = Array.length sources in
+  if k > 20 then invalid_arg "Join_solver.solve_exact: too many sources";
+  let n = Wfc_dag.Dag.n_tasks g in
+  let best = ref None in
+  for mask = 0 to (1 lsl k) - 1 do
+    let ckpt = Array.make n false in
+    Array.iteri (fun i v -> if mask land (1 lsl i) <> 0 then ckpt.(v) <- true)
+      sources;
+    let makespan = expected_makespan model g ~ckpt in
+    match !best with
+    | Some s when s.makespan <= makespan -> ()
+    | _ -> best := Some { ckpt; makespan }
+  done;
+  Option.get !best
+
+let zero_recovery_makespan model g ~ckpt =
+  let sink = the_sink g in
+  check_flags g sink ~ckpt;
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  let downtime = model.Wfc_platform.Failure_model.downtime in
+  let sources = sources_of g sink in
+  let sum_ckpt = ref 0. and w_nckpt = ref (Wfc_dag.Dag.weight g sink) in
+  List.iter
+    (fun v ->
+      let t = Wfc_dag.Dag.task g v in
+      if ckpt.(v) then begin
+        if t.Wfc_dag.Task.recovery_cost <> 0. then
+          invalid_arg "Join_solver.zero_recovery_makespan: nonzero recovery";
+        sum_ckpt :=
+          !sum_ckpt
+          +. Float.expm1
+               (lambda
+               *. (t.Wfc_dag.Task.weight +. t.Wfc_dag.Task.checkpoint_cost))
+      end
+      else w_nckpt := !w_nckpt +. t.Wfc_dag.Task.weight)
+    sources;
+  if lambda = 0. then
+    (* degenerate limit: no failures, expectation is plain work + checkpoints *)
+    List.fold_left
+      (fun acc v ->
+        let t = Wfc_dag.Dag.task g v in
+        acc +. if ckpt.(v) then t.Wfc_dag.Task.checkpoint_cost else 0.)
+      (Wfc_dag.Dag.total_weight g)
+      sources
+  else
+    ((1. /. lambda) +. downtime)
+    *. (!sum_ckpt +. Float.expm1 (lambda *. !w_nckpt))

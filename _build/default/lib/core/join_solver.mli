@@ -1,0 +1,90 @@
+(** Join DAGs: structure results of Section 4.1.2.
+
+    For a join — [n] independent sources feeding a single sink — the optimal
+    schedule runs the checkpointed sources first (Lemma 1), followed by the
+    non-checkpointed sources and the sink in any order. Choosing {e which}
+    sources to checkpoint is NP-complete in general (Theorem 2, see
+    {!Reduction}).
+
+    {b Erratum.} Lemma 2 of the paper orders the checkpointed sources by
+    non-increasing [g(i) = e^{-λ(w_i+c_i+r_i)} + e^{-λ r_i} -
+    e^{-λ(w_i+c_i)}]. Redoing the adjacent-exchange argument under the
+    paper's own execution semantics (validated here against both the
+    Theorem 3 evaluator and Monte Carlo fault injection) yields different
+    cross terms: the exchange criterion separates as the per-task key
+    [(1 - e^{-λ r_i}) / (1 - e^{-λ (w_i+c_i)})], to be sorted in {e
+    increasing} order. The two criteria coincide for uniform checkpoint and
+    recovery costs (both reduce to Corollary 1's non-increasing weight), but
+    differ on heterogeneous costs, where the published [g]-order is beaten by
+    up to a few percent (see the counterexample in the test suite). This
+    module therefore schedules by the corrected key and keeps {!g_value}
+    exposed for comparison.
+
+    - with uniform checkpoint and recovery costs, trying every prefix of the
+      decreasing-weight order is optimal (Corollary 1);
+    - with zero recovery costs the makespan has the closed form of
+      Corollary 2. *)
+
+val is_join : Wfc_dag.Dag.t -> int option
+(** [is_join g] returns the sink id when [g] is a join DAG with at least one
+    source. *)
+
+val g_value : Wfc_platform.Failure_model.t -> Wfc_dag.Task.t -> float
+(** The ordering criterion [g(i)] published in Lemma 2 (larger would run
+    earlier). Kept for reference; see the erratum above. *)
+
+val order_key : Wfc_platform.Failure_model.t -> Wfc_dag.Task.t -> float
+(** The corrected ordering key
+    [(1 - e^{-λ r}) / (1 - e^{-λ (w+c)})] (smaller runs earlier); for
+    [λ = 0] the limit [r / (w+c)] is used. Intuitively: schedule first the
+    tasks that are long to (re)compute but cheap to recover. *)
+
+val expected_makespan_order :
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  ckpt:bool array ->
+  sigma:int list ->
+  float
+(** [expected_makespan_order model g ~ckpt ~sigma] is Equation (2): the
+    expected makespan of the schedule that runs the checkpointed sources in
+    the order [sigma] (a permutation of the flagged sources), then the
+    remaining sources and the sink. The sink flag must be [false].
+
+    @raise Invalid_argument if [g] is not a join, on flag size mismatch, if
+    the sink is flagged, or if [sigma] is not a permutation of the flagged
+    sources. *)
+
+val expected_makespan :
+  Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> ckpt:bool array -> float
+(** [expected_makespan model g ~ckpt] is {!expected_makespan_order} with the
+    checkpointed sources sorted by increasing {!order_key}. *)
+
+val schedule_of :
+  ?model:Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  ckpt:bool array ->
+  Schedule.t
+(** The schedule whose makespan {!expected_makespan} computes: checkpointed
+    sources by increasing {!order_key} under [model] (default: a vanishing
+    failure rate, i.e. the [r/(w+c)] limit key), then the other sources and
+    the sink. *)
+
+type solution = { ckpt : bool array; makespan : float }
+
+val solve_uniform_costs :
+  Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> solution
+(** Corollary 1: polynomial-time optimum when every source has the same
+    checkpoint cost and the same recovery cost.
+
+    @raise Invalid_argument if the DAG is not a join or costs are not
+    uniform across sources. *)
+
+val solve_exact : Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> solution
+(** Exhaustive search over all checkpoint subsets (exponential; guarded to at
+    most 20 sources). Used to validate the structure results. *)
+
+val zero_recovery_makespan :
+  Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> ckpt:bool array -> float
+(** Corollary 2's closed form; only valid when every [r_i = 0].
+
+    @raise Invalid_argument if some flagged source has [r_i <> 0]. *)

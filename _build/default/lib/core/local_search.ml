@@ -1,0 +1,46 @@
+type result = {
+  schedule : Schedule.t;
+  makespan : float;
+  initial_makespan : float;
+  evaluations : int;
+  flips : int;
+}
+
+let improve ?(max_evaluations = 4000) model g seed =
+  let n = Schedule.n_tasks seed in
+  let flags = Array.init n (Schedule.is_checkpointed seed) in
+  let order = Array.init n (Schedule.task_at seed) in
+  let evaluations = ref 0 in
+  let evaluate () =
+    incr evaluations;
+    Evaluator.expected_makespan model g
+      (Schedule.make g ~order ~checkpointed:flags)
+  in
+  let initial_makespan = evaluate () in
+  let best = ref initial_makespan in
+  let flips = ref 0 in
+  let improved = ref true in
+  while !improved && !evaluations < max_evaluations do
+    improved := false;
+    (* sweep in execution order: early flags influence everything after *)
+    Array.iter
+      (fun v ->
+        if !evaluations < max_evaluations then begin
+          flags.(v) <- not flags.(v);
+          let m = evaluate () in
+          if m < !best -. (1e-12 *. Float.abs !best) then begin
+            best := m;
+            incr flips;
+            improved := true
+          end
+          else flags.(v) <- not flags.(v)
+        end)
+      order
+  done;
+  {
+    schedule = Schedule.make g ~order ~checkpointed:flags;
+    makespan = !best;
+    initial_makespan;
+    evaluations = !evaluations;
+    flips = !flips;
+  }

@@ -1,0 +1,28 @@
+(** Local-search refinement of checkpoint placements (an extension beyond
+    the paper, enabled by the cheap Theorem 3 evaluator).
+
+    The paper's searched strategies constrain the checkpoint set to a
+    one-parameter family (top-N under some criterion). Hill climbing over
+    single checkpoint flips explores the full lattice of subsets around a
+    seed schedule and quantifies how much the one-parameter restriction
+    costs; the ablation bench reports the gain over each seed heuristic. *)
+
+type result = {
+  schedule : Schedule.t;  (** the improved schedule (same task order) *)
+  makespan : float;
+  initial_makespan : float;
+  evaluations : int;  (** evaluator calls consumed *)
+  flips : int;  (** accepted flag flips *)
+}
+
+val improve :
+  ?max_evaluations:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Schedule.t ->
+  result
+(** [improve model g s] performs first-improvement hill climbing on the
+    checkpoint flags of [s] (the linearization is kept): repeatedly sweep all
+    tasks, flip any single flag that lowers the expected makespan, until a
+    full sweep yields no improvement or [max_evaluations] (default [4000])
+    evaluator calls have been spent. The result never degrades the seed. *)

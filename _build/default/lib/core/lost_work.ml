@@ -1,0 +1,48 @@
+type t = { lost : float array array (* lost.(k).(i), 0 <= k <= i < n *) }
+
+let n_positions t = Array.length t.lost
+
+let compute g sched =
+  let n = Schedule.n_tasks sched in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun p v -> pos.(v) <- p) sched.Schedule.order;
+  let weight = Array.init n (fun v -> (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight) in
+  let recovery =
+    Array.init n (fun v -> (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost)
+  in
+  let lost = Array.init n (fun k -> Array.make (n - k) 0.) in
+  (* [replayed] is reset for each k: a task charged at some position is in
+     memory for all later positions (no further failure until X_i ends). *)
+  let replayed = Array.make n false in
+  for k = 0 to n - 1 do
+    Array.fill replayed 0 n false;
+    for i = k to n - 1 do
+      let acc = ref 0. in
+      let rec visit v =
+        Array.iter
+          (fun u ->
+            (* predecessors at positions >= k ran after the last failure, so
+               their output is in memory *)
+            if pos.(u) < k && not replayed.(u) then begin
+              replayed.(u) <- true;
+              if Schedule.is_checkpointed sched u then
+                acc := !acc +. recovery.(u)
+              else begin
+                acc := !acc +. weight.(u);
+                visit u
+              end
+            end)
+          (Wfc_dag.Dag.preds_array g v)
+      in
+      visit (Schedule.task_at sched i);
+      lost.(k).(i - k) <- !acc
+    done
+  done;
+  { lost }
+
+let replay_time t ~last_fault:k ~position:i =
+  let n = n_positions t in
+  if k < -1 || i < 0 || i >= n || k > i then
+    invalid_arg
+      (Printf.sprintf "Lost_work.replay_time: invalid pair k=%d i=%d" k i);
+  if k = -1 then 0. else t.lost.(k).(i - k)

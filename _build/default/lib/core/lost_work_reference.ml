@@ -1,0 +1,72 @@
+(* Faithful port of the paper's Algorithm 1. Indices are schedule positions
+   (the paper renumbers tasks by execution order); [tab.(i).(j)] takes the
+   published sentinel values: -1 unvisited, 0 out of every future set, 1 lost
+   non-checkpointed member of T↓k_i, 2 lost checkpointed member. *)
+
+let preds_positions g sched pos l =
+  Array.map (fun u -> pos.(u)) (Wfc_dag.Dag.preds_array g (Schedule.task_at sched l))
+
+let run_tab g sched ~k =
+  let n = Schedule.n_tasks sched in
+  if k < 0 || k >= n then invalid_arg "Lost_work_reference: k out of range";
+  let pos = Array.make n (-1) in
+  Array.iteri (fun p v -> pos.(v) <- p) sched.Schedule.order;
+  let tab = Array.make_matrix n n (-1) in
+  let ckpt_at p = Schedule.is_checkpointed sched (Schedule.task_at sched p) in
+  let rec traverse l i =
+    Array.iter
+      (fun j ->
+        match tab.(i).(j) with
+        | 0 | 1 | 2 -> ()
+        | -1 ->
+            for r = i + 1 to n - 1 do
+              tab.(r).(j) <- 0
+            done;
+            if j < k then
+              if ckpt_at j then tab.(i).(j) <- 2
+              else begin
+                tab.(i).(j) <- 1;
+                traverse j i
+              end
+            else tab.(i).(j) <- 0
+        | _ -> assert false)
+      (preds_positions g sched pos l)
+  in
+  for i = k to n - 1 do
+    traverse i i
+  done;
+  tab
+
+let find_wik_rik g sched ~k =
+  let n = Schedule.n_tasks sched in
+  let tab = run_tab g sched ~k in
+  let w = Array.make n 0. and r = Array.make n 0. in
+  for i = k to n - 1 do
+    for j = 0 to k - 1 do
+      let t = Wfc_dag.Dag.task g (Schedule.task_at sched j) in
+      match tab.(i).(j) with
+      | 1 -> w.(i) <- w.(i) +. t.Wfc_dag.Task.weight
+      | 2 -> r.(i) <- r.(i) +. t.Wfc_dag.Task.recovery_cost
+      | _ -> ()
+    done
+  done;
+  (w, r)
+
+let replay_sets g sched ~k =
+  let n = Schedule.n_tasks sched in
+  let tab = run_tab g sched ~k in
+  Array.init n (fun i ->
+      if i < k then []
+      else
+        List.filter_map
+          (fun j ->
+            match tab.(i).(j) with
+            | 1 | 2 -> Some (Schedule.task_at sched j)
+            | _ -> None)
+          (List.init k Fun.id))
+
+let replay_time g sched ~last_fault:k ~position:i =
+  if k = -1 then 0.
+  else
+    let w, r = find_wik_rik g sched ~k in
+    w.(i) +. r.(i)

@@ -1,0 +1,22 @@
+(** Literal transcription of Algorithm 1 ([FindWikRik]) from the paper.
+
+    Kept as an executable specification: it materializes the full [tab_k]
+    bookkeeping table exactly as published (hence [O(n^3)] per call and
+    [O(n^4)] overall) and additionally exposes the sets [T↓k_i] themselves.
+    The production implementation is {!Lost_work}; the test suite checks that
+    both agree on every pair [(k, i)]. Use only on small schedules. *)
+
+val find_wik_rik :
+  Wfc_dag.Dag.t -> Schedule.t -> k:int -> float array * float array
+(** [find_wik_rik g s ~k] returns [(w, r)] where, for every position
+    [i >= k], [w.(i) = W^i_k] (lost non-checkpointed work) and
+    [r.(i) = R^i_k] (recovery time of lost checkpointed tasks). Entries below
+    [k] are [0.]. Positions are schedule positions, matching the paper's
+    renumbering. *)
+
+val replay_sets : Wfc_dag.Dag.t -> Schedule.t -> k:int -> int list array
+(** [replay_sets g s ~k] gives, for each position [i >= k], the set
+    [T↓k_i] as a list of task ids (not positions). *)
+
+val replay_time : Wfc_dag.Dag.t -> Schedule.t -> last_fault:int -> position:int -> float
+(** Same contract as {!Lost_work.replay_time}, recomputed from scratch. *)

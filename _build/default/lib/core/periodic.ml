@@ -1,0 +1,86 @@
+let check_inputs m ~checkpoint name =
+  if m.Wfc_platform.Failure_model.lambda = 0. then
+    invalid_arg (Printf.sprintf "Periodic.%s: failure-free platform" name);
+  if not (checkpoint > 0.) then
+    invalid_arg (Printf.sprintf "Periodic.%s: checkpoint must be positive" name)
+
+let young_period m ~checkpoint =
+  check_inputs m ~checkpoint "young_period";
+  Float.sqrt (2. *. checkpoint /. m.Wfc_platform.Failure_model.lambda)
+
+let daly_period m ~checkpoint =
+  check_inputs m ~checkpoint "daly_period";
+  let mtbf = 1. /. m.Wfc_platform.Failure_model.lambda in
+  let p =
+    Float.sqrt (2. *. checkpoint *. (mtbf +. m.Wfc_platform.Failure_model.downtime))
+    -. checkpoint
+  in
+  Float.max checkpoint p
+
+(* Expected time of [k] equal segments of [work /. k] seconds: a checkpoint
+   after every segment but the last, recovery before every retry but within
+   the first segment (a restart from scratch re-executes from the start). *)
+let equal_segments m ~work ~checkpoint ~recovery k =
+  let seg = work /. float_of_int k in
+  let e = Wfc_platform.Failure_model.expected_exec_time m in
+  let total = ref 0. in
+  for i = 1 to k do
+    let c = if i < k then checkpoint else 0. in
+    let r = if i = 1 then 0. else recovery in
+    total := !total +. e ~work:seg ~checkpoint:c ~recovery:r
+  done;
+  !total
+
+let expected_time_divisible m ~work ~checkpoint ~recovery ~period =
+  if not (work > 0.) then
+    invalid_arg "Periodic.expected_time_divisible: work must be positive";
+  if not (period > 0.) then
+    invalid_arg "Periodic.expected_time_divisible: period must be positive";
+  let e = Wfc_platform.Failure_model.expected_exec_time m in
+  let n_full = int_of_float (work /. period) in
+  let remainder = work -. (float_of_int n_full *. period) in
+  let remainder = if remainder < 1e-9 *. period then 0. else remainder in
+  let total = ref 0. in
+  let segments =
+    (* lengths of the segments, last one unchecked *)
+    List.init n_full (fun _ -> period) @ (if remainder > 0. then [ remainder ] else [])
+  in
+  List.iteri
+    (fun i seg ->
+      let last = i = List.length segments - 1 in
+      let c = if last then 0. else checkpoint in
+      let r = if i = 0 then 0. else recovery in
+      total := !total +. e ~work:seg ~checkpoint:c ~recovery:r)
+    segments;
+  !total
+
+let optimal_period m ~work ~checkpoint ~recovery =
+  if not (work > 0.) then
+    invalid_arg "Periodic.optimal_period: work must be positive";
+  check_inputs m ~checkpoint "optimal_period";
+  let eval k = equal_segments m ~work ~checkpoint ~recovery k in
+  (* bracket the (unimodal) optimum by doubling, then refine by integer
+     ternary search *)
+  let rec bracket k best =
+    if k > 1 lsl 24 then k
+    else
+      let v = eval k in
+      if v > best then k else bracket (k * 2) v
+  in
+  let hi = bracket 2 (eval 1) in
+  let lo = Int.max 1 (hi / 4) in
+  let rec ternary lo hi =
+    if hi - lo <= 2 then begin
+      let best = ref lo in
+      for k = lo + 1 to hi do
+        if eval k < eval !best then best := k
+      done;
+      !best
+    end
+    else
+      let m1 = lo + ((hi - lo) / 3) in
+      let m2 = hi - ((hi - lo) / 3) in
+      if eval m1 <= eval m2 then ternary lo m2 else ternary m1 hi
+  in
+  let k = ternary lo hi in
+  work /. float_of_int k

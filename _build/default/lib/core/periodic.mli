@@ -1,0 +1,46 @@
+(** Classical periodic-checkpointing theory for divisible work.
+
+    The paper's CkptPer heuristic transplants the periodic approach of Young
+    [2] and Daly [3] onto DAG schedules. This module provides the classical
+    results themselves, both as a baseline to compare CkptPer's searched
+    period against and as the exact optimum for divisible (infinitely
+    splittable) work under the failure model of Equation (1). *)
+
+val young_period : Wfc_platform.Failure_model.t -> checkpoint:float -> float
+(** Young's first-order approximation [sqrt (2 c / lambda)].
+
+    @raise Invalid_argument if [lambda = 0] or [checkpoint <= 0]. *)
+
+val daly_period : Wfc_platform.Failure_model.t -> checkpoint:float -> float
+(** Daly's higher-order estimate
+    [sqrt (2 c (1/lambda + D)) - c], clamped below at [Young]'s small-c
+    validity bound; reduces to Young's period for [D = 0] and small [c
+    lambda].
+
+    @raise Invalid_argument if [lambda = 0] or [checkpoint <= 0]. *)
+
+val expected_time_divisible :
+  Wfc_platform.Failure_model.t ->
+  work:float ->
+  checkpoint:float ->
+  recovery:float ->
+  period:float ->
+  float
+(** [expected_time_divisible m ~work ~checkpoint ~recovery ~period] is the
+    exact expected completion time of [work] seconds of divisible load split
+    into segments of [period] seconds, each followed by a checkpoint, with
+    recovery before each retry: [ceil (work / period)] segments evaluated by
+    Equation (1). The trailing segment is shorter and skips the final
+    checkpoint.
+
+    @raise Invalid_argument if [work <= 0] or [period <= 0]. *)
+
+val optimal_period :
+  Wfc_platform.Failure_model.t ->
+  work:float ->
+  checkpoint:float ->
+  recovery:float ->
+  float
+(** Numerically optimal period for {!expected_time_divisible} (golden-section
+    search over the segment count); the reference against which Young and
+    Daly are first-order approximations. *)

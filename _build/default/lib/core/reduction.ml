@@ -1,0 +1,96 @@
+type instance = {
+  dag : Wfc_dag.Dag.t;
+  model : Wfc_platform.Failure_model.t;
+  target : int;
+  weights : int array;
+  threshold : float;
+}
+
+let build ~weights ~target =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Reduction.build: no weights";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "Reduction.build: weights must be positive")
+    weights;
+  if target <= 0 then invalid_arg "Reduction.build: target must be positive";
+  let min_w = Array.fold_left Int.min weights.(0) weights in
+  let lambda = 1. /. float_of_int min_w in
+  let x = float_of_int target in
+  let checkpoint_cost i _ =
+    let w = float_of_int weights.(i) in
+    let c = x -. w +. (Float.log ((lambda *. w) +. Float.exp (-.lambda *. x)) /. lambda) in
+    if c <= 0. then
+      invalid_arg
+        (Printf.sprintf
+           "Reduction.build: instance yields non-positive c_%d = %g \
+            (choose a target at least as large as the weights)"
+           i c)
+    else c
+  in
+  let source_weights = Array.map float_of_int weights in
+  let dag =
+    (* join DAG: sources 0..n-1, sink n with zero weight; r_i = 0 *)
+    let tasks =
+      Array.init (n + 1) (fun id ->
+          if id < n then
+            Wfc_dag.Task.make ~id ~weight:source_weights.(id)
+              ~checkpoint_cost:(checkpoint_cost id source_weights.(id))
+              ()
+          else Wfc_dag.Task.make ~id ~weight:0. ())
+    in
+    Wfc_dag.Dag.create ~tasks ~edges:(List.init n (fun i -> (i, n)))
+  in
+  let model = Wfc_platform.Failure_model.make ~lambda () in
+  let s = Array.fold_left (fun acc w -> acc +. float_of_int w) 0. weights in
+  let threshold =
+    (lambda *. Float.exp (lambda *. x) *. (s -. x)) +. Float.expm1 (lambda *. x)
+  in
+  { dag; model; target; weights; threshold }
+
+let normalized_makespan inst ~not_checkpointed =
+  let n = Array.length inst.weights in
+  if Array.length not_checkpointed <> n then
+    invalid_arg "Reduction.normalized_makespan: flag size mismatch";
+  let ckpt =
+    Array.init (n + 1) (fun v -> v < n && not not_checkpointed.(v))
+  in
+  let lambda = inst.model.Wfc_platform.Failure_model.lambda in
+  Join_solver.zero_recovery_makespan inst.model inst.dag ~ckpt
+  /. ((1. /. lambda) +. inst.model.Wfc_platform.Failure_model.downtime)
+
+let meets_threshold inst ~not_checkpointed =
+  let m = normalized_makespan inst ~not_checkpointed in
+  m <= inst.threshold +. (1e-9 *. Float.max 1. inst.threshold)
+
+let solve_subset_sum ~weights ~target =
+  let n = Array.length weights in
+  if n > 24 then invalid_arg "Reduction.solve_subset_sum: too many items";
+  if target < 0 then None
+  else begin
+    (* classic reachability DP with witness reconstruction *)
+    let reach = Array.make (target + 1) (-2) in
+    (* reach.(s) = index of the last item used to first reach sum s,
+       -1 for the empty sum, -2 for unreachable *)
+    reach.(0) <- -1;
+    Array.iteri
+      (fun i w ->
+        if w <= target then
+          for s = target - w downto 0 do
+            if reach.(s) <> -2 && reach.(s + w) = -2 && reach.(s) < i then
+              reach.(s + w) <- i
+          done)
+      weights;
+    if reach.(target) = -2 then None
+    else begin
+      let flags = Array.make n false in
+      let rec unwind s =
+        match reach.(s) with
+        | -1 -> ()
+        | i ->
+            flags.(i) <- true;
+            unwind (s - weights.(i))
+      in
+      unwind target;
+      Some flags
+    end
+  end

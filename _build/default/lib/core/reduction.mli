@@ -1,0 +1,41 @@
+(** The SUBSET-SUM reduction behind Theorem 2 (NP-completeness for joins).
+
+    Given positive integers [w_1..w_n] and a target [X], the paper builds a
+    join DAG with [w_i = w_i], [r_i = 0],
+    [c_i = (X - w_i) + ln(lambda w_i + e^{-lambda X}) / lambda] and a
+    zero-weight sink, for any [lambda >= 1 / min_i w_i]. The normalized
+    expected makespan of a schedule that does {e not} checkpoint the subset
+    [I] equals [lambda e^{lambda X} (S - W) + e^{lambda W} - 1] with
+    [W = sum_{i in I} w_i]; it reaches the threshold
+    [t_min = lambda e^{lambda X} (S - X) + e^{lambda X} - 1] exactly when
+    [W = X]. Hence deciding DAG-ChkptSched on joins decides SUBSET-SUM. *)
+
+type instance = private {
+  dag : Wfc_dag.Dag.t;  (** the join DAG of the reduction *)
+  model : Wfc_platform.Failure_model.t;
+  target : int;  (** the SUBSET-SUM target [X] *)
+  weights : int array;  (** the SUBSET-SUM integers *)
+  threshold : float;  (** [t_min] *)
+}
+
+val build : weights:int array -> target:int -> instance
+(** [build ~weights ~target] constructs the reduction instance with
+    [lambda = 1 /. min weights].
+
+    @raise Invalid_argument on empty or non-positive weights, or a
+    non-positive target. *)
+
+val normalized_makespan : instance -> not_checkpointed:bool array -> float
+(** The quantity the proof of Theorem 2 bounds: the expected makespan of the
+    schedule leaving the flagged sources unprotected, divided by
+    [1/lambda + D]. Flags are indexed by source id [0..n-1]. *)
+
+val meets_threshold : instance -> not_checkpointed:bool array -> bool
+(** Whether the schedule's normalized makespan is within [1e-9] of
+    [threshold] (the minimum is attained only at exact subset sums, so this
+    decides the SUBSET-SUM instance). *)
+
+val solve_subset_sum : weights:int array -> target:int -> bool array option
+(** Reference exponential solver for SUBSET-SUM (guarded to 24 items),
+    returning a witness subset if one exists. Used by tests to confirm the
+    equivalence both ways. *)

@@ -1,0 +1,55 @@
+type t = { order : int array; checkpointed : bool array }
+
+let make g ~order ~checkpointed =
+  if not (Wfc_dag.Dag.is_linearization g order) then
+    invalid_arg "Schedule.make: order is not a linearization of the DAG";
+  if Array.length checkpointed <> Wfc_dag.Dag.n_tasks g then
+    invalid_arg "Schedule.make: checkpoint flags have the wrong size";
+  { order = Array.copy order; checkpointed = Array.copy checkpointed }
+
+let of_positions g ~order ~ckpt_positions =
+  let n = Array.length order in
+  let checkpointed = Array.make n false in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then
+        invalid_arg "Schedule.of_positions: position out of range";
+      checkpointed.(order.(p)) <- true)
+    ckpt_positions;
+  make g ~order ~checkpointed
+
+let n_tasks s = Array.length s.order
+let task_at s p = s.order.(p)
+
+let position_of s v =
+  let n = n_tasks s in
+  let rec find p = if p >= n then raise Not_found else
+      if s.order.(p) = v then p else find (p + 1)
+  in
+  find 0
+
+let is_checkpointed s v = s.checkpointed.(v)
+
+let checkpoint_count s =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s.checkpointed
+
+let checkpointed_tasks s =
+  List.filter (fun v -> s.checkpointed.(v)) (Array.to_list s.order)
+
+let with_checkpoints s flags =
+  if Array.length flags <> n_tasks s then
+    invalid_arg "Schedule.with_checkpoints: size mismatch";
+  { order = s.order; checkpointed = Array.copy flags }
+
+let no_checkpoints g ~order =
+  make g ~order ~checkpointed:(Array.make (Wfc_dag.Dag.n_tasks g) false)
+
+let all_checkpoints g ~order =
+  make g ~order ~checkpointed:(Array.make (Wfc_dag.Dag.n_tasks g) true)
+
+let pp ppf s =
+  Array.iteri
+    (fun p v ->
+      if p > 0 then Format.pp_print_char ppf ' ';
+      Format.fprintf ppf "T%d%s" v (if s.checkpointed.(v) then "*" else ""))
+    s.order

@@ -1,0 +1,51 @@
+(** Schedules: a linearization of the DAG plus checkpoint decisions.
+
+    Following the paper, a schedule fully determines the fault-tolerant
+    execution: tasks run in linearization order on the whole platform, the
+    flagged tasks checkpoint their output on completion, and recovery after a
+    failure replays the lost, still-needed part of the schedule from the most
+    recent checkpoints. *)
+
+type t = private {
+  order : int array;  (** [order.(p)] is the task executed at position [p] *)
+  checkpointed : bool array;  (** indexed by task id, not by position *)
+}
+
+val make : Wfc_dag.Dag.t -> order:int array -> checkpointed:bool array -> t
+(** [make g ~order ~checkpointed] validates that [order] is a linearization
+    of [g] (see {!Wfc_dag.Dag.is_linearization}) and that [checkpointed] has
+    one flag per task.
+
+    @raise Invalid_argument otherwise. The arrays are copied. *)
+
+val of_positions :
+  Wfc_dag.Dag.t -> order:int array -> ckpt_positions:int list -> t
+(** Same, with checkpoints given as positions in the linearization instead of
+    task ids. *)
+
+val n_tasks : t -> int
+
+val task_at : t -> int -> int
+(** [task_at s p] is the task executed at position [p]. *)
+
+val position_of : t -> int -> int
+(** [position_of s v] is the position of task [v]; inverse of {!task_at}. *)
+
+val is_checkpointed : t -> int -> bool
+(** [is_checkpointed s v] tells whether {e task} [v] checkpoints its
+    output. *)
+
+val checkpoint_count : t -> int
+
+val checkpointed_tasks : t -> int list
+(** Ids of checkpointed tasks, in execution order. *)
+
+val with_checkpoints : t -> bool array -> t
+(** Replace the checkpoint flags (indexed by task id).
+    @raise Invalid_argument on size mismatch. *)
+
+val no_checkpoints : Wfc_dag.Dag.t -> order:int array -> t
+val all_checkpoints : Wfc_dag.Dag.t -> order:int array -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. ["T0 T3* T1 T2 T4*"] where [*] marks checkpointed tasks. *)

@@ -1,0 +1,1 @@
+lib/dag/builders.ml: Array Dag Hashtbl List

@@ -1,0 +1,1 @@
+lib/dag/builders.mli: Dag

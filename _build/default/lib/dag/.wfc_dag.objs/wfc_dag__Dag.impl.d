@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Float Format Fun Hashtbl Int List Printf Set Task

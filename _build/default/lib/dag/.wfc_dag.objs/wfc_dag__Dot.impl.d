@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Array Buffer Dag Fun List Printf Task

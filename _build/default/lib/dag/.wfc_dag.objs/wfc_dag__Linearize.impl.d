@@ -1,0 +1,1 @@
+lib/dag/linearize.ml: Array Dag Float Fun Int List Random Set String

@@ -1,0 +1,1 @@
+lib/dag/linearize.mli: Dag

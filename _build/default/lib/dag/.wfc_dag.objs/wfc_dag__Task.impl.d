@@ -1,0 +1,1 @@
+lib/dag/task.ml: Float Format Int String

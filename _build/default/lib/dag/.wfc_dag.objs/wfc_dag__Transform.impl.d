@@ -1,0 +1,1 @@
+lib/dag/transform.ml: Array Dag Hashtbl List String Task

@@ -1,0 +1,1 @@
+lib/dag/transform.mli: Dag Task

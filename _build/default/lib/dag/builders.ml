@@ -1,0 +1,81 @@
+type cost_fn = int -> float -> float
+
+let zero_cost _ _ = 0.
+
+let build ?(checkpoint_cost = zero_cost) ?(recovery_cost = zero_cost) weights
+    edges =
+  Dag.of_weights ~checkpoint_cost ~recovery_cost ~weights ~edges ()
+
+let chain ?checkpoint_cost ?recovery_cost ~weights () =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Builders.chain: empty chain";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  build ?checkpoint_cost ?recovery_cost weights edges
+
+let fork ?checkpoint_cost ?recovery_cost ~source_weight ~sink_weights () =
+  let n = Array.length sink_weights in
+  if n = 0 then invalid_arg "Builders.fork: no sink tasks";
+  let weights = Array.append [| source_weight |] sink_weights in
+  let edges = List.init n (fun i -> (0, i + 1)) in
+  build ?checkpoint_cost ?recovery_cost weights edges
+
+let join ?checkpoint_cost ?recovery_cost ~source_weights ~sink_weight () =
+  let n = Array.length source_weights in
+  if n = 0 then invalid_arg "Builders.join: no source tasks";
+  let weights = Array.append source_weights [| sink_weight |] in
+  let edges = List.init n (fun i -> (i, n)) in
+  build ?checkpoint_cost ?recovery_cost weights edges
+
+let fork_join ?checkpoint_cost ?recovery_cost ~source_weight ~middle_weights
+    ~sink_weight () =
+  let n = Array.length middle_weights in
+  if n = 0 then invalid_arg "Builders.fork_join: no middle tasks";
+  let weights =
+    Array.concat [ [| source_weight |]; middle_weights; [| sink_weight |] ]
+  in
+  let edges =
+    List.init n (fun i -> (0, i + 1))
+    @ List.init n (fun i -> (i + 1, n + 1))
+  in
+  build ?checkpoint_cost ?recovery_cost weights edges
+
+let diamond ?checkpoint_cost ?recovery_cost ~width () =
+  if width <= 0 then invalid_arg "Builders.diamond: width must be positive";
+  fork_join ?checkpoint_cost ?recovery_cost ~source_weight:1.
+    ~middle_weights:(Array.make width 1.) ~sink_weight:1. ()
+
+let layered ~rand ~n_layers ~layer_width ~weight ?checkpoint_cost
+    ?recovery_cost ?(edge_density = 3) () =
+  if n_layers <= 0 then
+    invalid_arg "Builders.layered: n_layers must be positive";
+  if edge_density <= 0 then
+    invalid_arg "Builders.layered: edge_density must be positive";
+  (* First vertex ids of each layer. *)
+  let widths =
+    Array.init n_layers (fun l ->
+        let w = layer_width l in
+        if w < 1 then invalid_arg "Builders.layered: empty layer";
+        w)
+  in
+  let offsets = Array.make n_layers 0 in
+  for l = 1 to n_layers - 1 do
+    offsets.(l) <- offsets.(l - 1) + widths.(l - 1)
+  done;
+  let n = offsets.(n_layers - 1) + widths.(n_layers - 1) in
+  let weights = Array.init n weight in
+  let edges = ref [] in
+  for l = 0 to n_layers - 2 do
+    for j = 0 to widths.(l + 1) - 1 do
+      let v = offsets.(l + 1) + j in
+      let k = 1 + rand edge_density in
+      let chosen = Hashtbl.create k in
+      for _ = 1 to k do
+        let u = offsets.(l) + rand widths.(l) in
+        if not (Hashtbl.mem chosen u) then begin
+          Hashtbl.add chosen u ();
+          edges := (u, v) :: !edges
+        end
+      done
+    done
+  done;
+  build ?checkpoint_cost ?recovery_cost weights !edges

@@ -1,0 +1,66 @@
+(** Structured DAG constructors used by the theory (chains, forks, joins) and
+    by the test suites (layered random DAGs).
+
+    All constructors accept per-task weights and optional cost callbacks of
+    the form [fun id weight -> cost], defaulting to zero costs. *)
+
+type cost_fn = int -> float -> float
+
+val chain :
+  ?checkpoint_cost:cost_fn ->
+  ?recovery_cost:cost_fn ->
+  weights:float array ->
+  unit ->
+  Dag.t
+(** Linear chain [T0 -> T1 -> ... -> T(n-1)]. Needs at least one task. *)
+
+val fork :
+  ?checkpoint_cost:cost_fn ->
+  ?recovery_cost:cost_fn ->
+  source_weight:float ->
+  sink_weights:float array ->
+  unit ->
+  Dag.t
+(** Fork DAG: task 0 is the source; tasks [1..n] are its independent
+    successors (Section 4.1.1 of the paper). *)
+
+val join :
+  ?checkpoint_cost:cost_fn ->
+  ?recovery_cost:cost_fn ->
+  source_weights:float array ->
+  sink_weight:float ->
+  unit ->
+  Dag.t
+(** Join DAG: tasks [0..n-1] are independent sources; task [n] is the single
+    sink consuming all of them (Section 4.1.2 of the paper). *)
+
+val fork_join :
+  ?checkpoint_cost:cost_fn ->
+  ?recovery_cost:cost_fn ->
+  source_weight:float ->
+  middle_weights:float array ->
+  sink_weight:float ->
+  unit ->
+  Dag.t
+(** Source, a layer of independent tasks, and a sink. *)
+
+val diamond :
+  ?checkpoint_cost:cost_fn -> ?recovery_cost:cost_fn -> width:int -> unit ->
+  Dag.t
+(** Unit-weight fork-join of the given middle-layer width (testing helper). *)
+
+val layered :
+  rand:(int -> int) ->
+  n_layers:int ->
+  layer_width:(int -> int) ->
+  weight:(int -> float) ->
+  ?checkpoint_cost:cost_fn ->
+  ?recovery_cost:cost_fn ->
+  ?edge_density:int ->
+  unit ->
+  Dag.t
+(** [layered ~rand ~n_layers ~layer_width ~weight ()] builds a random layered
+    DAG: layer [l] has [layer_width l >= 1] vertices and every vertex of
+    layer [l+1] receives between 1 and [edge_density] (default 3) edges from
+    uniformly drawn vertices of layer [l]. [rand b] must return a uniform
+    integer in [\[0, b)]; [weight id] gives each task weight. *)

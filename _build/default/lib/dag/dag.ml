@@ -1,0 +1,228 @@
+type t = {
+  tasks : Task.t array;
+  succs : int array array;
+  preds : int array array;
+  n_edges : int;
+}
+
+let n_tasks g = Array.length g.tasks
+let n_edges g = g.n_edges
+
+let check_index g i name =
+  if i < 0 || i >= n_tasks g then
+    invalid_arg (Printf.sprintf "Dag.%s: index %d out of range" name i)
+
+let task g i =
+  check_index g i "task";
+  g.tasks.(i)
+
+let tasks g = Array.copy g.tasks
+
+let succs_array g i =
+  check_index g i "succs_array";
+  g.succs.(i)
+
+let preds_array g i =
+  check_index g i "preds_array";
+  g.preds.(i)
+
+let succs g i = Array.to_list (succs_array g i)
+let preds g i = Array.to_list (preds_array g i)
+
+let edges g =
+  let acc = ref [] in
+  for u = n_tasks g - 1 downto 0 do
+    let s = g.succs.(u) in
+    for k = Array.length s - 1 downto 0 do
+      acc := (u, s.(k)) :: !acc
+    done
+  done;
+  !acc
+
+let is_edge g u v =
+  check_index g u "is_edge";
+  check_index g v "is_edge";
+  Array.exists (Int.equal v) g.succs.(u)
+
+let in_degree g i = Array.length (preds_array g i)
+let out_degree g i = Array.length (succs_array g i)
+
+let sources g =
+  List.filter (fun i -> in_degree g i = 0) (List.init (n_tasks g) Fun.id)
+
+let sinks g =
+  List.filter (fun i -> out_degree g i = 0) (List.init (n_tasks g) Fun.id)
+
+(* Kahn's algorithm; raises if a cycle prevents scheduling every vertex. The
+   ready set is a priority structure keyed by vertex id so the order is
+   deterministic. *)
+let topological_order g =
+  let n = n_tasks g in
+  let indeg = Array.init n (fun i -> in_degree g i) in
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then ready := Iset.add i !ready
+  done;
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let v = Iset.min_elt !ready in
+    ready := Iset.remove v !ready;
+    order.(!count) <- v;
+    incr count;
+    Array.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then ready := Iset.add s !ready)
+      g.succs.(v)
+  done;
+  if !count < n then invalid_arg "Dag: graph has a cycle";
+  order
+
+let create ~tasks ~edges =
+  let n = Array.length tasks in
+  if n = 0 then invalid_arg "Dag.create: empty task array";
+  Array.iteri
+    (fun i (t : Task.t) ->
+      if t.Task.id <> i then
+        invalid_arg
+          (Printf.sprintf "Dag.create: tasks.(%d) has id %d" i t.Task.id))
+    tasks;
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Dag.create: edge (%d,%d) out of range" u v);
+      if u = v then
+        invalid_arg (Printf.sprintf "Dag.create: self-loop on %d" u);
+      if Hashtbl.mem seen (u, v) then
+        invalid_arg (Printf.sprintf "Dag.create: duplicate edge (%d,%d)" u v);
+      Hashtbl.add seen (u, v) ())
+    edges;
+  let succ_lists = Array.make n [] and pred_lists = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      succ_lists.(u) <- v :: succ_lists.(u);
+      pred_lists.(v) <- u :: pred_lists.(v))
+    edges;
+  let sorted l = Array.of_list (List.sort_uniq Int.compare l) in
+  let g =
+    {
+      tasks = Array.copy tasks;
+      succs = Array.map sorted succ_lists;
+      preds = Array.map sorted pred_lists;
+      n_edges = List.length edges;
+    }
+  in
+  ignore (topological_order g);
+  g
+
+let of_weights ?(checkpoint_cost = fun _ _ -> 0.)
+    ?(recovery_cost = fun _ _ -> 0.) ~weights ~edges () =
+  let tasks =
+    Array.mapi
+      (fun i w ->
+        Task.make ~id:i ~weight:w ~checkpoint_cost:(checkpoint_cost i w)
+          ~recovery_cost:(recovery_cost i w) ())
+      weights
+  in
+  create ~tasks ~edges
+
+let map_tasks f g =
+  let tasks =
+    Array.mapi
+      (fun i t ->
+        let t' = f t in
+        if t'.Task.id <> i then
+          invalid_arg "Dag.map_tasks: callback changed a task id";
+        t')
+      g.tasks
+  in
+  { g with tasks }
+
+let weight g i = (task g i).Task.weight
+
+let total_weight g =
+  Array.fold_left (fun acc (t : Task.t) -> acc +. t.Task.weight) 0. g.tasks
+
+let outweight g i =
+  Array.fold_left
+    (fun acc s -> acc +. g.tasks.(s).Task.weight)
+    0. (succs_array g i)
+
+let is_linearization g order =
+  let n = n_tasks g in
+  Array.length order = n
+  &&
+  let pos = Array.make n (-1) in
+  let ok = ref true in
+  Array.iteri
+    (fun p v ->
+      if v < 0 || v >= n || pos.(v) >= 0 then ok := false else pos.(v) <- p)
+    order;
+  !ok
+  && Array.for_all (fun p -> p >= 0) pos
+  && List.for_all (fun (u, v) -> pos.(u) < pos.(v)) (edges g)
+
+let levels g =
+  let order = topological_order g in
+  let lvl = Array.make (n_tasks g) 0 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun p -> if lvl.(p) + 1 > lvl.(v) then lvl.(v) <- lvl.(p) + 1)
+        g.preds.(v))
+    order;
+  lvl
+
+let reachable adjacency g v =
+  check_index g v "reachable";
+  let n = n_tasks g in
+  let mark = Array.make n false in
+  let rec go u =
+    Array.iter
+      (fun x ->
+        if not mark.(x) then begin
+          mark.(x) <- true;
+          go x
+        end)
+      (adjacency u)
+  in
+  go v;
+  mark
+
+let ancestors g v = reachable (fun u -> g.preds.(u)) g v
+let descendants g v = reachable (fun u -> g.succs.(u)) g v
+
+let critical_path g =
+  let order = topological_order g in
+  let best = Array.make (n_tasks g) 0. in
+  let result = ref 0. in
+  Array.iter
+    (fun v ->
+      let from_preds =
+        Array.fold_left
+          (fun acc p -> Float.max acc best.(p))
+          0. g.preds.(v)
+      in
+      best.(v) <- from_preds +. weight g v;
+      if best.(v) > !result then result := best.(v))
+    order;
+  !result
+
+let pp_stats ppf g =
+  let n = n_tasks g in
+  let wmin = ref infinity and wmax = ref 0. in
+  Array.iter
+    (fun (t : Task.t) ->
+      if t.Task.weight < !wmin then wmin := t.Task.weight;
+      if t.Task.weight > !wmax then wmax := t.Task.weight)
+    g.tasks;
+  let depth = Array.fold_left Int.max 0 (levels g) in
+  Format.fprintf ppf
+    "dag: %d tasks, %d edges, depth %d, weight total %g (avg %g, min %g, max \
+     %g)"
+    n g.n_edges depth (total_weight g)
+    (total_weight g /. float_of_int n)
+    !wmin !wmax

@@ -1,0 +1,105 @@
+(** Directed acyclic graphs of workflow tasks.
+
+    A DAG couples an array of {!Task.t} (task [i] has [id = i]) with
+    precedence edges. Values of this type are immutable once created and all
+    structural invariants (valid ids, no self-loops, no duplicate edges,
+    acyclicity) are enforced by {!create}. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : tasks:Task.t array -> edges:(int * int) list -> t
+(** [create ~tasks ~edges] builds a DAG whose vertex [i] is [tasks.(i)] and
+    with an edge [(u, v)] for each pair in [edges], meaning [v] consumes the
+    output of [u].
+
+    @raise Invalid_argument if [tasks] is empty, if [tasks.(i).id <> i] for
+    some [i], if an edge endpoint is out of range, on self-loops or duplicate
+    edges, or if the graph has a cycle. *)
+
+val of_weights :
+  ?checkpoint_cost:(int -> float -> float) ->
+  ?recovery_cost:(int -> float -> float) ->
+  weights:float array ->
+  edges:(int * int) list ->
+  unit ->
+  t
+(** [of_weights ~weights ~edges ()] is a convenience wrapper building the
+    task array from raw weights. The cost callbacks receive the task id and
+    weight and default to [fun _ _ -> 0.]. *)
+
+val map_tasks : (Task.t -> Task.t) -> t -> t
+(** [map_tasks f g] applies [f] to every task, keeping the structure.
+
+    @raise Invalid_argument if [f] changes a task id. *)
+
+(** {1 Accessors} *)
+
+val n_tasks : t -> int
+val n_edges : t -> int
+
+val task : t -> int -> Task.t
+(** @raise Invalid_argument on out-of-range index. *)
+
+val tasks : t -> Task.t array
+(** Fresh copy of the task array. *)
+
+val edges : t -> (int * int) list
+(** All edges, sorted lexicographically. *)
+
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val succs_array : t -> int -> int array
+(** Borrowed internal array of successors of a vertex, in increasing order.
+    Callers must not mutate it; meant for allocation-free hot loops. *)
+
+val preds_array : t -> int -> int array
+(** Borrowed internal array of predecessors. Same caveat as
+    {!succs_array}. *)
+
+val is_edge : t -> int -> int -> bool
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+
+val sources : t -> int list
+(** Vertices with no predecessor (entry tasks), increasing order. *)
+
+val sinks : t -> int list
+(** Vertices with no successor (exit tasks), increasing order. *)
+
+(** {1 Weights} *)
+
+val weight : t -> int -> float
+val total_weight : t -> float
+
+val outweight : t -> int -> float
+(** Sum of the weights of the direct successors — the priority used by the
+    paper's list heuristics ([d_i] in the CkptD strategy). *)
+
+(** {1 Structure} *)
+
+val topological_order : t -> int array
+(** Deterministic topological order (Kahn's algorithm, smallest ready id
+    first). *)
+
+val is_linearization : t -> int array -> bool
+(** [is_linearization g order] checks that [order] is a permutation of
+    [0..n-1] that schedules every task after all of its predecessors. *)
+
+val levels : t -> int array
+(** [levels g] maps each vertex to its depth: 0 for sources, otherwise
+    [1 + max (levels of predecessors)]. *)
+
+val ancestors : t -> int -> bool array
+(** [ancestors g v] flags every strict ancestor of [v]. *)
+
+val descendants : t -> int -> bool array
+(** [descendants g v] flags every strict descendant of [v]. *)
+
+val critical_path : t -> float
+(** Weight of the heaviest path, including its endpoints. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: task/edge counts, weight statistics, depth. *)

@@ -1,0 +1,38 @@
+let to_dot ?(name = "workflow") ?(checkpointed = fun _ -> false)
+    ?highlight_order g =
+  let buf = Buffer.create 1024 in
+  let position =
+    match highlight_order with
+    | None -> fun _ -> None
+    | Some order ->
+        let pos = Array.make (Dag.n_tasks g) (-1) in
+        Array.iteri (fun p v -> pos.(v) <- p) order;
+        fun v -> if pos.(v) >= 0 then Some pos.(v) else None
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=ellipse];\n";
+  for v = 0 to Dag.n_tasks g - 1 do
+    let t = Dag.task g v in
+    let label =
+      let base = Printf.sprintf "%s\\nw=%g" t.Task.label t.Task.weight in
+      match position v with
+      | None -> base
+      | Some p -> Printf.sprintf "%s\\n#%d" base p
+    in
+    let style =
+      if checkpointed v then ", style=filled, fillcolor=gray80" else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v label style)
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    (Dag.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,15 @@
+(** Graphviz export of workflow DAGs, for inspection and documentation. *)
+
+val to_dot :
+  ?name:string ->
+  ?checkpointed:(int -> bool) ->
+  ?highlight_order:int array ->
+  Dag.t ->
+  string
+(** [to_dot g] renders [g] in DOT syntax. Checkpointed tasks (per the
+    [checkpointed] predicate) are drawn shaded, matching Figure 1 of the
+    paper. When [highlight_order] is given, each node label carries its
+    position in that linearization. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] writes [contents] to [path]. *)

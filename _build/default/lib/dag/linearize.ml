@@ -1,0 +1,147 @@
+type strategy =
+  | Depth_first
+  | Breadth_first
+  | Random_first
+  | Depth_first_blevel
+
+let all = [ Depth_first; Breadth_first; Random_first ]
+let extended = all @ [ Depth_first_blevel ]
+
+let strategy_name = function
+  | Depth_first -> "DF"
+  | Breadth_first -> "BF"
+  | Random_first -> "RF"
+  | Depth_first_blevel -> "DF-BL"
+
+let strategy_of_string s =
+  match String.uppercase_ascii s with
+  | "DF" -> Some Depth_first
+  | "BF" -> Some Breadth_first
+  | "RF" -> Some Random_first
+  | "DF-BL" | "DFBL" -> Some Depth_first_blevel
+  | _ -> None
+
+let priority g = Array.init (Dag.n_tasks g) (Dag.outweight g)
+
+let bottom_level g =
+  let order = Dag.topological_order g in
+  let bl = Array.make (Dag.n_tasks g) 0. in
+  (* reverse topological order: successors are final when a task is visited *)
+  for i = Dag.n_tasks g - 1 downto 0 do
+    let v = order.(i) in
+    let best =
+      Array.fold_left
+        (fun acc s -> Float.max acc bl.(s))
+        0. (Dag.succs_array g v)
+    in
+    bl.(v) <- best +. Dag.weight g v
+  done;
+  bl
+
+(* Ties on priority are broken by smaller id so every strategy is
+   deterministic for a given [rand]. *)
+let higher_priority prio a b =
+  prio.(a) > prio.(b) || (Float.equal prio.(a) prio.(b) && a < b)
+
+let run ?rand strategy g =
+  let n = Dag.n_tasks g in
+  let prio =
+    match strategy with
+    | Depth_first_blevel -> bottom_level g
+    | Depth_first | Breadth_first | Random_first -> priority g
+  in
+  let indeg = Array.init n (Dag.in_degree g) in
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  let release v register =
+    Array.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then register s)
+      (Dag.succs_array g v)
+  in
+  (match strategy with
+  | Depth_first | Depth_first_blevel ->
+      (* Stack of ready tasks. Newly ready successors of the task just
+         executed are pushed sorted so that the highest priority is on top:
+         the walk goes deep behind recently completed work. *)
+      let stack = ref [] in
+      let scheduled = Array.make n false in
+      let push_ready vs =
+        let sorted =
+          List.sort
+            (fun a b -> if higher_priority prio a b then 1 else -1)
+            vs
+        in
+        List.iter (fun v -> stack := v :: !stack) sorted
+      in
+      push_ready (List.filter (fun i -> indeg.(i) = 0) (List.init n Fun.id));
+      while !count < n do
+        match !stack with
+        | [] -> invalid_arg "Linearize.run: ready stack exhausted early"
+        | v :: rest ->
+            stack := rest;
+            if not scheduled.(v) then begin
+              scheduled.(v) <- true;
+              order.(!count) <- v;
+              incr count;
+              let fresh = ref [] in
+              release v (fun s -> fresh := s :: !fresh);
+              push_ready !fresh
+            end
+      done
+  | Breadth_first ->
+      (* Exhaust shallow levels first; inside a level pick by priority. *)
+      let lvl = Dag.levels g in
+      let module Key = struct
+        type t = int * int (* level, id *)
+
+        let compare (l1, v1) (l2, v2) =
+          match Int.compare l1 l2 with
+          | 0 ->
+              if v1 = v2 then 0
+              else if higher_priority prio v1 v2 then -1
+              else 1
+          | c -> c
+      end in
+      let module Ready = Set.Make (Key) in
+      let ready = ref Ready.empty in
+      let register v = ready := Ready.add (lvl.(v), v) !ready in
+      for i = 0 to n - 1 do
+        if indeg.(i) = 0 then register i
+      done;
+      while !count < n do
+        let ((_, v) as key) = Ready.min_elt !ready in
+        ready := Ready.remove key !ready;
+        order.(!count) <- v;
+        incr count;
+        release v register
+      done
+  | Random_first ->
+      let rand =
+        match rand with
+        | Some r -> r
+        | None ->
+            let state = Random.State.make [| 0x5f1c; 0x2e |] in
+            fun b -> Random.State.int state b
+      in
+      let ready = ref [] and n_ready = ref 0 in
+      let register v =
+        ready := v :: !ready;
+        incr n_ready
+      in
+      for i = 0 to n - 1 do
+        if indeg.(i) = 0 then register i
+      done;
+      while !count < n do
+        let k = rand !n_ready in
+        if k < 0 || k >= !n_ready then
+          invalid_arg "Linearize.run: rand returned out-of-range value";
+        let v = List.nth !ready k in
+        ready := List.filteri (fun i _ -> i <> k) !ready;
+        decr n_ready;
+        order.(!count) <- v;
+        incr count;
+        release v register
+      done);
+  order

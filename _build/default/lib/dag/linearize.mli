@@ -1,0 +1,44 @@
+(** Linearization strategies (Section 5 of the paper, plus one extension).
+
+    A linearization is a total execution order of the DAG respecting
+    precedence. DF and BF prioritize ready tasks by decreasing outweight —
+    the sum of the weights of their direct successors — so that tasks with
+    heavy subtrees run first; RF picks ready tasks uniformly at random.
+    DF-BL is an extension: depth-first with the classical bottom-level
+    priority (heaviest remaining downward path) instead of the outweight. *)
+
+type strategy =
+  | Depth_first  (** follow the most recently completed task's successors *)
+  | Breadth_first  (** exhaust a level before starting the next one *)
+  | Random_first  (** uniform choice among ready tasks *)
+  | Depth_first_blevel
+      (** extension: depth-first prioritized by bottom level *)
+
+val all : strategy list
+(** The paper's [DF; BF; RF] (what the figure harness sweeps). *)
+
+val extended : strategy list
+(** [all] plus [Depth_first_blevel]. *)
+
+val strategy_name : strategy -> string
+(** "DF", "BF", "RF" or "DF-BL". *)
+
+val strategy_of_string : string -> strategy option
+(** Inverse of {!strategy_name} (case-insensitive). *)
+
+val run : ?rand:(int -> int) -> strategy -> Dag.t -> int array
+(** [run strategy g] computes a linearization of [g]; the result always
+    satisfies {!Dag.is_linearization}. [rand b] must return a uniform integer
+    in [\[0, b)] and is only consulted by [Random_first] (defaults to a fixed
+    deterministic generator).
+
+    @raise Invalid_argument if [Random_first] is used while [rand]
+    misbehaves (returns out-of-range values). *)
+
+val priority : Dag.t -> float array
+(** The outweight of every task (exposed for tests and for the CkptD
+    checkpointing strategy). *)
+
+val bottom_level : Dag.t -> float array
+(** [bottom_level g] maps each task to the weight of the heaviest path from
+    it to an exit task, inclusive of both endpoints (the DF-BL priority). *)

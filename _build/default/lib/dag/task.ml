@@ -1,0 +1,48 @@
+type t = {
+  id : int;
+  label : string;
+  weight : float;
+  checkpoint_cost : float;
+  recovery_cost : float;
+}
+
+let is_valid_cost x = Float.is_finite x && x >= 0.
+
+let check_fields ~id ~weight ~checkpoint_cost ~recovery_cost =
+  if id < 0 then invalid_arg "Task.make: id must be non-negative";
+  if not (Float.is_finite weight && weight >= 0.) then
+    invalid_arg "Task.make: weight must be non-negative and finite";
+  if not (is_valid_cost checkpoint_cost) then
+    invalid_arg "Task.make: checkpoint_cost must be non-negative and finite";
+  if not (is_valid_cost recovery_cost) then
+    invalid_arg "Task.make: recovery_cost must be non-negative and finite"
+
+let make ~id ?label ~weight ?(checkpoint_cost = 0.) ?(recovery_cost = 0.) () =
+  check_fields ~id ~weight ~checkpoint_cost ~recovery_cost;
+  let label = match label with Some l -> l | None -> "T" ^ string_of_int id in
+  { id; label; weight; checkpoint_cost; recovery_cost }
+
+let with_costs t ~checkpoint_cost ~recovery_cost =
+  check_fields ~id:t.id ~weight:t.weight ~checkpoint_cost ~recovery_cost;
+  { t with checkpoint_cost; recovery_cost }
+
+let with_weight t ~weight =
+  check_fields ~id:t.id ~weight ~checkpoint_cost:t.checkpoint_cost
+    ~recovery_cost:t.recovery_cost;
+  { t with weight }
+
+let relabel t label = { t with label }
+
+let equal a b =
+  a.id = b.id && String.equal a.label b.label
+  && Float.equal a.weight b.weight
+  && Float.equal a.checkpoint_cost b.checkpoint_cost
+  && Float.equal a.recovery_cost b.recovery_cost
+
+let compare_by_id a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Format.fprintf ppf "T%d(w=%g,c=%g,r=%g)" t.id t.weight t.checkpoint_cost
+    t.recovery_cost
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,52 @@
+(** Tasks of a computational workflow.
+
+    A task is a tightly-coupled parallel computation that executes on the
+    whole platform. Besides its computational weight [w] (failure-free
+    execution time, in seconds), a task carries the cost [c] of checkpointing
+    its output and the cost [r] of recovering that output from a checkpoint,
+    following the model of Aupy, Benoit, Casanova & Robert (IPDPS 2015). *)
+
+type t = private {
+  id : int;  (** index of the task in its DAG, [0 <= id < n] *)
+  label : string;  (** human-readable name, e.g. ["mProjectPP_3"] *)
+  weight : float;
+      (** failure-free execution time [w_i >= 0], seconds (zero-weight tasks
+          appear in reductions and as structural markers) *)
+  checkpoint_cost : float;  (** time [c_i >= 0] to checkpoint the output *)
+  recovery_cost : float;  (** time [r_i >= 0] to reload the checkpoint *)
+}
+
+val make :
+  id:int ->
+  ?label:string ->
+  weight:float ->
+  ?checkpoint_cost:float ->
+  ?recovery_cost:float ->
+  unit ->
+  t
+(** [make ~id ~weight ()] builds a task. [label] defaults to ["T<id>"];
+    [checkpoint_cost] and [recovery_cost] default to [0.].
+
+    @raise Invalid_argument if [id < 0], [weight < 0], or either cost is
+    negative or not finite. *)
+
+val with_costs : t -> checkpoint_cost:float -> recovery_cost:float -> t
+(** [with_costs t ~checkpoint_cost ~recovery_cost] is [t] with both costs
+    replaced. Same validity constraints as {!make}. *)
+
+val with_weight : t -> weight:float -> t
+(** [with_weight t ~weight] is [t] with its weight replaced. *)
+
+val relabel : t -> string -> t
+(** [relabel t label] is [t] with label [label]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (all fields). *)
+
+val compare_by_id : t -> t -> int
+(** Orders tasks by [id]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp ppf t] prints [t] as ["T3(w=10.0,c=1.0,r=1.0)"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,91 @@
+let redundant_edges g =
+  let n = Dag.n_tasks g in
+  (* strict descendants of every vertex, as bitsets *)
+  let desc = Array.init n (Dag.descendants g) in
+  let redundant = ref [] in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        let implied =
+          Array.exists
+            (fun w -> w <> v && desc.(w).(v))
+            (Dag.succs_array g u)
+        in
+        if implied then redundant := (u, v) :: !redundant)
+      (Dag.succs_array g u)
+  done;
+  List.rev !redundant
+
+let transitive_reduction g =
+  let drop = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace drop e ()) (redundant_edges g);
+  let edges =
+    List.filter (fun e -> not (Hashtbl.mem drop e)) (Dag.edges g)
+  in
+  Dag.create ~tasks:(Dag.tasks g) ~edges
+
+type fusion = { dag : Dag.t; members : int list array }
+
+let fuse_chains ?(should_fuse = fun _ -> true) g =
+  let n = Dag.n_tasks g in
+  (* [absorbed.(b)] holds when b is merged into its unique predecessor *)
+  let absorbed =
+    Array.init n (fun b ->
+        Dag.in_degree g b = 1
+        &&
+        let a = (Dag.preds_array g b).(0) in
+        Dag.out_degree g a = 1 && should_fuse (Dag.task g b))
+  in
+  (* chains in topological order: heads first, members appended in order *)
+  let order = Dag.topological_order g in
+  let new_id_of = Array.make n (-1) in
+  let rev_groups = ref [] and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if not absorbed.(v) then begin
+        new_id_of.(v) <- !count;
+        incr count;
+        rev_groups := ref [ v ] :: !rev_groups
+      end)
+    order;
+  let groups = Array.of_list (List.rev !rev_groups) in
+  Array.iter
+    (fun v ->
+      if absorbed.(v) then begin
+        let a = (Dag.preds_array g v).(0) in
+        (* topological order guarantees a was processed before v *)
+        new_id_of.(v) <- new_id_of.(a);
+        let cell = groups.(new_id_of.(v)) in
+        cell := v :: !cell
+      end)
+    order;
+  let members =
+    Array.map (fun cell -> List.rev !cell) groups
+  in
+  let tasks =
+    Array.mapi
+      (fun id member_list ->
+        let ts = List.map (Dag.task g) member_list in
+        let weight =
+          List.fold_left (fun acc t -> acc +. t.Task.weight) 0. ts
+        in
+        let last = List.nth ts (List.length ts - 1) in
+        let label = String.concat "+" (List.map (fun t -> t.Task.label) ts) in
+        Task.make ~id ~label ~weight
+          ~checkpoint_cost:last.Task.checkpoint_cost
+          ~recovery_cost:last.Task.recovery_cost ())
+      members
+  in
+  let edge_set = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      if not absorbed.(v) then
+        Hashtbl.replace edge_set (new_id_of.(u), new_id_of.(v)) ())
+    (Dag.edges g);
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] in
+  { dag = Dag.create ~tasks ~edges; members }
+
+let fuse_unrecoverable g =
+  fuse_chains
+    ~should_fuse:(fun t -> t.Task.recovery_cost > t.Task.weight)
+    g

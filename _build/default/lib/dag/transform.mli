@@ -1,0 +1,48 @@
+(** Structure-preserving DAG transformations.
+
+    Pre-processing passes used before scheduling:
+
+    - {!transitive_reduction} removes edges implied by longer paths. Note
+      that a redundant edge still matters to fault tolerance: if [u -> v] is
+      implied by [u -> w -> v] and [w] is checkpointed, recovering [w] does
+      not bring back [u]'s output, which [v] reads directly. Reduction is
+      therefore a {e modeling choice} — appropriate when the direct edge was
+      bookkeeping rather than a data flow. It never increases the expected
+      makespan of a schedule (replay sets only shrink), and leaves it exactly
+      unchanged for checkpoint-free schedules;
+    - {!fuse_chains} merges runs of single-successor/single-predecessor
+      tasks into one task (weights add; the checkpoint/recovery costs of the
+      last task are kept), reflecting the paper's remark that a task whose
+      recovery is dearer than its re-execution "could be fused with some of
+      its predecessors".
+
+    Both passes return the mapping from new task ids to the original ids
+    they cover. *)
+
+val transitive_reduction : Dag.t -> Dag.t
+(** Smallest sub-DAG with the same reachability relation (unique for DAGs).
+    Task ids and attributes are unchanged. *)
+
+val redundant_edges : Dag.t -> (int * int) list
+(** The edges {!transitive_reduction} would delete. *)
+
+type fusion = {
+  dag : Dag.t;  (** the fused DAG *)
+  members : int list array;
+      (** [members.(new_id)] lists the original ids merged into the new
+          task, in execution order *)
+}
+
+val fuse_chains : ?should_fuse:(Task.t -> bool) -> Dag.t -> fusion
+(** [fuse_chains g] contracts every maximal linear run [a -> b -> ...] in
+    which each interior link has out-degree 1 into [a] and in-degree 1 out
+    of [b]. A task is absorbed into its predecessor only when [should_fuse]
+    accepts it (default: always). The fused task's weight is the sum of the
+    members' weights; its checkpoint and recovery costs are those of the
+    {e last} member (its output is the fused output); its label joins the
+    member labels with ["+"]. *)
+
+val fuse_unrecoverable : Dag.t -> fusion
+(** {!fuse_chains} restricted to tasks whose recovery cost exceeds their own
+    weight — the fusions the paper says "make little sense" to keep
+    separate. *)

@@ -1,0 +1,1 @@
+lib/io/dax.ml: Array Fun Hashtbl List Printf Result Wfc_dag Xml

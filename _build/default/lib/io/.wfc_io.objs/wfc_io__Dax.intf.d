@@ -1,0 +1,1 @@
+lib/io/dax.mli: Wfc_dag Xml

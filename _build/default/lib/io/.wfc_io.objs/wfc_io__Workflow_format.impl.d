@@ -1,0 +1,1 @@
+lib/io/workflow_format.ml: Array Fun Json List Printf Result Wfc_core Wfc_dag

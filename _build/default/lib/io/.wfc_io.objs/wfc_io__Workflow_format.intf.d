@@ -1,0 +1,1 @@
+lib/io/workflow_format.mli: Json Wfc_core Wfc_dag

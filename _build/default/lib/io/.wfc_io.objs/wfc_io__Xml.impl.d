@@ -1,0 +1,1 @@
+lib/io/xml.ml: Buffer Char List Printf String

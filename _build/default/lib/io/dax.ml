@@ -1,0 +1,126 @@
+let ( let* ) = Result.bind
+
+let job_id i = Printf.sprintf "ID%07d" i
+
+let of_xml root =
+  let* () =
+    match Xml.name root with
+    | Some "adag" -> Ok ()
+    | _ -> Error "DAX: root element must be <adag>"
+  in
+  let jobs = Xml.elements ~named:"job" root in
+  if jobs = [] then Error "DAX: no <job> elements"
+  else begin
+    let index = Hashtbl.create (List.length jobs) in
+    let* tasks =
+      List.fold_left
+        (fun acc job ->
+          let* acc = acc in
+          let i = List.length acc in
+          let* id =
+            match Xml.attr "id" job with
+            | Some id -> Ok id
+            | None -> Error "DAX: <job> without id"
+          in
+          if Hashtbl.mem index id then
+            Error (Printf.sprintf "DAX: duplicate job id %s" id)
+          else begin
+            Hashtbl.add index id i;
+            let* weight =
+              match Xml.attr "runtime" job with
+              | Some r -> (
+                  match float_of_string_opt r with
+                  | Some w when w >= 0. -> Ok w
+                  | _ -> Error (Printf.sprintf "DAX: bad runtime for %s" id)
+                  )
+              | None -> Error (Printf.sprintf "DAX: job %s has no runtime" id)
+            in
+            let label =
+              match Xml.attr "name" job with Some n -> n | None -> id
+            in
+            match Wfc_dag.Task.make ~id:i ~label ~weight () with
+            | t -> Ok (t :: acc)
+            | exception Invalid_argument m -> Error m
+          end)
+        (Ok []) jobs
+    in
+    let tasks = Array.of_list (List.rev tasks) in
+    let resolve id =
+      match Hashtbl.find_opt index id with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "DAX: unknown job reference %s" id)
+    in
+    let* edges =
+      List.fold_left
+        (fun acc child ->
+          let* acc = acc in
+          let* c =
+            match Xml.attr "ref" child with
+            | Some id -> resolve id
+            | None -> Error "DAX: <child> without ref"
+          in
+          List.fold_left
+            (fun acc parent ->
+              let* acc = acc in
+              let* p =
+                match Xml.attr "ref" parent with
+                | Some id -> resolve id
+                | None -> Error "DAX: <parent> without ref"
+              in
+              Ok ((p, c) :: acc))
+            (Ok acc)
+            (Xml.elements ~named:"parent" child))
+        (Ok [])
+        (Xml.elements ~named:"child" root)
+    in
+    match Wfc_dag.Dag.create ~tasks ~edges with
+    | g -> Ok g
+    | exception Invalid_argument m -> Error ("DAX: " ^ m)
+  end
+
+let to_xml ?(name = "workflow") g =
+  let n = Wfc_dag.Dag.n_tasks g in
+  let jobs =
+    List.init n (fun i ->
+        let t = Wfc_dag.Dag.task g i in
+        Xml.Element
+          ( "job",
+            [
+              ("id", job_id i);
+              ("name", t.Wfc_dag.Task.label);
+              ("runtime", Printf.sprintf "%.17g" t.Wfc_dag.Task.weight);
+            ],
+            [] ))
+  in
+  let children =
+    List.filter_map
+      (fun v ->
+        match Wfc_dag.Dag.preds g v with
+        | [] -> None
+        | preds ->
+            Some
+              (Xml.Element
+                 ( "child",
+                   [ ("ref", job_id v) ],
+                   List.map
+                     (fun p -> Xml.Element ("parent", [ ("ref", job_id p) ], []))
+                     preds )))
+      (List.init n Fun.id)
+  in
+  Xml.Element ("adag", [ ("name", name) ], jobs @ children)
+
+let load path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let* xml = Xml.of_string contents in
+  of_xml xml
+
+let save ?name path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Xml.to_string (to_xml ?name g)))

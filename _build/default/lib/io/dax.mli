@@ -1,0 +1,32 @@
+(** Pegasus DAX (v3) import and export.
+
+    DAX is the XML workflow description consumed by the Pegasus planner —
+    the system whose generated workflows the paper evaluates on. We read the
+    subset relevant to scheduling:
+
+    {v
+    <adag name="montage">
+      <job id="ID0000001" name="mProjectPP" runtime="13.59"/>
+      ...
+      <child ref="ID0000003">
+        <parent ref="ID0000001"/>
+        <parent ref="ID0000002"/>
+      </child>
+    </adag>
+    v}
+
+    Task weights come from the [runtime] attribute (seconds); Pegasus also
+    emits profile elements, which are ignored. Checkpoint and recovery costs
+    are not part of DAX — apply a {!Wfc_workflows.Cost_model.t} after
+    loading. Job ids keep their document order, so ids are stable across a
+    load/save round trip. *)
+
+val of_xml : Xml.t -> (Wfc_dag.Dag.t, string) result
+val to_xml : ?name:string -> Wfc_dag.Dag.t -> Xml.t
+
+val load : string -> (Wfc_dag.Dag.t, string) result
+(** Read a [.dax] file. *)
+
+val save : ?name:string -> string -> Wfc_dag.Dag.t -> unit
+(** Write a [.dax] file ([adag] root, one [job] per task, one [child] block
+    per task with predecessors). *)

@@ -1,0 +1,32 @@
+(** Minimal self-contained JSON (RFC 8259 subset sufficient for workflow
+    files): full parsing and printing of objects, arrays, strings, numbers,
+    booleans and null; string escapes including BMP [\uXXXX]. Numbers are
+    floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render; [minify] defaults to [false] (two-space indentation). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries a character
+    offset. *)
+
+(** {1 Accessors} — convenience for decoding, all returning [Result]. *)
+
+val member : string -> t -> (t, string) result
+(** Field of an object. *)
+
+val to_float : t -> (float, string) result
+val to_int : t -> (int, string) result
+val to_list : t -> (t list, string) result
+val to_string_value : t -> (string, string) result
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+(** Result bind, for decoder pipelines. *)

@@ -1,0 +1,129 @@
+open Json
+
+let dag_to_json ?(name = "workflow") g =
+  let tasks =
+    List.init (Wfc_dag.Dag.n_tasks g) (fun i ->
+        let t = Wfc_dag.Dag.task g i in
+        Assoc
+          [
+            ("id", Number (float_of_int t.Wfc_dag.Task.id));
+            ("label", String t.Wfc_dag.Task.label);
+            ("weight", Number t.Wfc_dag.Task.weight);
+            ("checkpoint_cost", Number t.Wfc_dag.Task.checkpoint_cost);
+            ("recovery_cost", Number t.Wfc_dag.Task.recovery_cost);
+          ])
+  in
+  let edges =
+    List.map
+      (fun (u, v) -> List [ Number (float_of_int u); Number (float_of_int v) ])
+      (Wfc_dag.Dag.edges g)
+  in
+  Assoc [ ("name", String name); ("tasks", List tasks); ("edges", List edges) ]
+
+let collect_results xs =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* x = x in
+      Ok (x :: acc))
+    xs (Ok [])
+
+let task_of_json j =
+  let* id = Result.bind (member "id" j) to_int in
+  let* weight = Result.bind (member "weight" j) to_float in
+  let label =
+    match Result.bind (member "label" j) to_string_value with
+    | Ok l -> Some l
+    | Error _ -> None
+  in
+  let opt_float key =
+    match Result.bind (member key j) to_float with
+    | Ok x -> x
+    | Error _ -> 0.
+  in
+  match
+    Wfc_dag.Task.make ~id ?label ~weight
+      ~checkpoint_cost:(opt_float "checkpoint_cost")
+      ~recovery_cost:(opt_float "recovery_cost")
+      ()
+  with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error msg
+
+let edge_of_json j =
+  let* pair = to_list j in
+  match pair with
+  | [ a; b ] ->
+      let* u = to_int a in
+      let* v = to_int b in
+      Ok (u, v)
+  | _ -> Error "edge must be a two-element array"
+
+let dag_of_json j =
+  let* task_list = Result.bind (member "tasks" j) to_list in
+  let* tasks = collect_results (List.map task_of_json task_list) in
+  let* edge_list = Result.bind (member "edges" j) to_list in
+  let* edges = collect_results (List.map edge_of_json edge_list) in
+  match Wfc_dag.Dag.create ~tasks:(Array.of_list tasks) ~edges with
+  | g -> Ok g
+  | exception Invalid_argument msg -> Error msg
+
+let schedule_to_json s =
+  let n = Wfc_core.Schedule.n_tasks s in
+  Assoc
+    [
+      ( "order",
+        List
+          (List.init n (fun p ->
+               Number (float_of_int (Wfc_core.Schedule.task_at s p)))) );
+      ( "checkpointed",
+        List
+          (List.map
+             (fun v -> Number (float_of_int v))
+             (Wfc_core.Schedule.checkpointed_tasks s)) );
+    ]
+
+let schedule_of_json g j =
+  let* order_list = Result.bind (member "order" j) to_list in
+  let* order = collect_results (List.map to_int order_list) in
+  let* ckpt_list = Result.bind (member "checkpointed" j) to_list in
+  let* ckpts = collect_results (List.map to_int ckpt_list) in
+  let n = Wfc_dag.Dag.n_tasks g in
+  let checkpointed = Array.make n false in
+  match
+    List.iter
+      (fun v ->
+        if v < 0 || v >= n then
+          invalid_arg (Printf.sprintf "checkpointed task %d out of range" v);
+        checkpointed.(v) <- true)
+      ckpts;
+    Wfc_core.Schedule.make g ~order:(Array.of_list order) ~checkpointed
+  with
+  | s -> Ok s
+  | exception Invalid_argument msg -> Error msg
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_dag ?name path g = write_file path (to_string (dag_to_json ?name g))
+
+let load_dag path =
+  let* j = of_string (read_file path) in
+  dag_of_json j
+
+let save_schedule path s = write_file path (to_string (schedule_to_json s))
+
+let load_schedule g path =
+  let* j = of_string (read_file path) in
+  schedule_of_json g j

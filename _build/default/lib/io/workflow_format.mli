@@ -1,0 +1,34 @@
+(** JSON serialization of workflows and schedules.
+
+    Workflow files look like:
+    {v
+    { "name": "montage-50",
+      "tasks": [ { "id": 0, "label": "mProjectPP_0", "weight": 12.4,
+                   "checkpoint_cost": 1.24, "recovery_cost": 1.24 }, ... ],
+      "edges": [ [0, 5], [1, 5], ... ] }
+    v}
+    and schedule files:
+    {v
+    { "order": [0, 3, 1, ...], "checkpointed": [3, 4] }
+    v}
+    ([checkpointed] lists task ids). All decoders validate through
+    {!Wfc_dag.Dag.create} / {!Wfc_core.Schedule.make}, so a loaded value
+    satisfies the same invariants as a constructed one. *)
+
+val dag_to_json : ?name:string -> Wfc_dag.Dag.t -> Json.t
+val dag_of_json : Json.t -> (Wfc_dag.Dag.t, string) result
+
+val schedule_to_json : Wfc_core.Schedule.t -> Json.t
+
+val schedule_of_json :
+  Wfc_dag.Dag.t -> Json.t -> (Wfc_core.Schedule.t, string) result
+
+val save_dag : ?name:string -> string -> Wfc_dag.Dag.t -> unit
+(** Write the workflow to a file (pretty-printed JSON). *)
+
+val load_dag : string -> (Wfc_dag.Dag.t, string) result
+
+val save_schedule : string -> Wfc_core.Schedule.t -> unit
+
+val load_schedule :
+  Wfc_dag.Dag.t -> string -> (Wfc_core.Schedule.t, string) result

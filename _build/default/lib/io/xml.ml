@@ -1,0 +1,263 @@
+type t = Element of string * (string * string) list * t list | Text of string
+
+exception Parse_error of int * string
+
+(* ---- rendering ---- *)
+
+let escape ~attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string root =
+  let buf = Buffer.create 1024 in
+  let rec emit depth node =
+    let pad = String.make (2 * depth) ' ' in
+    match node with
+    | Text s ->
+        let trimmed = String.trim s in
+        if trimmed <> "" then begin
+          Buffer.add_string buf pad;
+          Buffer.add_string buf (escape ~attr:false trimmed);
+          Buffer.add_char buf '\n'
+        end
+    | Element (name, attrs, kids) ->
+        Buffer.add_string buf pad;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf " %s=\"%s\"" k (escape ~attr:true v)))
+          attrs;
+        if kids = [] then Buffer.add_string buf "/>\n"
+        else begin
+          Buffer.add_string buf ">\n";
+          List.iter (emit (depth + 1)) kids;
+          Buffer.add_string buf pad;
+          Buffer.add_string buf (Printf.sprintf "</%s>\n" name)
+        end
+  in
+  emit 0 root;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let looking_at prefix =
+    let m = String.length prefix in
+    !pos + m <= n && String.sub s !pos m = prefix
+  in
+  let skip m = pos := !pos + m in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let find_forward marker =
+    let m = String.length marker in
+    let rec go i =
+      if i + m > n then error (Printf.sprintf "expected %s" marker)
+      else if String.sub s i m = marker then i
+      else go (i + 1)
+    in
+    go !pos
+  in
+  let is_name_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+    | _ -> false
+  in
+  let parse_name () =
+    let start = !pos in
+    while (match peek () with Some c -> is_name_char c | None -> false) do
+      incr pos
+    done;
+    if !pos = start then error "expected a name";
+    String.sub s start (!pos - start)
+  in
+  let decode_entities raw =
+    let buf = Buffer.create (String.length raw) in
+    let m = String.length raw in
+    let i = ref 0 in
+    while !i < m do
+      if raw.[!i] = '&' then begin
+        match String.index_from_opt raw !i ';' with
+        | None -> error "unterminated entity"
+        | Some j ->
+            let entity = String.sub raw (!i + 1) (j - !i - 1) in
+            (match entity with
+            | "lt" -> Buffer.add_char buf '<'
+            | "gt" -> Buffer.add_char buf '>'
+            | "amp" -> Buffer.add_char buf '&'
+            | "quot" -> Buffer.add_char buf '"'
+            | "apos" -> Buffer.add_char buf '\''
+            | e when String.length e > 1 && e.[0] = '#' ->
+                let code =
+                  if e.[1] = 'x' || e.[1] = 'X' then
+                    int_of_string_opt ("0x" ^ String.sub e 2 (String.length e - 2))
+                  else int_of_string_opt (String.sub e 1 (String.length e - 1))
+                in
+                (match code with
+                | Some c when c < 0x80 -> Buffer.add_char buf (Char.chr c)
+                | Some _ -> Buffer.add_string buf "?"
+                | None -> error "bad character reference")
+            | _ -> error "unknown entity");
+            i := j + 1
+      end
+      else begin
+        Buffer.add_char buf raw.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let parse_attrs () =
+    let attrs = ref [] in
+    let rec go () =
+      skip_ws ();
+      match peek () with
+      | Some c when is_name_char c ->
+          let key = parse_name () in
+          skip_ws ();
+          if peek () <> Some '=' then error "expected = after attribute name";
+          incr pos;
+          skip_ws ();
+          let quote =
+            match peek () with
+            | Some (('"' | '\'') as q) ->
+                incr pos;
+                q
+            | _ -> error "expected quoted attribute value"
+          in
+          let close =
+            match String.index_from_opt s !pos quote with
+            | Some i -> i
+            | None -> error "unterminated attribute value"
+          in
+          let raw = String.sub s !pos (close - !pos) in
+          pos := close + 1;
+          attrs := (key, decode_entities raw) :: !attrs;
+          go ()
+      | _ -> List.rev !attrs
+    in
+    go ()
+  in
+  let rec skip_misc () =
+    skip_ws ();
+    if looking_at "<?" then begin
+      pos := find_forward "?>" + 2;
+      skip_misc ()
+    end
+    else if looking_at "<!--" then begin
+      pos := find_forward "-->" + 3;
+      skip_misc ()
+    end
+    else if looking_at "<!DOCTYPE" then error "DTDs are not supported"
+  in
+  let rec parse_element () =
+    if peek () <> Some '<' then error "expected <";
+    incr pos;
+    let name = parse_name () in
+    let attrs = parse_attrs () in
+    skip_ws ();
+    if looking_at "/>" then begin
+      skip 2;
+      Element (name, attrs, [])
+    end
+    else if peek () = Some '>' then begin
+      incr pos;
+      let kids = parse_children name in
+      Element (name, attrs, kids)
+    end
+    else error "malformed tag"
+  and parse_children parent =
+    let kids = ref [] in
+    let rec go () =
+      if !pos >= n then error (Printf.sprintf "unterminated <%s>" parent);
+      if looking_at "</" then begin
+        skip 2;
+        let closing = parse_name () in
+        if closing <> parent then
+          error (Printf.sprintf "mismatched </%s> inside <%s>" closing parent);
+        skip_ws ();
+        if peek () <> Some '>' then error "malformed closing tag";
+        incr pos
+      end
+      else if looking_at "<!--" then begin
+        pos := find_forward "-->" + 3;
+        go ()
+      end
+      else if looking_at "<![CDATA[" then begin
+        skip 9;
+        let close = find_forward "]]>" in
+        kids := Text (String.sub s !pos (close - !pos)) :: !kids;
+        pos := close + 3;
+        go ()
+      end
+      else if peek () = Some '<' then begin
+        kids := parse_element () :: !kids;
+        go ()
+      end
+      else begin
+        let next =
+          match String.index_from_opt s !pos '<' with
+          | Some i -> i
+          | None -> n
+        in
+        let raw = String.sub s !pos (next - !pos) in
+        pos := next;
+        if String.trim raw <> "" then kids := Text (decode_entities raw) :: !kids;
+        go ()
+      end
+    in
+    go ();
+    List.rev !kids
+  in
+  match
+    skip_misc ();
+    let root = parse_element () in
+    skip_misc ();
+    skip_ws ();
+    if !pos <> n then error "trailing content after the root element";
+    root
+  with
+  | root -> Ok root
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "XML parse error at offset %d: %s" at msg)
+
+(* ---- accessors ---- *)
+
+let name = function Element (n, _, _) -> Some n | Text _ -> None
+let attr key = function
+  | Element (_, attrs, _) -> List.assoc_opt key attrs
+  | Text _ -> None
+
+let children = function Element (_, _, kids) -> kids | Text _ -> []
+
+let elements ?named node =
+  List.filter
+    (fun k ->
+      match (k, named) with
+      | Element (n, _, _), Some expect -> n = expect
+      | Element _, None -> true
+      | Text _, _ -> false)
+    (children node)
+
+let rec text_content = function
+  | Text s -> s
+  | Element (_, _, kids) -> String.concat "" (List.map text_content kids)

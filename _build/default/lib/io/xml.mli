@@ -1,0 +1,29 @@
+(** Minimal XML subset, sufficient for Pegasus DAX files.
+
+    Supports elements with attributes, text content, comments, processing
+    instructions and XML declarations, CDATA, and the five predefined
+    entities. Not supported (and rejected where detectable): DTDs and custom
+    entities. Namespaces are left as plain prefixed names. *)
+
+type t = Element of string * (string * string) list * t list | Text of string
+
+val of_string : string -> (t, string) result
+(** Parse a document; returns its root element. The error string carries a
+    character offset. *)
+
+val to_string : t -> string
+(** Render with two-space indentation and escaped attribute/text content. *)
+
+(** {1 Accessors} *)
+
+val name : t -> string option
+(** Element name, [None] for text nodes. *)
+
+val attr : string -> t -> string option
+val children : t -> t list
+
+val elements : ?named:string -> t -> t list
+(** Child {e elements} (text dropped), optionally filtered by name. *)
+
+val text_content : t -> string
+(** Concatenated text under the node. *)

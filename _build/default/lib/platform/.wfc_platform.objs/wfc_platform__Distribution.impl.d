@@ -1,0 +1,1 @@
+lib/platform/distribution.ml: Float Printf Rng Special_functions

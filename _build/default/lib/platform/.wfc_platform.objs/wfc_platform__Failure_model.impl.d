@@ -1,0 +1,1 @@
+lib/platform/failure_model.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/platform/failure_model.mli: Format

@@ -1,0 +1,1 @@
+lib/platform/sample_set.ml: Array Float Int Stats

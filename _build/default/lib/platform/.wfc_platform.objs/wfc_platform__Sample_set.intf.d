@@ -1,0 +1,1 @@
+lib/platform/sample_set.mli: Stats

@@ -1,0 +1,1 @@
+lib/platform/special_functions.ml: Array Float

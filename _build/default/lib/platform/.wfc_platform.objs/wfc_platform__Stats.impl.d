@@ -1,0 +1,1 @@
+lib/platform/stats.ml: Float Format

@@ -1,0 +1,43 @@
+type t = Exponential of float | Weibull of { shape : float; scale : float }
+
+let exponential ~rate =
+  if not (rate > 0. && Float.is_finite rate) then
+    invalid_arg "Distribution.exponential: rate must be positive";
+  Exponential rate
+
+let weibull ~shape ~scale =
+  if not (shape > 0. && Float.is_finite shape) then
+    invalid_arg "Distribution.weibull: shape must be positive";
+  if not (scale > 0. && Float.is_finite scale) then
+    invalid_arg "Distribution.weibull: scale must be positive";
+  Weibull { shape; scale }
+
+let weibull_of_mean ~shape ~mean =
+  if not (mean > 0.) then
+    invalid_arg "Distribution.weibull_of_mean: mean must be positive";
+  let scale = mean /. Special_functions.gamma (1. +. (1. /. shape)) in
+  weibull ~shape ~scale
+
+let mean = function
+  | Exponential rate -> 1. /. rate
+  | Weibull { shape; scale } ->
+      scale *. Special_functions.gamma (1. +. (1. /. shape))
+
+let sample t rng =
+  let u = Rng.uniform rng in
+  (* -log (1 - u) is a unit exponential draw *)
+  let e = -.Float.log (1. -. u) in
+  match t with
+  | Exponential rate -> e /. rate
+  | Weibull { shape; scale } -> scale *. (e ** (1. /. shape))
+
+let survival t x =
+  if x <= 0. then 1.
+  else
+    match t with
+    | Exponential rate -> Float.exp (-.rate *. x)
+    | Weibull { shape; scale } -> Float.exp (-.((x /. scale) ** shape))
+
+let name = function
+  | Exponential rate -> Printf.sprintf "exp(%g)" rate
+  | Weibull { shape; scale } -> Printf.sprintf "weibull(k=%g,s=%g)" shape scale

@@ -1,0 +1,36 @@
+(** Failure inter-arrival distributions.
+
+    The paper's theory is exact for exponential failures; its related work
+    (Weibull fits of production logs, e.g. Gelenbe & Hernández 1990) motivates
+    checking how exponential-optimal schedules behave under age-dependent
+    failure processes. Failures form a renewal process: after each repair the
+    inter-arrival clock restarts with a fresh draw. *)
+
+type t =
+  | Exponential of float  (** rate [lambda > 0] *)
+  | Weibull of { shape : float; scale : float }
+      (** hazard increasing for [shape > 1], infant-mortality for
+          [shape < 1]; [shape = 1] is [Exponential (1 /. scale)] *)
+
+val exponential : rate:float -> t
+(** @raise Invalid_argument if [rate <= 0]. *)
+
+val weibull : shape:float -> scale:float -> t
+(** @raise Invalid_argument if either parameter is non-positive. *)
+
+val weibull_of_mean : shape:float -> mean:float -> t
+(** The Weibull with the given shape and mean: [scale = mean /.
+    Gamma (1. +. 1. /. shape)]. Handy for comparing distributions at equal
+    MTBF. *)
+
+val mean : t -> float
+(** Expected inter-arrival time (the MTBF). *)
+
+val sample : t -> Rng.t -> float
+(** One inter-arrival draw (inverse-CDF). *)
+
+val survival : t -> float -> float
+(** [survival d t] is [P(X > t)]. *)
+
+val name : t -> string
+(** e.g. ["exp(0.001)"] or ["weibull(k=0.7,s=1354)"]. *)

@@ -1,0 +1,59 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable dirty : bool;  (* sorted cache invalid *)
+}
+
+let create () = { data = Array.make 16 0.; size = 0; dirty = false }
+
+let add t x =
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) 0. in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.dirty <- true
+
+let count t = t.size
+
+let mean t =
+  if t.size = 0 then invalid_arg "Sample_set.mean: empty";
+  let acc = ref 0. in
+  for i = 0 to t.size - 1 do
+    acc := !acc +. t.data.(i)
+  done;
+  !acc /. float_of_int t.size
+
+let ensure_sorted t =
+  if t.dirty then begin
+    let live = Array.sub t.data 0 t.size in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.data 0 t.size;
+    t.dirty <- false
+  end
+
+let sorted t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.size
+
+let quantile t q =
+  if t.size = 0 then invalid_arg "Sample_set.quantile: empty";
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Sample_set.quantile: q outside [0, 1]";
+  ensure_sorted t;
+  let h = q *. float_of_int (t.size - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Int.min (lo + 1) (t.size - 1) in
+  let frac = h -. float_of_int lo in
+  ((1. -. frac) *. t.data.(lo)) +. (frac *. t.data.(hi))
+
+let median t = quantile t 0.5
+
+let to_stats t =
+  let s = Stats.create () in
+  for i = 0 to t.size - 1 do
+    Stats.add s t.data.(i)
+  done;
+  s

@@ -1,0 +1,23 @@
+(** In-memory sample collections with order statistics.
+
+    {!Stats} is streaming and keeps no samples; this small companion stores
+    them, for quantiles and tail analysis of simulated makespans. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]], by linear interpolation between
+    order statistics (type-7, the R default).
+
+    @raise Invalid_argument on an empty set or [q] outside [\[0, 1\]]. *)
+
+val median : t -> float
+val sorted : t -> float array
+
+val to_stats : t -> Stats.t
+(** Summarize into a streaming accumulator. *)

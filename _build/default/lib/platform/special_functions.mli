@@ -1,0 +1,10 @@
+(** Special functions needed by the failure distributions. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [ln (Gamma x)] for [x > 0] (Lanczos approximation,
+    accurate to ~1e-13 over the range used here).
+
+    @raise Invalid_argument if [x <= 0]. *)
+
+val gamma : float -> float
+(** [gamma x = exp (log_gamma x)]; overflows to [infinity] for large [x]. *)

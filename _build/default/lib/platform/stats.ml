@@ -1,0 +1,65 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;  (* sum of squared deviations from the running mean *)
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then invalid_arg "Stats.mean: empty accumulator";
+  t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = Float.sqrt (variance t)
+
+let std_error t =
+  if t.n = 0 then invalid_arg "Stats.std_error: empty accumulator";
+  stddev t /. Float.sqrt (float_of_int t.n)
+
+let confidence95 t =
+  let half = 1.96 *. std_error t in
+  (mean t -. half, mean t +. half)
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Stats.min_value: empty accumulator";
+  t.min_v
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Stats.max_value: empty accumulator";
+  t.max_v
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let nf = float_of_int n in
+    {
+      n;
+      mean = a.mean +. (delta *. float_of_int b.n /. nf);
+      m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf);
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "no samples"
+  else
+    Format.fprintf ppf "n=%d mean=%g stddev=%g min=%g max=%g" t.n t.mean
+      (stddev t) t.min_v t.max_v

@@ -1,0 +1,34 @@
+(** Streaming statistics (Welford's online algorithm).
+
+    Used by the Monte Carlo simulator to accumulate makespan samples without
+    storing them, and by the test suite to bound the deviation between
+    simulated and analytic expectations. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+val mean : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] when fewer than two samples. *)
+
+val stddev : t -> float
+
+val std_error : t -> float
+(** Standard error of the mean, [stddev /. sqrt count]. *)
+
+val confidence95 : t -> float * float
+(** Normal-approximation 95% confidence interval for the mean
+    ([mean -/+ 1.96 * std_error]). *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel update). *)
+
+val pp : Format.formatter -> t -> unit

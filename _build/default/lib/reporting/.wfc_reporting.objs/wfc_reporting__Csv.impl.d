@@ -1,0 +1,1 @@
+lib/reporting/csv.ml: Filename Fun List String Sys

@@ -1,0 +1,1 @@
+lib/reporting/series.ml: Float List Printf Table

@@ -1,0 +1,1 @@
+lib/reporting/series.mli: Table

@@ -1,0 +1,1 @@
+lib/reporting/table.ml: Buffer Float Int List Printf String

@@ -1,0 +1,10 @@
+(** Minimal CSV emission (RFC-4180 quoting) for experiment series. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val line : string list -> string
+(** One CSV record, without trailing newline. *)
+
+val write_file : string -> header:string list -> rows:string list list -> unit
+(** Write a whole CSV file; creates parent directories as needed. *)

@@ -1,0 +1,42 @@
+type t = { name : string; points : (float * float) list }
+
+let make ~name ~points = { name; points }
+let name t = t.name
+let points t = t.points
+let ys t = List.map snd t.points
+
+let min_y t = List.fold_left Float.min infinity (ys t)
+let max_y t = List.fold_left Float.max neg_infinity (ys t)
+
+let float_cell x =
+  if Float.is_integer x && Float.abs x < 1e9 then string_of_int (int_of_float x)
+  else Printf.sprintf "%.4g" x
+
+let to_table ~x_label series =
+  let xs =
+    match series with
+    | [] -> invalid_arg "Series.to_table: no series"
+    | s :: _ -> List.map fst s.points
+  in
+  List.iter
+    (fun s ->
+      if List.map fst s.points <> xs then
+        invalid_arg "Series.to_table: mismatched x values")
+    series;
+  let table = Table.create ~columns:(x_label :: List.map (fun s -> s.name) series) in
+  List.iteri
+    (fun i x ->
+      Table.add_row table
+        (float_cell x
+        :: List.map (fun s -> Printf.sprintf "%.4f" (snd (List.nth s.points i)))
+             series))
+    xs;
+  table
+
+let to_csv_rows series =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun (x, y) -> [ s.name; Printf.sprintf "%.17g" x; Printf.sprintf "%.17g" y ])
+        s.points)
+    series

@@ -1,0 +1,23 @@
+(** Figure series: named sequences of (x, y) points, the unit in which every
+    experiment of the paper reports its results. *)
+
+type t = private { name : string; points : (float * float) list }
+
+val make : name:string -> points:(float * float) list -> t
+
+val name : t -> string
+val points : t -> (float * float) list
+
+val ys : t -> float list
+val min_y : t -> float
+val max_y : t -> float
+
+val to_table :
+  x_label:string -> t list -> Table.t
+(** Tabulate several series sharing the same x values: one row per x, one
+    column per series.
+
+    @raise Invalid_argument if the series do not share x values. *)
+
+val to_csv_rows : t list -> string list list
+(** Long-format rows [series; x; y] for {!Csv.write_file}. *)

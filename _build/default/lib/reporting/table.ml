@@ -1,0 +1,42 @@
+type t = { columns : string list; mutable rev_rows : string list list }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: empty column list";
+  { columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rev_rows <- row :: t.rev_rows
+
+let float_cell x =
+  if Float.is_integer x && Float.abs x < 1e9 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%.4g" x
+
+let add_float_row t label xs = add_row t (label :: List.map float_cell xs)
+
+let render t =
+  let rows = List.rev t.rev_rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> Int.max w (String.length cell)) ws row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i (w, cell) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (w - String.length cell) ' '))
+      (List.combine widths row);
+    Buffer.add_char buf '\n'
+  in
+  emit t.columns;
+  emit (List.map (fun w -> String.make w '-') widths);
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

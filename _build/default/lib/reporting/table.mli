@@ -1,0 +1,20 @@
+(** Aligned text tables for experiment output. *)
+
+type t
+
+val create : columns:string list -> t
+(** [create ~columns] starts a table with the given header.
+    @raise Invalid_argument on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] adds [label] followed by [xs] printed with
+    [%.4g]. *)
+
+val render : t -> string
+(** The whole table with aligned columns and a separator under the header. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,1 @@
+lib/simulator/energy.ml: Sim_breakdown Wfc_core Wfc_dag Wfc_platform

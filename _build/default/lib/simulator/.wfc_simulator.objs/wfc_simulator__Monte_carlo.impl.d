@@ -1,0 +1,1 @@
+lib/simulator/monte_carlo.ml: Domain Float Int List Sim Sim_overlap Wfc_platform

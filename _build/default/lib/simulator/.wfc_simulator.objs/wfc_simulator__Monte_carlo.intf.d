@@ -1,0 +1,1 @@
+lib/simulator/monte_carlo.mli: Sim_overlap Wfc_core Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/simulator/sim.mli: Wfc_core Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/simulator/sim_breakdown.ml: Array List Wfc_core Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/simulator/sim_breakdown.mli: Wfc_core Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/simulator/sim_overlap.ml: Array Float List Queue Sim Wfc_core Wfc_dag Wfc_platform

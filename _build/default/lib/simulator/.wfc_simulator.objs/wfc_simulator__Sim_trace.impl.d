@@ -1,0 +1,1 @@
+lib/simulator/sim_trace.ml: Array Buffer Bytes Float Format Int List Printf Sim Wfc_core Wfc_dag Wfc_platform

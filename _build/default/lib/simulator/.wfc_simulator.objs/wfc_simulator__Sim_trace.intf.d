@@ -1,0 +1,1 @@
+lib/simulator/sim_trace.mli: Format Sim Wfc_core Wfc_dag Wfc_platform

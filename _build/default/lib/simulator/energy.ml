@@ -1,0 +1,35 @@
+type power = { p_compute : float; p_io : float; p_idle : float }
+
+let default_power = { p_compute = 100.; p_io = 30.; p_idle = 10. }
+
+let of_breakdown power (b : Sim_breakdown.t) =
+  (power.p_compute *. (b.Sim_breakdown.useful_compute +. b.Sim_breakdown.recompute))
+  +. (power.p_io *. (b.Sim_breakdown.checkpoint +. b.Sim_breakdown.recovery))
+  +. (power.p_idle *. (b.Sim_breakdown.lost +. b.Sim_breakdown.downtime))
+
+type estimate = {
+  energy : Wfc_platform.Stats.t;
+  makespan : Wfc_platform.Stats.t;
+}
+
+let estimate ?(runs = 1000) ?(power = default_power) ~seed model g sched =
+  if runs <= 0 then invalid_arg "Energy.estimate: runs must be positive";
+  let rng = Wfc_platform.Rng.create seed in
+  let energy = Wfc_platform.Stats.create () in
+  let makespan = Wfc_platform.Stats.create () in
+  for _ = 1 to runs do
+    let b = Sim_breakdown.run ~rng model g sched in
+    Wfc_platform.Stats.add energy (of_breakdown power b);
+    Wfc_platform.Stats.add makespan b.Sim_breakdown.makespan
+  done;
+  { energy; makespan }
+
+let fail_free_energy power g sched =
+  let ckpt_total = ref 0. in
+  for v = 0 to Wfc_dag.Dag.n_tasks g - 1 do
+    if Wfc_core.Schedule.is_checkpointed sched v then
+      ckpt_total :=
+        !ckpt_total +. (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost
+  done;
+  (power.p_compute *. Wfc_dag.Dag.total_weight g)
+  +. (power.p_io *. !ckpt_total)

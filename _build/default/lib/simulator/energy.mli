@@ -1,0 +1,41 @@
+(** Energy accounting on top of {!Sim_breakdown} — an extension in the
+    spirit of the authors' follow-up work on energy-aware checkpointing.
+
+    The platform draws [p_compute] watts while executing task work (first
+    runs and re-executions alike), [p_io] during checkpoint writes and
+    recovery reads, and [p_idle] during failed-attempt tails and repair
+    downtime. Expected energy then follows from the expected time spent in
+    each activity. *)
+
+type power = {
+  p_compute : float;  (** W while computing *)
+  p_io : float;  (** W while checkpointing or recovering *)
+  p_idle : float;  (** W while lost/down *)
+}
+
+val default_power : power
+(** 100 W compute, 30 W I/O, 10 W idle — an arbitrary but plausible blade
+    profile; pass your own for real studies. *)
+
+val of_breakdown : power -> Sim_breakdown.t -> float
+(** Energy (joules) of one simulated run. *)
+
+type estimate = {
+  energy : Wfc_platform.Stats.t;  (** joules per run *)
+  makespan : Wfc_platform.Stats.t;
+}
+
+val estimate :
+  ?runs:int ->
+  ?power:power ->
+  seed:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  estimate
+(** Monte Carlo expected energy and makespan (default 1000 runs,
+    {!default_power}). Deterministic in [seed]. *)
+
+val fail_free_energy : power -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> float
+(** Closed form at [lambda = 0]: compute the weights, write the checkpoints,
+    waste nothing. *)

@@ -1,0 +1,74 @@
+type estimate = {
+  makespan : Wfc_platform.Stats.t;
+  failures : Wfc_platform.Stats.t;
+  wasted : Wfc_platform.Stats.t;
+}
+
+let aggregate ~runs ~seed run_once =
+  if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
+  let rng = Wfc_platform.Rng.create seed in
+  let makespan = Wfc_platform.Stats.create () in
+  let failures = Wfc_platform.Stats.create () in
+  let wasted = Wfc_platform.Stats.create () in
+  for _ = 1 to runs do
+    let r = run_once rng in
+    Wfc_platform.Stats.add makespan r.Sim.makespan;
+    Wfc_platform.Stats.add failures (float_of_int r.Sim.failures);
+    Wfc_platform.Stats.add wasted r.Sim.wasted
+  done;
+  { makespan; failures; wasted }
+
+let estimate ?(runs = 1000) ~seed model g sched =
+  aggregate ~runs ~seed (fun rng -> Sim.run ~rng model g sched)
+
+let estimate_renewal ?(runs = 1000) ~seed ~failures ~downtime g sched =
+  aggregate ~runs ~seed (fun rng ->
+      Sim.run_renewal ~rng ~failures ~downtime g sched)
+
+let estimate_overlap ?(runs = 1000) ~seed params g sched =
+  aggregate ~runs ~seed (fun rng -> Sim_overlap.run ~rng params g sched)
+
+let estimate_parallel ?(runs = 1000) ?domains ~seed model g sched =
+  let domains =
+    match domains with
+    | Some d ->
+        if d <= 0 then invalid_arg "Monte_carlo.estimate_parallel: domains <= 0";
+        d
+    | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+  in
+  if runs <= 0 then invalid_arg "Monte_carlo.estimate_parallel: runs <= 0";
+  let domains = Int.min domains runs in
+  let chunk = runs / domains and rem = runs mod domains in
+  let worker i =
+    let runs = chunk + if i < rem then 1 else 0 in
+    (* distinct deterministic stream per domain *)
+    aggregate ~runs ~seed:(seed + (i * 0x9E3779B9)) (fun rng ->
+        Sim.run ~rng model g sched)
+  in
+  let handles =
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  let first = worker 0 in
+  let parts = first :: List.map Domain.join handles in
+  List.fold_left
+    (fun acc e ->
+      {
+        makespan = Wfc_platform.Stats.merge acc.makespan e.makespan;
+        failures = Wfc_platform.Stats.merge acc.failures e.failures;
+        wasted = Wfc_platform.Stats.merge acc.wasted e.wasted;
+      })
+    (List.hd parts) (List.tl parts)
+
+let makespan_samples ?(runs = 1000) ~seed model g sched =
+  if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
+  let rng = Wfc_platform.Rng.create seed in
+  let samples = Wfc_platform.Sample_set.create () in
+  for _ = 1 to runs do
+    Wfc_platform.Sample_set.add samples (Sim.run ~rng model g sched).Sim.makespan
+  done;
+  samples
+
+let agrees_with e ~expected ~sigmas =
+  let mean = Wfc_platform.Stats.mean e.makespan in
+  let err = Wfc_platform.Stats.std_error e.makespan in
+  Float.abs (mean -. expected) <= sigmas *. Float.max err (1e-12 *. mean)

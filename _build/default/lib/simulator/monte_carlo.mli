@@ -1,0 +1,72 @@
+(** Monte Carlo estimation of a schedule's expected makespan. *)
+
+type estimate = {
+  makespan : Wfc_platform.Stats.t;  (** makespan samples *)
+  failures : Wfc_platform.Stats.t;  (** failures per run *)
+  wasted : Wfc_platform.Stats.t;  (** wasted time per run *)
+}
+
+val estimate :
+  ?runs:int ->
+  seed:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  estimate
+(** [estimate ~seed model g s] aggregates [runs] (default 1000) independent
+    simulated executions, deterministically in [seed].
+
+    @raise Invalid_argument if [runs <= 0]. *)
+
+val estimate_renewal :
+  ?runs:int ->
+  seed:int ->
+  failures:Wfc_platform.Distribution.t ->
+  downtime:float ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  estimate
+(** Like {!estimate}, with {!Sim.run_renewal}: failures as a renewal process
+    of arbitrary inter-arrival law. *)
+
+val estimate_overlap :
+  ?runs:int ->
+  seed:int ->
+  Sim_overlap.params ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  estimate
+(** Like {!estimate}, with {!Sim_overlap.run}: non-blocking checkpoints. *)
+
+val estimate_parallel :
+  ?runs:int ->
+  ?domains:int ->
+  seed:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  estimate
+(** Multicore {!estimate}: splits the runs across [domains] OCaml domains
+    (default [Domain.recommended_domain_count () - 1], at least 1), each with
+    its own deterministic RNG stream derived from [seed], and merges the
+    accumulators. The result is deterministic in [(seed, domains, runs)] —
+    and statistically equivalent to, but not bit-identical with, the
+    sequential estimate.
+
+    @raise Invalid_argument if [runs <= 0] or [domains <= 0]. *)
+
+val makespan_samples :
+  ?runs:int ->
+  seed:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  Wfc_platform.Sample_set.t
+(** Like {!estimate} but keeping every makespan sample, for quantile and
+    tail analysis ({!Wfc_platform.Sample_set.quantile}). *)
+
+val agrees_with :
+  estimate -> expected:float -> sigmas:float -> bool
+(** [agrees_with e ~expected ~sigmas] tells whether [expected] lies within
+    [sigmas] standard errors of the sampled mean — the acceptance test used
+    to cross-validate the analytic evaluator. *)

@@ -1,0 +1,117 @@
+type run = { makespan : float; failures : int; wasted : float }
+
+(* Shared state and replay-closure computation for all execution engines. *)
+type state = {
+  g : Wfc_dag.Dag.t;
+  sched : Wfc_core.Schedule.t;
+  in_memory : bool array;
+  on_disk : bool array;
+  seen : bool array;  (* scratch for the closure walk *)
+  mutable restored : int list;  (* outputs the current segment brings back *)
+}
+
+let make_state g sched =
+  let n = Wfc_core.Schedule.n_tasks sched in
+  {
+    g;
+    sched;
+    in_memory = Array.make n false;
+    on_disk = Array.make n false;
+    seen = Array.make n false;
+    restored = [];
+  }
+
+let weight st v = (Wfc_dag.Dag.task st.g v).Wfc_dag.Task.weight
+let ckpt_cost st v = (Wfc_dag.Dag.task st.g v).Wfc_dag.Task.checkpoint_cost
+let rec_cost st v = (Wfc_dag.Dag.task st.g v).Wfc_dag.Task.recovery_cost
+
+(* Replay cost for task [v]: recover lost checkpointed ancestors, recompute
+   lost plain ones (recursively). Fills [st.restored] with the outputs the
+   segment will bring back to memory on success. *)
+let replay_cost st v =
+  st.restored <- [];
+  Array.fill st.seen 0 (Array.length st.seen) false;
+  let cost = ref 0. in
+  let rec visit v =
+    Array.iter
+      (fun u ->
+        if (not st.in_memory.(u)) && not st.seen.(u) then begin
+          st.seen.(u) <- true;
+          st.restored <- u :: st.restored;
+          if st.on_disk.(u) then cost := !cost +. rec_cost st u
+          else begin
+            cost := !cost +. weight st u;
+            visit u
+          end
+        end)
+      (Wfc_dag.Dag.preds_array st.g v)
+  in
+  visit v;
+  !cost
+
+let commit st v ~checkpointing =
+  List.iter (fun u -> st.in_memory.(u) <- true) st.restored;
+  st.in_memory.(v) <- true;
+  if checkpointing then st.on_disk.(v) <- true
+
+let wipe_memory st = Array.fill st.in_memory 0 (Array.length st.in_memory) false
+
+(* Generic blocking-checkpoint engine. [time_to_failure] returns the time
+   until the next failure measured from now; [consume dt] tells the failure
+   process that [dt] seconds elapsed without failure; [after_failure] is
+   called once per failure so renewal processes can redraw. *)
+let run_engine ~time_to_failure ~consume ~after_failure ~downtime g sched =
+  let st = make_state g sched in
+  let n = Wfc_core.Schedule.n_tasks sched in
+  let time = ref 0. and failures = ref 0 and wasted = ref 0. in
+  for p = 0 to n - 1 do
+    let v = Wfc_core.Schedule.task_at sched p in
+    let checkpointing = Wfc_core.Schedule.is_checkpointed sched v in
+    let finished = ref false in
+    while not !finished do
+      let replay = replay_cost st v in
+      let segment =
+        replay +. weight st v +. (if checkpointing then ckpt_cost st v else 0.)
+      in
+      let fail_after = time_to_failure () in
+      if fail_after >= segment then begin
+        time := !time +. segment;
+        wasted := !wasted +. replay;
+        consume segment;
+        commit st v ~checkpointing;
+        finished := true
+      end
+      else begin
+        time := !time +. fail_after +. downtime;
+        wasted := !wasted +. fail_after +. downtime;
+        incr failures;
+        wipe_memory st;
+        after_failure ()
+      end
+    done
+  done;
+  { makespan = !time; failures = !failures; wasted = !wasted }
+
+let run ~rng model g sched =
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  (* memoryless: a fresh draw per attempt is exact for exponential *)
+  let time_to_failure () =
+    if lambda = 0. then infinity
+    else Wfc_platform.Rng.exponential rng ~rate:lambda
+  in
+  run_engine ~time_to_failure
+    ~consume:(fun _ -> ())
+    ~after_failure:(fun () -> ())
+    ~downtime:model.Wfc_platform.Failure_model.downtime g sched
+
+let run_renewal ~rng ~failures ~downtime g sched =
+  if downtime < 0. then invalid_arg "Sim.run_renewal: negative downtime";
+  (* countdown to the next failure: consumed by successful segments, redrawn
+     after each repair (the repair renews the process) *)
+  let remaining = ref (Wfc_platform.Distribution.sample failures rng) in
+  run_engine
+    ~time_to_failure:(fun () -> !remaining)
+    ~consume:(fun dt -> remaining := !remaining -. dt)
+    ~after_failure:(fun () ->
+      remaining := Wfc_platform.Distribution.sample failures rng)
+    ~downtime g sched

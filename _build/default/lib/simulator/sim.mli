@@ -1,0 +1,45 @@
+(** Discrete-event fault injection: executes a schedule once against randomly
+    drawn exponential failures, reproducing the paper's recovery semantics
+    exactly.
+
+    State: the set of task outputs currently in memory (all lost on every
+    failure) and the set of checkpoints on stable storage (never lost, only
+    appended when a checkpointed task's segment completes). Each position of
+    the linearization is executed as a segment — replay of lost, still-needed
+    ancestors (recoveries for checkpointed ones, recomputation for the rest),
+    the task's own work and its optional checkpoint. A failure inside the
+    segment wipes memory, costs the elapsed time plus the downtime, and the
+    segment restarts from the surviving checkpoints.
+
+    Cross-validating the mean of many runs against {!Wfc_core.Evaluator} is
+    the strongest correctness argument for both implementations. *)
+
+type run = {
+  makespan : float;  (** total simulated execution time *)
+  failures : int;  (** number of failures injected *)
+  wasted : float;  (** time spent on lost attempts, downtime and replays *)
+}
+
+val run :
+  rng:Wfc_platform.Rng.t ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  run
+(** One simulated execution. With [lambda = 0] the result is
+    deterministic: the failure-free time plus all checkpoint costs. *)
+
+val run_renewal :
+  rng:Wfc_platform.Rng.t ->
+  failures:Wfc_platform.Distribution.t ->
+  downtime:float ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  run
+(** Same execution semantics, but failures arrive as a {e renewal process}:
+    one inter-arrival draw from [failures] at start and after every repair,
+    instead of a fresh memoryless draw per attempt. For
+    [Distribution.Exponential] this is statistically identical to {!run};
+    for Weibull and other age-dependent laws it is the meaningful model.
+
+    @raise Invalid_argument if [downtime < 0]. *)

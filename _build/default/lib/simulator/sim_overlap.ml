@@ -1,0 +1,111 @@
+type params = {
+  interference : float;
+  failures : Wfc_platform.Distribution.t;
+  downtime : float;
+}
+
+type channel_entry = { task : int; mutable remaining : float }
+
+let run ~rng params g sched =
+  if not (params.interference >= 0. && params.interference <= 1.) then
+    invalid_arg "Sim_overlap.run: interference must lie in [0, 1]";
+  if params.downtime < 0. then invalid_arg "Sim_overlap.run: negative downtime";
+  let n = Wfc_core.Schedule.n_tasks sched in
+  let weight v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight in
+  let ckpt_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost in
+  let rec_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost in
+  let in_memory = Array.make n false in
+  let on_disk = Array.make n false in
+  let queue : channel_entry Queue.t = Queue.create () in
+  let time = ref 0. and failures = ref 0 in
+  let next_fail = ref (Wfc_platform.Distribution.sample params.failures rng) in
+  let restored = ref [] in
+  let replay_cost v =
+    restored := [];
+    let seen = Array.make n false in
+    let cost = ref 0. in
+    let rec visit v =
+      Array.iter
+        (fun u ->
+          if (not in_memory.(u)) && not seen.(u) then begin
+            seen.(u) <- true;
+            restored := u :: !restored;
+            if on_disk.(u) then cost := !cost +. rec_cost u
+            else begin
+              cost := !cost +. weight u;
+              visit u
+            end
+          end)
+        (Wfc_dag.Dag.preds_array g v)
+    in
+    visit v;
+    !cost
+  in
+  let handle_failure () =
+    time := !time +. params.downtime;
+    incr failures;
+    Array.fill in_memory 0 n false;
+    Queue.clear queue;
+    next_fail := Wfc_platform.Distribution.sample params.failures rng
+  in
+  (* Advance wall-clock until [work] compute-seconds are done; the channel
+     drains concurrently and slows computation down while busy. Returns
+     [false] if a failure interrupted the segment. *)
+  let rec advance_compute work =
+    if work <= 1e-12 then true
+    else if Queue.is_empty queue then begin
+      (* full speed, nothing in flight *)
+      if !next_fail >= work then begin
+        time := !time +. work;
+        next_fail := !next_fail -. work;
+        true
+      end
+      else begin
+        time := !time +. !next_fail;
+        handle_failure ();
+        false
+      end
+    end
+    else begin
+      let head = Queue.peek queue in
+      let rate = 1. -. params.interference in
+      let t_head = head.remaining in
+      let t_work = if rate > 0. then work /. rate else infinity in
+      let dt = Float.min (Float.min t_head t_work) !next_fail in
+      time := !time +. dt;
+      next_fail := !next_fail -. dt;
+      head.remaining <- head.remaining -. dt;
+      let work = work -. (dt *. rate) in
+      if head.remaining <= 1e-12 then begin
+        ignore (Queue.pop queue);
+        (* the write completed while its source was still in memory (any
+           failure would have cleared the queue first) *)
+        on_disk.(head.task) <- true
+      end;
+      if !next_fail <= 1e-12 then begin
+        handle_failure ();
+        false
+      end
+      else advance_compute work
+    end
+  in
+  for p = 0 to n - 1 do
+    let v = Wfc_core.Schedule.task_at sched p in
+    let finished = ref false in
+    while not !finished do
+      let replay = replay_cost v in
+      if advance_compute (replay +. weight v) then begin
+        List.iter (fun u -> in_memory.(u) <- true) !restored;
+        in_memory.(v) <- true;
+        if Wfc_core.Schedule.is_checkpointed sched v then
+          Queue.push { task = v; remaining = ckpt_cost v } queue;
+        finished := true
+      end
+    done
+  done;
+  let total_work = Wfc_dag.Dag.total_weight g in
+  {
+    Sim.makespan = !time;
+    failures = !failures;
+    wasted = !time -. total_work;
+  }

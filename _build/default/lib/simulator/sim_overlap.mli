@@ -1,0 +1,34 @@
+(** Non-blocking checkpointing — the extension sketched in the paper's
+    conclusion ("a processor can compute a task, perhaps at a reduced speed,
+    while checkpointing a previously executed task").
+
+    Model: completed checkpointable outputs are enqueued on a single
+    background I/O channel (FIFO, one write in flight). While the channel is
+    busy, computation proceeds at a fraction [1 - interference] of full
+    speed. A failure wipes memory and aborts every queued or in-flight write
+    (their source data is gone); completed checkpoints persist. Replay
+    (recoveries and recomputation of lost ancestors) is compute-side work,
+    executed inside the task's segment exactly as in the blocking model. The
+    makespan ends with the last task's computation — trailing writes do not
+    delay it.
+
+    [interference = 0] gives free checkpointing (pure overlap);
+    [interference = 1] fully serializes computation behind the channel.
+    There is no analytic evaluator for this model — that is precisely the
+    open problem the paper leaves — so the study is simulation-only. *)
+
+type params = {
+  interference : float;  (** compute slowdown while the channel is busy, in [0, 1] *)
+  failures : Wfc_platform.Distribution.t;
+  downtime : float;
+}
+
+val run :
+  rng:Wfc_platform.Rng.t -> params -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t ->
+  Sim.run
+(** One simulated execution; [wasted] reports [makespan - total task work]
+    (everything attributable to failures, replays, interference and
+    downtime).
+
+    @raise Invalid_argument if [interference] is outside [0, 1] or
+    [downtime < 0]. *)

@@ -1,0 +1,147 @@
+type event =
+  | Attempt of {
+      position : int;
+      task : int;
+      start : float;
+      replay : float;
+      work : float;
+    }
+  | Completion of { position : int; task : int; time : float; checkpointed : bool }
+  | Failure of { position : int; task : int; time : float; elapsed : float }
+
+(* Mirrors Sim.run with the same draw sequence, accumulating events. *)
+let run ~rng model g sched =
+  let n = Wfc_core.Schedule.n_tasks sched in
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  let downtime = model.Wfc_platform.Failure_model.downtime in
+  let weight v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight in
+  let ckpt_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost in
+  let rec_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost in
+  let in_memory = Array.make n false in
+  let on_disk = Array.make n false in
+  let time = ref 0. and failures = ref 0 and wasted = ref 0. in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let restored = ref [] in
+  let replay_cost v =
+    restored := [];
+    let seen = Array.make n false in
+    let cost = ref 0. in
+    let rec visit v =
+      Array.iter
+        (fun u ->
+          if (not in_memory.(u)) && not seen.(u) then begin
+            seen.(u) <- true;
+            restored := u :: !restored;
+            if on_disk.(u) then cost := !cost +. rec_cost u
+            else begin
+              cost := !cost +. weight u;
+              visit u
+            end
+          end)
+        (Wfc_dag.Dag.preds_array g v)
+    in
+    visit v;
+    !cost
+  in
+  for p = 0 to n - 1 do
+    let v = Wfc_core.Schedule.task_at sched p in
+    let checkpointing = Wfc_core.Schedule.is_checkpointed sched v in
+    let finished = ref false in
+    while not !finished do
+      let replay = replay_cost v in
+      let segment =
+        replay +. weight v +. (if checkpointing then ckpt_cost v else 0.)
+      in
+      emit (Attempt { position = p; task = v; start = !time; replay; work = segment });
+      let fail_after =
+        if lambda = 0. then infinity
+        else Wfc_platform.Rng.exponential rng ~rate:lambda
+      in
+      if fail_after >= segment then begin
+        time := !time +. segment;
+        wasted := !wasted +. replay;
+        List.iter (fun u -> in_memory.(u) <- true) !restored;
+        in_memory.(v) <- true;
+        if checkpointing then on_disk.(v) <- true;
+        emit (Completion { position = p; task = v; time = !time;
+                           checkpointed = checkpointing });
+        finished := true
+      end
+      else begin
+        time := !time +. fail_after;
+        emit (Failure { position = p; task = v; time = !time; elapsed = fail_after });
+        time := !time +. downtime;
+        wasted := !wasted +. fail_after +. downtime;
+        incr failures;
+        Array.fill in_memory 0 n false
+      end
+    done
+  done;
+  ( { Sim.makespan = !time; failures = !failures; wasted = !wasted },
+    List.rev !events )
+
+let render_timeline ?(width = 72) events =
+  if width < 8 then invalid_arg "Sim_trace.render_timeline: width too small";
+  (* reconstruct attempt spans: each Attempt is closed by the next
+     Completion or Failure (events are chronological and sequential) *)
+  let spans = ref [] and pending = ref None and horizon = ref 0. in
+  List.iter
+    (fun e ->
+      match (e, !pending) with
+      | Attempt { position; task; start; _ }, _ ->
+          pending := Some (position, task, start)
+      | Completion { time; _ }, Some (p, t, start) ->
+          spans := (p, t, start, time, `Ok) :: !spans;
+          pending := None;
+          horizon := Float.max !horizon time
+      | Failure { time; _ }, Some (p, t, start) ->
+          spans := (p, t, start, time, `Fail) :: !spans;
+          pending := None;
+          horizon := Float.max !horizon time
+      | (Completion _ | Failure _), None -> ())
+    events;
+  let spans = List.rev !spans in
+  if spans = [] then "(empty trace)\n"
+  else begin
+    let n_pos =
+      1 + List.fold_left (fun acc (p, _, _, _, _) -> Int.max acc p) 0 spans
+    in
+    let task_of = Array.make n_pos 0 in
+    let lanes = Array.init n_pos (fun _ -> Bytes.make width ' ') in
+    let col time =
+      Int.min (width - 1)
+        (int_of_float (float_of_int width *. time /. Float.max 1e-9 !horizon))
+    in
+    List.iter
+      (fun (p, t, start, stop, outcome) ->
+        task_of.(p) <- t;
+        let c0 = col start and c1 = Int.max (col start) (col stop) in
+        let fill = match outcome with `Ok -> '=' | `Fail -> '.' in
+        for c = c0 to c1 do
+          Bytes.set lanes.(p) c fill
+        done;
+        if outcome = `Fail then Bytes.set lanes.(p) c1 'x')
+      spans;
+    let buf = Buffer.create (n_pos * (width + 16)) in
+    Array.iteri
+      (fun p lane ->
+        Buffer.add_string buf
+          (Printf.sprintf "pos %3d T%-4d |%s|\n" p task_of.(p)
+             (Bytes.to_string lane)))
+      lanes;
+    Buffer.add_string buf
+      (Printf.sprintf "%d spans over %.1f s\n" (List.length spans) !horizon);
+    Buffer.contents buf
+  end
+
+let pp_event ppf = function
+  | Attempt { position; task; start; replay; work } ->
+      Format.fprintf ppf "[%8.1fs] ATTEMPT T%d (pos %d): %.1fs segment (%.1fs replay)"
+        start task position work replay
+  | Completion { position; task; time; checkpointed } ->
+      Format.fprintf ppf "[%8.1fs] DONE    T%d (pos %d)%s" time task position
+        (if checkpointed then " + checkpoint" else "")
+  | Failure { position; task; time; elapsed } ->
+      Format.fprintf ppf "[%8.1fs] FAIL    during T%d (pos %d), %.1fs lost" time
+        task position elapsed

@@ -1,0 +1,1 @@
+lib/workflows/builder.ml: Array Hashtbl Job_type List Printf Wfc_dag Wfc_platform

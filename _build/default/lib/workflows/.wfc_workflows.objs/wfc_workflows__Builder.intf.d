@@ -1,0 +1,1 @@
+lib/workflows/builder.mli: Job_type Wfc_dag Wfc_platform

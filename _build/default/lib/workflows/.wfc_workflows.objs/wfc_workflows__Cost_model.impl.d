@@ -1,0 +1,1 @@
+lib/workflows/cost_model.ml: Float Printf String Wfc_dag

@@ -1,0 +1,1 @@
+lib/workflows/cost_model.mli: Wfc_dag

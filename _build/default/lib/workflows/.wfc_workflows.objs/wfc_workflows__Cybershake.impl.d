@@ -1,0 +1,1 @@
+lib/workflows/cybershake.ml: Array Builder Int Job_type Printf

@@ -1,0 +1,1 @@
+lib/workflows/cybershake.mli: Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/workflows/genome.mli: Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/workflows/job_type.ml: Float Format Wfc_platform

@@ -1,0 +1,1 @@
+lib/workflows/job_type.mli: Format Wfc_platform

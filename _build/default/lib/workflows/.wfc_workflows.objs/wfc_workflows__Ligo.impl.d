@@ -1,0 +1,1 @@
+lib/workflows/ligo.ml: Array Builder Int Job_type List Printf

@@ -1,0 +1,1 @@
+lib/workflows/ligo.mli: Wfc_dag Wfc_platform

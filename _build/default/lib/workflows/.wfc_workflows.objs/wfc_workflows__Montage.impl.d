@@ -1,0 +1,1 @@
+lib/workflows/montage.ml: Array Builder Int Job_type Printf

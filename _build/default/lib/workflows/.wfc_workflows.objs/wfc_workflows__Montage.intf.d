@@ -1,0 +1,1 @@
+lib/workflows/montage.mli: Wfc_dag Wfc_platform

@@ -1,0 +1,1 @@
+lib/workflows/pegasus.ml: Cybershake Genome Ligo Montage Sipht String Wfc_platform

@@ -1,0 +1,1 @@
+lib/workflows/pegasus.mli: Wfc_dag

@@ -1,0 +1,1 @@
+lib/workflows/sipht.ml: Builder Int Job_type List Printf

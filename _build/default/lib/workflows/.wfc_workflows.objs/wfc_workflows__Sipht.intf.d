@@ -1,0 +1,1 @@
+lib/workflows/sipht.mli: Wfc_dag Wfc_platform

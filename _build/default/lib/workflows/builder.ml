@@ -1,0 +1,45 @@
+type t = {
+  rng : Wfc_platform.Rng.t;
+  mutable rev_types : Job_type.t list;
+  mutable edges : (int * int) list;
+  mutable count : int;
+  per_type : (string, int) Hashtbl.t;
+}
+
+let create ~rng =
+  { rng; rev_types = []; edges = []; count = 0; per_type = Hashtbl.create 8 }
+
+let add_task b (jt : Job_type.t) ~deps =
+  let id = b.count in
+  List.iter
+    (fun d ->
+      if d < 0 || d >= id then
+        invalid_arg
+          (Printf.sprintf "Builder.add_task: dependency %d of task %d" d id))
+    deps;
+  b.rev_types <- jt :: b.rev_types;
+  b.edges <- List.rev_append (List.rev_map (fun d -> (d, id)) deps) b.edges;
+  b.count <- id + 1;
+  id
+
+let size b = b.count
+
+let finalize b =
+  if b.count = 0 then invalid_arg "Builder.finalize: no task added";
+  let types = Array.of_list (List.rev b.rev_types) in
+  let tasks =
+    Array.mapi
+      (fun id (jt : Job_type.t) ->
+        let k =
+          match Hashtbl.find_opt b.per_type jt.Job_type.name with
+          | Some k -> k
+          | None -> 0
+        in
+        Hashtbl.replace b.per_type jt.Job_type.name (k + 1);
+        let weight = Job_type.sample_weight jt b.rng in
+        Wfc_dag.Task.make ~id
+          ~label:(Printf.sprintf "%s_%d" jt.Job_type.name k)
+          ~weight ())
+      types
+  in
+  Wfc_dag.Dag.create ~tasks ~edges:b.edges

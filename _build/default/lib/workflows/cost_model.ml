@@ -1,0 +1,30 @@
+type t = Proportional of float | Constant of float
+
+let name = function
+  | Proportional f -> Printf.sprintf "c=%gw" f
+  | Constant c -> Printf.sprintf "c=%gs" c
+
+let of_string s =
+  let s =
+    if String.length s > 2 && String.sub s 0 2 = "c=" then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let n = String.length s in
+  if n < 2 then None
+  else
+    match (float_of_string_opt (String.sub s 0 (n - 1)), s.[n - 1]) with
+    | Some f, 'w' when f >= 0. && Float.is_finite f -> Some (Proportional f)
+    | Some c, 's' when c >= 0. && Float.is_finite c -> Some (Constant c)
+    | _ -> None
+
+let checkpoint_cost t ~weight =
+  match t with Proportional f -> f *. weight | Constant c -> c
+
+let apply ?(recovery_factor = 1.) t g =
+  Wfc_dag.Dag.map_tasks
+    (fun task ->
+      let c = checkpoint_cost t ~weight:task.Wfc_dag.Task.weight in
+      Wfc_dag.Task.with_costs task ~checkpoint_cost:c
+        ~recovery_cost:(recovery_factor *. c))
+    g

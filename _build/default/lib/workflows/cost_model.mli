@@ -1,0 +1,24 @@
+(** Checkpoint/recovery cost models of the evaluation section.
+
+    The paper evaluates proportional costs ([c_i = 0.1 w_i], [c_i = 0.01
+    w_i]) and constant costs ([c_i = 5 s], [c_i = 10 s]), always with
+    [r_i = c_i]. *)
+
+type t =
+  | Proportional of float  (** [c_i = factor *. w_i] *)
+  | Constant of float  (** [c_i = cost] for every task *)
+
+val name : t -> string
+(** e.g. ["c=0.1w"] or ["c=5s"]. *)
+
+val of_string : string -> t option
+(** Parses the compact syntax used on the command line: ["0.1w"] (or
+    ["c=0.1w"]) for proportional costs, ["5s"] (or ["c=5s"]) for constant
+    costs. Negative factors and costs are rejected. *)
+
+val checkpoint_cost : t -> weight:float -> float
+
+val apply : ?recovery_factor:float -> t -> Wfc_dag.Dag.t -> Wfc_dag.Dag.t
+(** [apply m g] returns [g] with every task's checkpoint cost set by [m] and
+    recovery cost set to [recovery_factor] (default [1.]) times the
+    checkpoint cost. *)

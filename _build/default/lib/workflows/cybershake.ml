@@ -1,0 +1,37 @@
+let min_size = 6
+
+let t_extract = Job_type.make ~name:"ExtractSGT" ~mean_weight:95. ~cv:0.4 ()
+let t_synth =
+  Job_type.make ~name:"SeismogramSynthesis" ~mean_weight:28. ~cv:0.4 ()
+let t_peak = Job_type.make ~name:"PeakValCalc" ~mean_weight:1.5 ~cv:0.3 ()
+let t_zipseis = Job_type.make ~name:"ZipSeis" ~mean_weight:40. ()
+let t_zippsa = Job_type.make ~name:"ZipPSA" ~mean_weight:40. ()
+
+let generate ~rng ~n =
+  if n < min_size then
+    invalid_arg
+      (Printf.sprintf "Cybershake.generate: need at least %d tasks" min_size);
+  (* n = ne + 2 * ns + 2; ne's parity is adjusted so ns is integral. *)
+  let ne =
+    let guess = Int.max 2 (n / 10) in
+    if (n - guess) mod 2 <> 0 then guess + 1 else guess
+  in
+  let ns = (n - ne - 2) / 2 in
+  if ns < 1 then invalid_arg "Cybershake.generate: workflow too small";
+  let b = Builder.create ~rng in
+  let extracts =
+    Array.init ne (fun _ -> Builder.add_task b t_extract ~deps:[])
+  in
+  let synths =
+    Array.init ns (fun j ->
+        let a = extracts.(j mod ne) and c = extracts.((j + 1) mod ne) in
+        let deps = if a = c then [ a ] else [ a; c ] in
+        Builder.add_task b t_synth ~deps)
+  in
+  let peaks =
+    Array.map (fun s -> Builder.add_task b t_peak ~deps:[ s ]) synths
+  in
+  let _zipseis = Builder.add_task b t_zipseis ~deps:(Array.to_list synths) in
+  let _zippsa = Builder.add_task b t_zippsa ~deps:(Array.to_list peaks) in
+  assert (Builder.size b = n);
+  Builder.finalize b

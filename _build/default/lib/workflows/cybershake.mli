@@ -1,0 +1,13 @@
+(** Synthetic CyberShake workflows (SCEC seismic hazard characterization).
+
+    Structure: [ExtractSGT] sources feed a wide layer of
+    [SeismogramSynthesis] tasks, each followed by a tiny [PeakValCalc]; one
+    [ZipSeis] aggregates all seismograms and one [ZipPSA] aggregates all peak
+    values. The average task weight is about 25 s, as reported in the
+    paper. *)
+
+val min_size : int
+
+val generate : rng:Wfc_platform.Rng.t -> n:int -> Wfc_dag.Dag.t
+(** [generate ~rng ~n] builds a CyberShake DAG with exactly [n] tasks.
+    @raise Invalid_argument if [n < min_size]. *)

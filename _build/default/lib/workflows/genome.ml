@@ -1,0 +1,61 @@
+let min_size = 5
+
+let t_split = Job_type.make ~name:"fastQSplit" ~mean_weight:400. ~cv:0.3 ()
+let t_filter = Job_type.make ~name:"filterContams" ~mean_weight:350. ()
+let t_sol = Job_type.make ~name:"sol2sanger" ~mean_weight:80. ()
+let t_bfq = Job_type.make ~name:"fastq2bfq" ~mean_weight:180. ()
+let t_map = Job_type.make ~name:"map" ~mean_weight:4200. ~cv:0.3 ()
+let t_merge = Job_type.make ~name:"mapMerge" ~mean_weight:900. ()
+let t_index = Job_type.make ~name:"maqIndex" ~mean_weight:500. ()
+let t_pileup = Job_type.make ~name:"pileup" ~mean_weight:250. ()
+
+(* Stage sequences by chain length; shorter chains skip optional conversion
+   stages but always end with the heavy [map]. *)
+let chain_stages = function
+  | 4 -> [ t_filter; t_sol; t_bfq; t_map ]
+  | 3 -> [ t_filter; t_bfq; t_map ]
+  | 2 -> [ t_filter; t_map ]
+  | 1 -> [ t_map ]
+  | _ -> invalid_arg "Genome.chain_stages"
+
+(* Split [budget] tasks into at least [min_chains] chains of length 1 to 4,
+   as even as possible. Feasible whenever budget >= min_chains. *)
+let chain_lengths ~min_chains budget =
+  if budget < min_chains || min_chains < 1 then
+    invalid_arg "Genome.chain_lengths: infeasible budget";
+  let k = Int.max min_chains ((budget + 3) / 4) in
+  let base = budget / k and rem = budget mod k in
+  List.init k (fun i -> if i < rem then base + 1 else base)
+
+let generate ~rng ~n =
+  if n < min_size then
+    invalid_arg
+      (Printf.sprintf "Genome.generate: need at least %d tasks" min_size);
+  (* n = 2 (index + pileup) + 2 * lanes (split + merge) + chain tasks, and
+     every lane needs at least one chain task. *)
+  let lanes = Int.max 1 (Int.min (n / 40) ((n - 2) / 3)) in
+  let budget = n - 2 - (2 * lanes) in
+  let chains = Array.of_list (chain_lengths ~min_chains:lanes budget) in
+  let b = Builder.create ~rng in
+  let splits =
+    Array.init lanes (fun _ -> Builder.add_task b t_split ~deps:[])
+  in
+  let lane_maps = Array.make lanes [] in
+  Array.iteri
+    (fun c len ->
+      let lane = c mod lanes in
+      let last =
+        List.fold_left
+          (fun dep jt -> Builder.add_task b jt ~deps:[ dep ])
+          splits.(lane) (chain_stages len)
+      in
+      lane_maps.(lane) <- last :: lane_maps.(lane))
+    chains;
+  let merges =
+    Array.init lanes (fun lane ->
+        Builder.add_task b t_merge ~deps:lane_maps.(lane))
+  in
+  let index = Builder.add_task b t_index ~deps:(Array.to_list merges) in
+  let _pileup = Builder.add_task b t_pileup ~deps:[ index ] in
+  assert (Builder.size b = n);
+  Builder.finalize b

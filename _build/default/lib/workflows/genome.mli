@@ -1,0 +1,15 @@
+(** Synthetic Epigenomics ("Genome") workflows (USC Epigenome Center).
+
+    Structure: each sequencing lane starts with a [fastQSplit] that fans out
+    into parallel read-processing chains ([filterContams] -> [sol2sanger] ->
+    [fastq2bfq] -> [map]); a per-lane [mapMerge] collects the mapped reads,
+    and a global [maqIndex] -> [pileup] tail closes the workflow. Task
+    weights are dominated by the [map] stage; the workflow-wide average
+    exceeds 1000 s, as in the paper. Some chains omit intermediate conversion
+    stages so that the requested task count is met exactly. *)
+
+val min_size : int
+
+val generate : rng:Wfc_platform.Rng.t -> n:int -> Wfc_dag.Dag.t
+(** [generate ~rng ~n] builds a Genome DAG with exactly [n] tasks.
+    @raise Invalid_argument if [n < min_size]. *)

@@ -1,0 +1,15 @@
+type t = { name : string; mean_weight : float; cv : float }
+
+let make ~name ~mean_weight ?(cv = 0.25) () =
+  if not (Float.is_finite mean_weight && mean_weight > 0.) then
+    invalid_arg "Job_type.make: mean_weight must be positive";
+  if not (Float.is_finite cv && cv >= 0.) then
+    invalid_arg "Job_type.make: cv must be non-negative";
+  { name; mean_weight; cv }
+
+let sample_weight t rng =
+  Wfc_platform.Rng.truncated_gaussian rng ~mean:t.mean_weight
+    ~stddev:(t.cv *. t.mean_weight) ~lo:(t.mean_weight /. 10.)
+
+let pp ppf t =
+  Format.fprintf ppf "%s(mean=%g,cv=%g)" t.name t.mean_weight t.cv

@@ -1,0 +1,23 @@
+(** Job types of the synthetic scientific workflows.
+
+    Each Pegasus workflow is made of a small number of job types (e.g.
+    Montage's [mProjectPP], [mDiffFit], ...). A job type carries the mean
+    runtime of its tasks and a coefficient of variation; individual task
+    weights are drawn from a Gaussian truncated away from zero, following the
+    workflow characterization of Bharathi et al. (WORKS 2008). *)
+
+type t = private {
+  name : string;
+  mean_weight : float;  (** mean runtime in seconds, > 0 *)
+  cv : float;  (** coefficient of variation (stddev / mean), >= 0 *)
+}
+
+val make : name:string -> mean_weight:float -> ?cv:float -> unit -> t
+(** [cv] defaults to [0.25].
+    @raise Invalid_argument on non-positive mean or negative cv. *)
+
+val sample_weight : t -> Wfc_platform.Rng.t -> float
+(** Draw one task weight: Gaussian of mean [mean_weight] and stddev
+    [cv *. mean_weight], truncated below at [mean_weight /. 10.]. *)
+
+val pp : Format.formatter -> t -> unit

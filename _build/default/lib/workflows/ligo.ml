@@ -1,0 +1,64 @@
+let min_size = 8
+
+let t_bank = Job_type.make ~name:"TmpltBank" ~mean_weight:35. ~cv:0.2 ()
+let t_inspiral = Job_type.make ~name:"Inspiral" ~mean_weight:450. ()
+let t_thinca = Job_type.make ~name:"Thinca" ~mean_weight:8. ~cv:0.3 ()
+let t_trigbank = Job_type.make ~name:"TrigBank" ~mean_weight:10. ~cv:0.3 ()
+
+let group_size = 5
+let n_groups k = (k + group_size - 1) / group_size
+
+(* The first coincidence layer has a group count fixed by [nb] so that extra
+   first-stage inspirals (the padding that makes the task count exact) each
+   add exactly one task; they just enlarge existing groups. *)
+let total nb ni m = nb + ni + n_groups nb + (2 * m) + n_groups m
+
+let generate ~rng ~n =
+  if n < min_size then
+    invalid_arg (Printf.sprintf "Ligo.generate: need at least %d tasks" min_size);
+  let nb =
+    let guess = Int.max 2 (n / 5) in
+    if total guess guess 1 > n then 2 else guess
+  in
+  if total nb nb 1 > n then invalid_arg "Ligo.generate: workflow too small";
+  (* Grow the refinement stage while it fits (each step adds 2 or 3 tasks),
+     then pad with extra first-stage inspirals (one task each). *)
+  let m = ref 1 in
+  while total nb nb (!m + 1) <= n do
+    incr m
+  done;
+  let m = !m in
+  let ni = nb + (n - total nb nb m) in
+  let t1 = n_groups nb in
+  let b = Builder.create ~rng in
+  let banks = Array.init nb (fun _ -> Builder.add_task b t_bank ~deps:[]) in
+  let inspirals1 =
+    Array.init ni (fun j ->
+        Builder.add_task b t_inspiral ~deps:[ banks.(j mod nb) ])
+  in
+  let thincas1 =
+    Array.init t1 (fun g ->
+        let members =
+          List.filteri (fun j _ -> j mod t1 = g)
+            (Array.to_list inspirals1)
+        in
+        Builder.add_task b t_thinca ~deps:members)
+  in
+  let trigbanks =
+    Array.init m (fun j ->
+        Builder.add_task b t_trigbank ~deps:[ thincas1.(j mod t1) ])
+  in
+  let inspirals2 =
+    Array.map (fun tb -> Builder.add_task b t_inspiral ~deps:[ tb ]) trigbanks
+  in
+  let _thincas2 =
+    Array.init (n_groups m) (fun g ->
+        let members =
+          Array.to_list
+            (Array.sub inspirals2 (g * group_size)
+               (Int.min group_size (m - (g * group_size))))
+        in
+        Builder.add_task b t_thinca ~deps:members)
+  in
+  assert (Builder.size b = n);
+  Builder.finalize b

@@ -1,0 +1,13 @@
+(** Synthetic LIGO Inspiral Analysis workflows.
+
+    Structure: [TmpltBank] sources feed a bank of heavy [Inspiral] tasks,
+    grouped by [Thinca] coincidence tasks; selected triggers spawn
+    [TrigBank] -> [Inspiral] refinement pairs, aggregated by a second layer
+    of [Thinca]. The average task weight is about 220 s, dominated by the
+    [Inspiral] matched-filter stages, as reported in the paper. *)
+
+val min_size : int
+
+val generate : rng:Wfc_platform.Rng.t -> n:int -> Wfc_dag.Dag.t
+(** [generate ~rng ~n] builds a Ligo DAG with exactly [n] tasks.
+    @raise Invalid_argument if [n < min_size]. *)

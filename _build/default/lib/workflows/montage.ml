@@ -1,0 +1,51 @@
+let min_size = 11
+
+let t_project = Job_type.make ~name:"mProjectPP" ~mean_weight:13. ()
+let t_diff = Job_type.make ~name:"mDiffFit" ~mean_weight:10. ~cv:0.3 ()
+let t_concat = Job_type.make ~name:"mConcatFit" ~mean_weight:15. ()
+let t_bgmodel = Job_type.make ~name:"mBgModel" ~mean_weight:20. ()
+let t_background = Job_type.make ~name:"mBackground" ~mean_weight:11. ()
+let t_imgtbl = Job_type.make ~name:"mImgtbl" ~mean_weight:8. ()
+let t_add = Job_type.make ~name:"mAdd" ~mean_weight:18. ()
+let t_shrink = Job_type.make ~name:"mShrink" ~mean_weight:5. ()
+let t_jpeg = Job_type.make ~name:"mJPEG" ~mean_weight:2. ~cv:0.1 ()
+
+(* n = 2*n1 (project + background) + nd (diff) + ns (shrink) + 5 singletons;
+   nd absorbs the slack so the total is exact. *)
+let layer_sizes n =
+  let n1 = ref (Int.max 2 ((n - 5) * 22 / 100)) in
+  let ns = ref (Int.max 1 (!n1 / 6)) in
+  let nd () = n - 5 - (2 * !n1) - !ns in
+  while nd () < 1 && (!n1 > 2 || !ns > 1) do
+    if !n1 > 2 then decr n1 else decr ns
+  done;
+  if nd () < 1 then invalid_arg "Montage.generate: workflow too small";
+  (!n1, nd (), !ns)
+
+let generate ~rng ~n =
+  if n < min_size then
+    invalid_arg
+      (Printf.sprintf "Montage.generate: need at least %d tasks" min_size);
+  let n1, nd, ns = layer_sizes n in
+  let b = Builder.create ~rng in
+  let projects = Array.init n1 (fun _ -> Builder.add_task b t_project ~deps:[]) in
+  let diffs =
+    Array.init nd (fun j ->
+        let a = projects.(j mod n1) and c = projects.((j + 1) mod n1) in
+        let deps = if a = c then [ a ] else [ a; c ] in
+        Builder.add_task b t_diff ~deps)
+  in
+  let concat = Builder.add_task b t_concat ~deps:(Array.to_list diffs) in
+  let bgmodel = Builder.add_task b t_bgmodel ~deps:[ concat ] in
+  let backgrounds =
+    Array.map (fun p -> Builder.add_task b t_background ~deps:[ bgmodel; p ])
+      projects
+  in
+  let imgtbl = Builder.add_task b t_imgtbl ~deps:(Array.to_list backgrounds) in
+  let add = Builder.add_task b t_add ~deps:[ imgtbl ] in
+  let shrinks =
+    Array.init ns (fun _ -> Builder.add_task b t_shrink ~deps:[ add ])
+  in
+  let _jpeg = Builder.add_task b t_jpeg ~deps:(Array.to_list shrinks) in
+  assert (Builder.size b = n);
+  Builder.finalize b

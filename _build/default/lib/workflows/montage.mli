@@ -1,0 +1,13 @@
+(** Synthetic Montage workflows (NASA/IPAC sky mosaics).
+
+    Structure follows the Pegasus characterization: a layer of [mProjectPP]
+    reprojections feeds pairwise [mDiffFit] tasks, aggregated by one
+    [mConcatFit] and one [mBgModel]; per-image [mBackground] tasks then feed
+    [mImgtbl], [mAdd], a layer of [mShrink] and a final [mJPEG]. The average
+    task weight is about 10 s, as reported in the paper. *)
+
+val min_size : int
+
+val generate : rng:Wfc_platform.Rng.t -> n:int -> Wfc_dag.Dag.t
+(** [generate ~rng ~n] builds a Montage DAG with exactly [n] tasks.
+    @raise Invalid_argument if [n < min_size]. *)

@@ -1,0 +1,57 @@
+type family = Montage | Ligo | Cybershake | Genome | Sipht
+
+(* the four applications of the paper's evaluation section *)
+let all = [ Montage; Ligo; Cybershake; Genome ]
+let extended = all @ [ Sipht ]
+
+let family_name = function
+  | Montage -> "Montage"
+  | Ligo -> "Ligo"
+  | Cybershake -> "CyberShake"
+  | Genome -> "Genome"
+  | Sipht -> "Sipht"
+
+let family_of_string s =
+  match String.lowercase_ascii s with
+  | "montage" -> Some Montage
+  | "ligo" -> Some Ligo
+  | "cybershake" -> Some Cybershake
+  | "genome" -> Some Genome
+  | "sipht" -> Some Sipht
+  | _ -> None
+
+let min_size = function
+  | Montage -> Montage.min_size
+  | Ligo -> Ligo.min_size
+  | Cybershake -> Cybershake.min_size
+  | Genome -> Genome.min_size
+  | Sipht -> Sipht.min_size
+
+let mean_task_weight = function
+  | Montage -> 10.
+  | Ligo -> 220.
+  | Cybershake -> 25.
+  | Genome -> 1000.
+  | Sipht -> 140.
+
+(* Distinct streams per (family, n, seed) so that changing one experiment
+   leaves all others byte-identical. *)
+let stream_seed family ~n ~seed =
+  let tag =
+    match family with
+    | Montage -> 1
+    | Ligo -> 2
+    | Cybershake -> 3
+    | Genome -> 4
+    | Sipht -> 5
+  in
+  (seed * 1_000_003) + (n * 101) + tag
+
+let generate family ~n ~seed =
+  let rng = Wfc_platform.Rng.create (stream_seed family ~n ~seed) in
+  match family with
+  | Montage -> Montage.generate ~rng ~n
+  | Ligo -> Ligo.generate ~rng ~n
+  | Cybershake -> Cybershake.generate ~rng ~n
+  | Genome -> Genome.generate ~rng ~n
+  | Sipht -> Sipht.generate ~rng ~n

@@ -1,0 +1,35 @@
+(** Entry point of the synthetic Pegasus workflow generator.
+
+    Mirrors the four applications used in the paper's evaluation (Section 6):
+    Montage (average task weight ~10 s), Ligo (~220 s), CyberShake (~25 s)
+    and Genome (>= 1000 s) — plus SIPHT (~140 s) from the same
+    characterization, as an extension. Generated weights are random but fully
+    deterministic in the seed. Checkpoint/recovery costs are all zero; apply
+    a {!Cost_model.t} to set them. *)
+
+type family = Montage | Ligo | Cybershake | Genome | Sipht
+
+val all : family list
+(** The paper's four evaluation workflows (no SIPHT) — what the figure
+    harness sweeps. *)
+
+val extended : family list
+(** [all] plus [Sipht]. *)
+
+val family_name : family -> string
+(** "Montage", "Ligo", "CyberShake" or "Genome". *)
+
+val family_of_string : string -> family option
+(** Case-insensitive inverse of {!family_name}. *)
+
+val min_size : family -> int
+
+val mean_task_weight : family -> float
+(** Indicative average task weight of the family (used to scale MTBFs in
+    experiments; the paper quotes 10 s / 220 s / 25 s / > 1000 s). *)
+
+val generate : family -> n:int -> seed:int -> Wfc_dag.Dag.t
+(** [generate f ~n ~seed] builds a workflow of family [f] with exactly [n]
+    tasks. Equal arguments produce identical DAGs.
+
+    @raise Invalid_argument if [n < min_size f]. *)

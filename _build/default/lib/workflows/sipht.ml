@@ -1,0 +1,57 @@
+let min_size = 13
+
+let t_patser = Job_type.make ~name:"Patser" ~mean_weight:1. ~cv:0.3 ()
+let t_concate = Job_type.make ~name:"Patser_concate" ~mean_weight:10. ()
+let t_transterm = Job_type.make ~name:"Transterm" ~mean_weight:32. ()
+let t_findterm = Job_type.make ~name:"Findterm" ~mean_weight:594. ~cv:0.3 ()
+let t_rnamotif = Job_type.make ~name:"RNAMotif" ~mean_weight:25. ()
+let t_blast = Job_type.make ~name:"Blast" ~mean_weight:3311. ~cv:0.3 ()
+let t_srna = Job_type.make ~name:"SRNA" ~mean_weight:12. ()
+let t_ffn = Job_type.make ~name:"FFN_parse" ~mean_weight:0.5 ()
+let t_synteny = Job_type.make ~name:"Blast_synteny" ~mean_weight:3.6 ()
+let t_candidate = Job_type.make ~name:"Blast_candidate" ~mean_weight:0.6 ()
+let t_qrna = Job_type.make ~name:"Blast_QRNA" ~mean_weight:440. ~cv:0.3 ()
+let t_paralogues = Job_type.make ~name:"Blast_paralogues" ~mean_weight:0.7 ()
+let t_annotate = Job_type.make ~name:"SRNA_annotate" ~mean_weight:0.6 ()
+
+let tasks_per_unit_fixed = 12
+
+(* One replicon sub-workflow with [patsers] Patser jobs. *)
+let add_unit b ~patsers =
+  let ps =
+    List.init patsers (fun _ -> Builder.add_task b t_patser ~deps:[])
+  in
+  let concate = Builder.add_task b t_concate ~deps:ps in
+  let transterm = Builder.add_task b t_transterm ~deps:[] in
+  let findterm = Builder.add_task b t_findterm ~deps:[] in
+  let rnamotif = Builder.add_task b t_rnamotif ~deps:[] in
+  let blast = Builder.add_task b t_blast ~deps:[] in
+  let srna =
+    Builder.add_task b t_srna
+      ~deps:[ concate; transterm; findterm; rnamotif; blast ]
+  in
+  let ffn = Builder.add_task b t_ffn ~deps:[ srna ] in
+  let synteny = Builder.add_task b t_synteny ~deps:[ srna; ffn ] in
+  let candidate = Builder.add_task b t_candidate ~deps:[ srna ] in
+  let qrna = Builder.add_task b t_qrna ~deps:[ srna ] in
+  let paralogues = Builder.add_task b t_paralogues ~deps:[ srna ] in
+  ignore
+    (Builder.add_task b t_annotate
+       ~deps:[ synteny; candidate; qrna; paralogues; concate ])
+
+let generate ~rng ~n =
+  if n < min_size then
+    invalid_arg
+      (Printf.sprintf "Sipht.generate: need at least %d tasks" min_size);
+  (* u sub-workflows of 12 fixed tasks + >= 1 Patser each *)
+  let units =
+    Int.max 1 (Int.min (n / 33) (n / (tasks_per_unit_fixed + 1)))
+  in
+  let patser_budget = n - (tasks_per_unit_fixed * units) in
+  let base = patser_budget / units and rem = patser_budget mod units in
+  let b = Builder.create ~rng in
+  for u = 0 to units - 1 do
+    add_unit b ~patsers:(base + if u < rem then 1 else 0)
+  done;
+  assert (Builder.size b = n);
+  Builder.finalize b

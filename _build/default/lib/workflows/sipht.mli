@@ -1,0 +1,17 @@
+(** Synthetic SIPHT workflows (Harvard sRNA identification pipeline).
+
+    The fifth application of the Bharathi et al. characterization, added as
+    an extension: the paper's evaluation uses the other four. Structure: one
+    independent sub-workflow per replicon, each with a wide layer of tiny
+    [Patser] jobs aggregated by [Patser_concate], a heavy search stage
+    ([Blast], [Findterm], [RNAMotif], [Transterm]) joined by [SRNA], a fan of
+    light secondary blasts, and a final [SRNA_annotate]. Average task weight
+    is roughly 140 s, dominated by [Blast] and [Findterm]. Sub-workflows are
+    disconnected, which stresses linearization strategies (many exit
+    tasks). *)
+
+val min_size : int
+
+val generate : rng:Wfc_platform.Rng.t -> n:int -> Wfc_dag.Dag.t
+(** [generate ~rng ~n] builds a SIPHT DAG with exactly [n] tasks.
+    @raise Invalid_argument if [n < min_size]. *)

@@ -1,0 +1,5 @@
+  $ ../bin/wfc.exe generate -w montage -n 50 --seed 42
+  $ ../bin/wfc.exe evaluate -w cybershake -n 30 --mtbf 500 -s CkptW --grid 8
+  $ ../bin/wfc.exe solve chain -n 5 --seed 1 --mtbf 300
+  $ ../bin/wfc.exe generate -w nosuch 2>&1 | head -2
+  $ echo $?

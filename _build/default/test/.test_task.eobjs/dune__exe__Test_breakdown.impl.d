@@ -1,0 +1,1 @@
+test/test_breakdown.ml: Alcotest Energy Evaluator Float Monte_carlo Schedule Sim Sim_breakdown Wfc_core Wfc_dag Wfc_platform Wfc_simulator Wfc_test_util

@@ -1,0 +1,1 @@
+test/test_brute_force.ml: Alcotest Array Brute_force Exact_solver Float Fun List Schedule Wfc_core Wfc_dag Wfc_platform Wfc_test_util

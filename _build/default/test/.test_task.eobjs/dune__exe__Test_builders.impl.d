@@ -1,0 +1,1 @@
+test/test_builders.ml: Alcotest Array Builders Dag Int Printf Wfc_dag Wfc_platform

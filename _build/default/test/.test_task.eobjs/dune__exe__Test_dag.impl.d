@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag List Task Wfc_dag

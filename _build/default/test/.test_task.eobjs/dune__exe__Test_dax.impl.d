@@ -1,0 +1,1 @@
+test/test_dax.ml: Alcotest Dax Filename Float List Result String Sys Wfc_core Wfc_dag Wfc_io Wfc_platform Wfc_test_util Wfc_workflows Xml

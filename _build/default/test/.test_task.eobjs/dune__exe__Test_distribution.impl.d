@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Float List Printf Wfc_core Wfc_dag Wfc_platform Wfc_simulator Wfc_test_util Wfc_workflows

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Builders Dot Filename List String Sys Wfc_dag

@@ -1,0 +1,1 @@
+test/test_evaluator.ml: Alcotest Array Chain_solver Evaluator Float Join_solver List Lost_work Schedule Wfc_core Wfc_dag Wfc_platform Wfc_test_util

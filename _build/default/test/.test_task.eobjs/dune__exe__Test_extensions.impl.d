@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bounds Brute_force Float Format Heuristics List Printf Schedule String Wfc_core Wfc_dag Wfc_platform Wfc_simulator Wfc_test_util Wfc_workflows

@@ -1,0 +1,1 @@
+test/test_failure_model.ml: Alcotest Float List Wfc_platform Wfc_test_util

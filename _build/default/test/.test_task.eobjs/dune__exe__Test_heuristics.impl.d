@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Brute_force Evaluator Float Heuristics List Schedule Wfc_core Wfc_dag Wfc_platform Wfc_test_util Wfc_workflows

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Array Filename Hashtbl Json List QCheck2 Result Sys Wfc_core Wfc_dag Wfc_io Wfc_test_util Wfc_workflows Workflow_format

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Array Dag Format Int Linearize List Option Wfc_dag Wfc_platform Wfc_test_util

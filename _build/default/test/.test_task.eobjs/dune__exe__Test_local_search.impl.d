@@ -1,0 +1,1 @@
+test/test_local_search.ml: Alcotest Array Chain_solver Evaluator Fun List Local_search Schedule Wfc_core Wfc_dag Wfc_platform Wfc_test_util Wfc_workflows

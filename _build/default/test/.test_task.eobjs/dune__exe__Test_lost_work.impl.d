@@ -1,0 +1,1 @@
+test/test_lost_work.ml: Alcotest Array List Lost_work Lost_work_reference Printf Schedule Wfc_core Wfc_dag Wfc_test_util

@@ -1,0 +1,1 @@
+test/test_overlap.ml: Alcotest Array Fun List Monte_carlo Printf Schedule Sim Sim_overlap Wfc_core Wfc_dag Wfc_platform Wfc_simulator Wfc_test_util Wfc_workflows

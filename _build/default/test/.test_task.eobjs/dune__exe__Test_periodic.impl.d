@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest Float List Periodic Wfc_core Wfc_platform Wfc_test_util

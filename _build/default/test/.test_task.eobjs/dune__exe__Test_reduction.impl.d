@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Float Join_solver List Printf Reduction Wfc_core Wfc_dag Wfc_platform Wfc_test_util

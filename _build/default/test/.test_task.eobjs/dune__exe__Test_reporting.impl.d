@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Csv Filename List Series String Sys Table Wfc_reporting

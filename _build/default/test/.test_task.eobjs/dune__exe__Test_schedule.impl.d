@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Format Schedule Wfc_core Wfc_dag

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Evaluator Float Join_solver List Monte_carlo Schedule Sim Wfc_core Wfc_dag Wfc_platform Wfc_simulator Wfc_test_util

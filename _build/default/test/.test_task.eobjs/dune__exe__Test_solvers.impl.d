@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Brute_force Chain_solver Evaluator Fork_solver Join_solver List Schedule String Wfc_core Wfc_dag Wfc_platform Wfc_test_util

@@ -1,0 +1,1 @@
+test/test_task.ml: Alcotest Float Task Wfc_dag

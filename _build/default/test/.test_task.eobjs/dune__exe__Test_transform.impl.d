@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Builders Dag Format Fun List Printf Task Transform Wfc_core Wfc_dag Wfc_platform Wfc_test_util

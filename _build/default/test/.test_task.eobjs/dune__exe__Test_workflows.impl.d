@@ -1,0 +1,1 @@
+test/test_workflows.ml: Alcotest Array Builder Cost_model Job_type List Pegasus Printf String Wfc_dag Wfc_platform Wfc_test_util Wfc_workflows

@@ -1,0 +1,30 @@
+Deterministic smoke tests of the wfc command-line tool. Everything below is
+analytic (no Monte Carlo), so the printed numbers are stable.
+
+Workflow generation summary:
+
+  $ ../bin/wfc.exe generate -w montage -n 50 --seed 42
+  dag: 50 tasks, 109 edges, depth 8, weight total 551.923 (avg 11.0385, min 2.25654, max 23.0191)
+  sources: 9, sinks: 1, critical path: 117.2 s
+
+The 14 heuristics on a small CyberShake instance:
+
+  $ ../bin/wfc.exe evaluate -w cybershake -n 30 --mtbf 500 -s CkptW --grid 8
+  DF-CkptW on CyberShake (30 tasks), platform: lambda=0.002 (MTBF 500 s), downtime 0 s
+    E[makespan] = 1106.27 s
+    T_inf       = 889.73 s (ratio 1.2434)
+    checkpoints = 29 (evaluator calls: 6)
+
+Optimal chain checkpointing (Toueg-Babaoglu DP):
+
+  $ ../bin/wfc.exe solve chain -n 5 --seed 1 --mtbf 300
+  random chain of 5 tasks: optimal E[makespan] = 368.51 s
+  checkpointed tasks: T0 T1 T2
+
+Unknown workflow families are rejected:
+
+  $ ../bin/wfc.exe generate -w nosuch 2>&1 | head -2
+  wfc: option '-w': unknown workflow family "nosuch"
+  Usage: wfc generate [OPTION]…
+  $ echo $?
+  0

@@ -1,0 +1,121 @@
+open Wfc_dag
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_chain () =
+  let g = Builders.chain ~weights:[| 1.; 2.; 3. |] () in
+  Alcotest.(check int) "edges" 2 (Dag.n_edges g);
+  Alcotest.(check bool) "0->1" true (Dag.is_edge g 0 1);
+  Alcotest.(check bool) "1->2" true (Dag.is_edge g 1 2);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 2 ] (Dag.sinks g);
+  expect_invalid (fun () -> Builders.chain ~weights:[||] ())
+
+let test_chain_single () =
+  let g = Builders.chain ~weights:[| 4. |] () in
+  Alcotest.(check int) "edges" 0 (Dag.n_edges g)
+
+let test_fork () =
+  let g = Builders.fork ~source_weight:5. ~sink_weights:[| 1.; 2.; 3. |] () in
+  Alcotest.(check int) "tasks" 4 (Dag.n_tasks g);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 1; 2; 3 ] (Dag.sinks g);
+  Alcotest.(check (float 1e-9)) "source w" 5. (Dag.weight g 0);
+  Alcotest.(check (list int)) "succ src" [ 1; 2; 3 ] (Dag.succs g 0);
+  expect_invalid (fun () -> Builders.fork ~source_weight:1. ~sink_weights:[||] ())
+
+let test_join () =
+  let g = Builders.join ~source_weights:[| 1.; 2. |] ~sink_weight:9. () in
+  Alcotest.(check int) "tasks" 3 (Dag.n_tasks g);
+  Alcotest.(check (list int)) "sources" [ 0; 1 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 2 ] (Dag.sinks g);
+  Alcotest.(check (float 1e-9)) "sink w" 9. (Dag.weight g 2);
+  expect_invalid (fun () -> Builders.join ~source_weights:[||] ~sink_weight:1. ())
+
+let test_fork_join () =
+  let g =
+    Builders.fork_join ~source_weight:1. ~middle_weights:[| 2.; 3.; 4. |]
+      ~sink_weight:5. ()
+  in
+  Alcotest.(check int) "tasks" 5 (Dag.n_tasks g);
+  Alcotest.(check int) "edges" 6 (Dag.n_edges g);
+  Alcotest.(check (list int)) "preds sink" [ 1; 2; 3 ] (Dag.preds g 4);
+  Alcotest.(check int) "depth" 2 (Array.fold_left Int.max 0 (Dag.levels g))
+
+let test_diamond () =
+  let g = Builders.diamond ~width:4 () in
+  Alcotest.(check int) "tasks" 6 (Dag.n_tasks g);
+  Alcotest.(check (float 1e-9)) "total" 6. (Dag.total_weight g);
+  expect_invalid (fun () -> Builders.diamond ~width:0 ())
+
+let test_layered () =
+  let rng = Wfc_platform.Rng.create 11 in
+  let g =
+    Builders.layered
+      ~rand:(fun b -> Wfc_platform.Rng.int rng b)
+      ~n_layers:4
+      ~layer_width:(fun l -> l + 1)
+      ~weight:(fun id -> float_of_int (id + 1))
+      ()
+  in
+  Alcotest.(check int) "tasks" 10 (Dag.n_tasks g);
+  (* every vertex beyond layer 0 has at least one predecessor *)
+  for v = 1 to 9 do
+    if v >= 1 then
+      Alcotest.(check bool)
+        (Printf.sprintf "v%d connected" v)
+        true
+        (v = 0 || Dag.in_degree g v > 0 || v < 1)
+  done;
+  let lv = Dag.levels g in
+  Alcotest.(check int) "depth" 3 (Array.fold_left Int.max 0 lv);
+  Alcotest.(check bool) "valid topo" true
+    (Dag.is_linearization g (Dag.topological_order g))
+
+let test_layered_deterministic () =
+  let build seed =
+    let rng = Wfc_platform.Rng.create seed in
+    Builders.layered
+      ~rand:(fun b -> Wfc_platform.Rng.int rng b)
+      ~n_layers:3
+      ~layer_width:(fun _ -> 3)
+      ~weight:(fun _ -> 1.)
+      ()
+  in
+  Alcotest.(check (list (pair int int)))
+    "same seed same edges"
+    (Dag.edges (build 5))
+    (Dag.edges (build 5))
+
+let test_layered_validation () =
+  let rand _ = 0 in
+  expect_invalid (fun () ->
+      Builders.layered ~rand ~n_layers:0 ~layer_width:(fun _ -> 1)
+        ~weight:(fun _ -> 1.) ());
+  expect_invalid (fun () ->
+      Builders.layered ~rand ~n_layers:2 ~layer_width:(fun _ -> 0)
+        ~weight:(fun _ -> 1.) ());
+  expect_invalid (fun () ->
+      Builders.layered ~rand ~n_layers:2 ~layer_width:(fun _ -> 1)
+        ~weight:(fun _ -> 1.) ~edge_density:0 ())
+
+let () =
+  Alcotest.run "builders"
+    [
+      ( "builders",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "chain single" `Quick test_chain_single;
+          Alcotest.test_case "fork" `Quick test_fork;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "fork_join" `Quick test_fork_join;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+          Alcotest.test_case "layered" `Quick test_layered;
+          Alcotest.test_case "layered deterministic" `Quick
+            test_layered_deterministic;
+          Alcotest.test_case "layered validation" `Quick test_layered_validation;
+        ] );
+    ]

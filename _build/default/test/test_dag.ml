@@ -1,0 +1,149 @@
+open Wfc_dag
+
+(* The DAG of Figure 1 in the paper: T0 -> {T1, T3}; T1 -> T2; T3 -> T4;
+   {T2, T4} -> T5; T4 -> T6; {T2, T6} -> T7. *)
+let figure1 () =
+  Dag.of_weights
+    ~weights:[| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |]
+    ~edges:[ (0, 1); (0, 3); (1, 2); (3, 4); (2, 5); (4, 5); (4, 6); (2, 7); (6, 7) ]
+    ()
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_basic_accessors () =
+  let g = figure1 () in
+  Alcotest.(check int) "n_tasks" 8 (Dag.n_tasks g);
+  Alcotest.(check int) "n_edges" 9 (Dag.n_edges g);
+  Alcotest.(check (list int)) "succs 0" [ 1; 3 ] (Dag.succs g 0);
+  Alcotest.(check (list int)) "preds 5" [ 2; 4 ] (Dag.preds g 5);
+  Alcotest.(check (list int)) "preds 0" [] (Dag.preds g 0);
+  Alcotest.(check bool) "edge 0->1" true (Dag.is_edge g 0 1);
+  Alcotest.(check bool) "no edge 1->0" false (Dag.is_edge g 1 0);
+  Alcotest.(check int) "in_degree 7" 2 (Dag.in_degree g 7);
+  Alcotest.(check int) "out_degree 4" 2 (Dag.out_degree g 4);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 5; 7 ] (Dag.sinks g)
+
+let test_edges_sorted () =
+  let g = figure1 () in
+  let e = Dag.edges g in
+  Alcotest.(check int) "count" 9 (List.length e);
+  Alcotest.(check bool) "sorted" true (List.sort compare e = e)
+
+let test_validation () =
+  let t i = Task.make ~id:i ~weight:1. () in
+  expect_invalid (fun () -> Dag.create ~tasks:[||] ~edges:[]);
+  expect_invalid (fun () ->
+      Dag.create ~tasks:[| t 0; t 0 |] ~edges:[]);
+  expect_invalid (fun () -> Dag.create ~tasks:[| t 0 |] ~edges:[ (0, 1) ]);
+  expect_invalid (fun () -> Dag.create ~tasks:[| t 0 |] ~edges:[ (0, 0) ]);
+  expect_invalid (fun () ->
+      Dag.create ~tasks:[| t 0; t 1 |] ~edges:[ (0, 1); (0, 1) ]);
+  (* cycle *)
+  expect_invalid (fun () ->
+      Dag.create ~tasks:[| t 0; t 1; t 2 |] ~edges:[ (0, 1); (1, 2); (2, 0) ])
+
+let test_topological_order () =
+  let g = figure1 () in
+  let order = Dag.topological_order g in
+  Alcotest.(check bool) "valid" true (Dag.is_linearization g order);
+  (* Kahn with min-id selection is deterministic *)
+  Alcotest.(check (array int)) "deterministic"
+    (Dag.topological_order g) order
+
+let test_is_linearization () =
+  let g = figure1 () in
+  Alcotest.(check bool) "good" true
+    (Dag.is_linearization g [| 0; 3; 1; 2; 4; 5; 6; 7 |]);
+  Alcotest.(check bool) "violates deps" false
+    (Dag.is_linearization g [| 1; 0; 3; 2; 4; 5; 6; 7 |]);
+  Alcotest.(check bool) "wrong length" false
+    (Dag.is_linearization g [| 0; 1; 2 |]);
+  Alcotest.(check bool) "duplicate" false
+    (Dag.is_linearization g [| 0; 0; 1; 2; 3; 4; 5; 6 |])
+
+let test_levels () =
+  let g = figure1 () in
+  Alcotest.(check (array int)) "levels"
+    [| 0; 1; 2; 1; 2; 3; 3; 4 |] (Dag.levels g)
+
+let test_ancestors_descendants () =
+  let g = figure1 () in
+  let anc = Dag.ancestors g 5 in
+  Alcotest.(check (array bool)) "ancestors of 5"
+    [| true; true; true; true; true; false; false; false |] anc;
+  let desc = Dag.descendants g 3 in
+  Alcotest.(check (array bool)) "descendants of 3"
+    [| false; false; false; false; true; true; true; true |] desc
+
+let test_weights () =
+  let g = figure1 () in
+  Alcotest.(check (float 1e-9)) "total" 36. (Dag.total_weight g);
+  Alcotest.(check (float 1e-9)) "outweight 0" 6. (Dag.outweight g 0);
+  Alcotest.(check (float 1e-9)) "outweight 4" 13. (Dag.outweight g 4);
+  Alcotest.(check (float 1e-9)) "outweight sink" 0. (Dag.outweight g 7);
+  (* critical path: 0 -> 3 -> 4 -> 6 -> 7 = 1+4+5+7+8 = 25 *)
+  Alcotest.(check (float 1e-9)) "critical path" 25. (Dag.critical_path g)
+
+let test_of_weights_costs () =
+  let g =
+    Dag.of_weights
+      ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+      ~recovery_cost:(fun i _ -> float_of_int i)
+      ~weights:[| 10.; 20. |] ~edges:[ (0, 1) ] ()
+  in
+  Alcotest.(check (float 1e-9)) "c0" 1. (Dag.task g 0).Task.checkpoint_cost;
+  Alcotest.(check (float 1e-9)) "r1" 1. (Dag.task g 1).Task.recovery_cost
+
+let test_map_tasks () =
+  let g = figure1 () in
+  let g' = Dag.map_tasks (fun t -> Task.with_weight t ~weight:1.) g in
+  Alcotest.(check (float 1e-9)) "scaled" 8. (Dag.total_weight g');
+  Alcotest.(check (float 1e-9)) "original intact" 36. (Dag.total_weight g);
+  expect_invalid (fun () ->
+      Dag.map_tasks
+        (fun t -> Task.make ~id:(t.Task.id + 1) ~weight:1. ())
+        g)
+
+let test_tasks_copy () =
+  let g = figure1 () in
+  let ts = Dag.tasks g in
+  ts.(0) <- Task.make ~id:0 ~weight:999. ();
+  Alcotest.(check (float 1e-9)) "internal state unchanged" 1. (Dag.weight g 0)
+
+let test_single_vertex () =
+  let g = Dag.of_weights ~weights:[| 5. |] ~edges:[] () in
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 0 ] (Dag.sinks g);
+  Alcotest.(check (float 1e-9)) "critical" 5. (Dag.critical_path g)
+
+let test_out_of_range () =
+  let g = figure1 () in
+  expect_invalid (fun () -> Dag.task g 8);
+  expect_invalid (fun () -> Dag.task g (-1));
+  expect_invalid (fun () -> Dag.succs g 100)
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "edges sorted" `Quick test_edges_sorted;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "is_linearization" `Quick test_is_linearization;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "ancestors/descendants" `Quick
+            test_ancestors_descendants;
+          Alcotest.test_case "weights" `Quick test_weights;
+          Alcotest.test_case "of_weights costs" `Quick test_of_weights_costs;
+          Alcotest.test_case "map_tasks" `Quick test_map_tasks;
+          Alcotest.test_case "tasks returns a copy" `Quick test_tasks_copy;
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+        ] );
+    ]

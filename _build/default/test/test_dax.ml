@@ -1,0 +1,165 @@
+open Wfc_io
+module Dag = Wfc_dag.Dag
+
+let expect_error = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* ---- XML parser ---- *)
+
+let parse_ok s =
+  match Xml.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_xml_basics () =
+  let x = parse_ok "<a b=\"1\" c='two'><d/>text<e>inner</e></a>" in
+  Alcotest.(check (option string)) "name" (Some "a") (Xml.name x);
+  Alcotest.(check (option string)) "attr b" (Some "1") (Xml.attr "b" x);
+  Alcotest.(check (option string)) "attr c" (Some "two") (Xml.attr "c" x);
+  Alcotest.(check (option string)) "missing attr" None (Xml.attr "z" x);
+  Alcotest.(check int) "children" 3 (List.length (Xml.children x));
+  Alcotest.(check int) "elements" 2 (List.length (Xml.elements x));
+  Alcotest.(check int) "named" 1 (List.length (Xml.elements ~named:"d" x));
+  Alcotest.(check string) "text" "textinner" (Xml.text_content x)
+
+let test_xml_prolog_and_comments () =
+  let x =
+    parse_ok
+      "<?xml version=\"1.0\"?>\n<!-- hello --><root><!-- inner --><a/></root>"
+  in
+  Alcotest.(check (option string)) "root" (Some "root") (Xml.name x);
+  Alcotest.(check int) "comment dropped" 1 (List.length (Xml.children x))
+
+let test_xml_entities () =
+  let x = parse_ok "<a t=\"&lt;&amp;&gt;\">x &amp; y &#65;</a>" in
+  Alcotest.(check (option string)) "attr entities" (Some "<&>") (Xml.attr "t" x);
+  Alcotest.(check string) "text entities" "x & y A" (Xml.text_content x)
+
+let test_xml_cdata () =
+  let x = parse_ok "<a><![CDATA[<raw & stuff>]]></a>" in
+  Alcotest.(check string) "cdata" "<raw & stuff>" (Xml.text_content x)
+
+let test_xml_errors () =
+  List.iter
+    (fun s -> expect_error (Xml.of_string s))
+    [ ""; "<a>"; "<a></b>"; "<a x></a>"; "<a x=1/>"; "<a/><b/>";
+      "<!DOCTYPE html><a/>"; "<a>&unknown;</a>" ]
+
+let test_xml_roundtrip () =
+  (* pretty-printing reflows text nodes, so compare modulo trimming *)
+  let rec normalize = function
+    | Xml.Element (n, a, kids) -> Xml.Element (n, a, List.map normalize kids)
+    | Xml.Text t -> Xml.Text (String.trim t)
+  in
+  let x =
+    Xml.Element
+      ( "adag",
+        [ ("name", "m<o>s&ic") ],
+        [
+          Xml.Element ("job", [ ("id", "ID1") ], []);
+          Xml.Element ("child", [], [ Xml.Text "payload & more" ]);
+        ] )
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (normalize (parse_ok (Xml.to_string x)) = normalize x)
+
+(* ---- DAX ---- *)
+
+let sample_dax =
+  {|<?xml version="1.0" encoding="UTF-8"?>
+<adag name="diamond">
+  <job id="ID0000001" name="preprocess" runtime="12.5"/>
+  <job id="ID0000002" name="findrange" runtime="4"/>
+  <job id="ID0000003" name="findrange" runtime="6"/>
+  <job id="ID0000004" name="analyze" runtime="3.25"/>
+  <child ref="ID0000002"><parent ref="ID0000001"/></child>
+  <child ref="ID0000003"><parent ref="ID0000001"/></child>
+  <child ref="ID0000004">
+    <parent ref="ID0000002"/>
+    <parent ref="ID0000003"/>
+  </child>
+</adag>|}
+
+let test_dax_import () =
+  match Result.bind (Xml.of_string sample_dax) Dax.of_xml with
+  | Error e -> Alcotest.failf "import failed: %s" e
+  | Ok g ->
+      Alcotest.(check int) "tasks" 4 (Dag.n_tasks g);
+      Alcotest.(check int) "edges" 4 (Dag.n_edges g);
+      Wfc_test_util.check_close "runtime" 12.5 (Dag.weight g 0);
+      Alcotest.(check string) "label" "preprocess"
+        (Dag.task g 0).Wfc_dag.Task.label;
+      Alcotest.(check (list int)) "analyze preds" [ 1; 2 ] (Dag.preds g 3);
+      Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g)
+
+let test_dax_roundtrip () =
+  List.iter
+    (fun fam ->
+      let g = Wfc_workflows.Pegasus.generate fam ~n:40 ~seed:3 in
+      let path = Filename.temp_file "wfc" ".dax" in
+      Dax.save ~name:(Wfc_workflows.Pegasus.family_name fam) path g;
+      (match Dax.load path with
+      | Error e -> Alcotest.failf "reload failed: %s" e
+      | Ok g' ->
+          Alcotest.(check int) "tasks" (Dag.n_tasks g) (Dag.n_tasks g');
+          Alcotest.(check bool) "edges equal" true (Dag.edges g = Dag.edges g');
+          for v = 0 to Dag.n_tasks g - 1 do
+            Wfc_test_util.check_close ~eps:1e-12 "weight" (Dag.weight g v)
+              (Dag.weight g' v)
+          done);
+      Sys.remove path)
+    Wfc_workflows.Pegasus.extended
+
+let test_dax_errors () =
+  let check s = expect_error (Result.bind (Xml.of_string s) Dax.of_xml) in
+  check "<notadag/>";
+  check "<adag name=\"x\"/>";
+  check {|<adag><job name="a" runtime="1"/></adag>|};
+  check {|<adag><job id="a" name="a"/></adag>|};
+  check {|<adag><job id="a" runtime="-2"/></adag>|};
+  check {|<adag><job id="a" runtime="1"/><job id="a" runtime="1"/></adag>|};
+  check {|<adag><job id="a" runtime="1"/><child ref="zz"><parent ref="a"/></child></adag>|};
+  (* cycle *)
+  check
+    {|<adag><job id="a" runtime="1"/><job id="b" runtime="1"/>
+      <child ref="a"><parent ref="b"/></child>
+      <child ref="b"><parent ref="a"/></child></adag>|}
+
+let test_dax_schedulable_end_to_end () =
+  match Result.bind (Xml.of_string sample_dax) Dax.of_xml with
+  | Error e -> Alcotest.failf "import failed: %s" e
+  | Ok g ->
+      let g =
+        Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1) g
+      in
+      let model = Wfc_platform.Failure_model.make ~lambda:0.01 () in
+      let o =
+        Wfc_core.Heuristics.run model g ~lin:Wfc_dag.Linearize.Depth_first
+          ~ckpt:Wfc_core.Heuristics.Ckpt_weight
+      in
+      Alcotest.(check bool) "finite makespan" true
+        (Float.is_finite o.Wfc_core.Heuristics.makespan)
+
+let () =
+  Alcotest.run "dax"
+    [
+      ( "xml",
+        [
+          Alcotest.test_case "basics" `Quick test_xml_basics;
+          Alcotest.test_case "prolog and comments" `Quick
+            test_xml_prolog_and_comments;
+          Alcotest.test_case "entities" `Quick test_xml_entities;
+          Alcotest.test_case "cdata" `Quick test_xml_cdata;
+          Alcotest.test_case "errors" `Quick test_xml_errors;
+          Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+        ] );
+      ( "dax",
+        [
+          Alcotest.test_case "import" `Quick test_dax_import;
+          Alcotest.test_case "roundtrip all families" `Quick test_dax_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dax_errors;
+          Alcotest.test_case "schedulable end to end" `Quick
+            test_dax_schedulable_end_to_end;
+        ] );
+    ]

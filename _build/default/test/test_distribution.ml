@@ -1,0 +1,200 @@
+module D = Wfc_platform.Distribution
+module SF = Wfc_platform.Special_functions
+module Rng = Wfc_platform.Rng
+module Stats = Wfc_platform.Stats
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---- special functions ---- *)
+
+let test_gamma_values () =
+  Wfc_test_util.check_close ~eps:1e-10 "G(1)" 1. (SF.gamma 1.);
+  Wfc_test_util.check_close ~eps:1e-10 "G(2)" 1. (SF.gamma 2.);
+  Wfc_test_util.check_close ~eps:1e-10 "G(5)" 24. (SF.gamma 5.);
+  Wfc_test_util.check_close ~eps:1e-10 "G(0.5)" (Float.sqrt Float.pi)
+    (SF.gamma 0.5);
+  Wfc_test_util.check_close ~eps:1e-10 "G(1.5)" (0.5 *. Float.sqrt Float.pi)
+    (SF.gamma 1.5);
+  Wfc_test_util.check_close ~eps:1e-9 "log G(10)" (Float.log 362880.)
+    (SF.log_gamma 10.);
+  expect_invalid (fun () -> ignore (SF.log_gamma 0.));
+  expect_invalid (fun () -> ignore (SF.log_gamma (-1.)))
+
+let test_gamma_recurrence () =
+  (* Gamma(x+1) = x Gamma(x) across a range including reflection territory *)
+  List.iter
+    (fun x ->
+      Wfc_test_util.check_close ~eps:1e-9 "recurrence" (x *. SF.gamma x)
+        (SF.gamma (x +. 1.)))
+    [ 0.1; 0.3; 0.7; 1.3; 2.5; 6.2 ]
+
+(* ---- distributions ---- *)
+
+let test_validation () =
+  expect_invalid (fun () -> ignore (D.exponential ~rate:0.));
+  expect_invalid (fun () -> ignore (D.weibull ~shape:0. ~scale:1.));
+  expect_invalid (fun () -> ignore (D.weibull ~shape:1. ~scale:(-1.)));
+  expect_invalid (fun () -> ignore (D.weibull_of_mean ~shape:1. ~mean:0.))
+
+let test_means () =
+  Wfc_test_util.check_close "exp mean" 1000. (D.mean (D.exponential ~rate:1e-3));
+  (* Weibull(k=1, scale) is exponential with mean = scale *)
+  Wfc_test_util.check_close ~eps:1e-10 "weibull k=1 mean" 500.
+    (D.mean (D.weibull ~shape:1. ~scale:500.));
+  (* weibull_of_mean round-trips the mean for any shape *)
+  List.iter
+    (fun shape ->
+      Wfc_test_util.check_close ~eps:1e-9 "of_mean" 1234.
+        (D.mean (D.weibull_of_mean ~shape ~mean:1234.)))
+    [ 0.5; 0.7; 1.; 1.5; 3. ]
+
+let test_shape_one_is_exponential () =
+  (* identical inverse-CDF draws from the same stream *)
+  let a = Rng.create 9 and b = Rng.create 9 in
+  let exp = D.exponential ~rate:0.01 and wei = D.weibull ~shape:1. ~scale:100. in
+  for _ = 1 to 1000 do
+    Wfc_test_util.check_close ~eps:1e-12 "same draw" (D.sample exp a)
+      (D.sample wei b)
+  done
+
+let test_sample_means () =
+  let check dist =
+    let rng = Rng.create 21 in
+    let s = Stats.create () in
+    for _ = 1 to 100_000 do
+      let x = D.sample dist rng in
+      if x < 0. then Alcotest.fail "negative sample";
+      Stats.add s x
+    done;
+    let se = Stats.std_error s in
+    if Float.abs (Stats.mean s -. D.mean dist) > 6. *. se then
+      Alcotest.failf "%s: sample mean %.2f vs %.2f" (D.name dist) (Stats.mean s)
+        (D.mean dist)
+  in
+  check (D.exponential ~rate:2e-3);
+  check (D.weibull_of_mean ~shape:0.7 ~mean:1000.);
+  check (D.weibull_of_mean ~shape:2.5 ~mean:300.)
+
+let test_survival () =
+  let exp = D.exponential ~rate:0.01 in
+  Wfc_test_util.check_close ~eps:1e-12 "exp survival" (Float.exp (-1.))
+    (D.survival exp 100.);
+  Alcotest.(check (float 0.)) "at zero" 1. (D.survival exp 0.);
+  let wei = D.weibull ~shape:2. ~scale:100. in
+  Wfc_test_util.check_close ~eps:1e-12 "weibull survival" (Float.exp (-4.))
+    (D.survival wei 200.)
+
+let test_survival_matches_samples () =
+  let dist = D.weibull_of_mean ~shape:0.7 ~mean:100. in
+  let rng = Rng.create 31 in
+  let t = 150. in
+  let n = 100_000 in
+  let above = ref 0 in
+  for _ = 1 to n do
+    if D.sample dist rng > t then incr above
+  done;
+  Wfc_test_util.check_close ~eps:0.01 "empirical survival" (D.survival dist t)
+    (float_of_int !above /. float_of_int n)
+
+(* ---- renewal simulation ---- *)
+
+let workflow () =
+  Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1)
+    (Wfc_workflows.Pegasus.generate Wfc_workflows.Pegasus.Montage ~n:30 ~seed:4)
+
+let schedule g =
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  let flags =
+    Wfc_core.Heuristics.checkpoint_flags Wfc_core.Heuristics.Ckpt_weight g
+      ~order ~n_ckpt:10
+  in
+  Wfc_core.Schedule.make g ~order ~checkpointed:flags
+
+let test_renewal_exponential_matches_analytic () =
+  (* for exponential inter-arrivals the renewal engine must agree with the
+     analytic evaluator (and hence with the memoryless engine) *)
+  let g = workflow () in
+  let s = schedule g in
+  let lambda = 2e-3 in
+  let model = Wfc_platform.Failure_model.make ~lambda ~downtime:1. () in
+  let analytic = Wfc_core.Evaluator.expected_makespan model g s in
+  let est =
+    Wfc_simulator.Monte_carlo.estimate_renewal ~runs:30_000 ~seed:3
+      ~failures:(D.exponential ~rate:lambda) ~downtime:1. g s
+  in
+  if not (Wfc_simulator.Monte_carlo.agrees_with est ~expected:analytic ~sigmas:5.)
+  then
+    Alcotest.failf "renewal exp: %.2f vs analytic %.2f"
+      (Stats.mean est.Wfc_simulator.Monte_carlo.makespan)
+      analytic
+
+let test_renewal_weibull_runs () =
+  let g = workflow () in
+  let s = schedule g in
+  let est =
+    Wfc_simulator.Monte_carlo.estimate_renewal ~runs:5000 ~seed:5
+      ~failures:(D.weibull_of_mean ~shape:0.7 ~mean:500.)
+      ~downtime:0. g s
+  in
+  let mean = Stats.mean est.Wfc_simulator.Monte_carlo.makespan in
+  Alcotest.(check bool) "at least fail-free" true
+    (mean >= Wfc_core.Evaluator.fail_free_time g);
+  Alcotest.(check bool) "failures occur" true
+    (Stats.mean est.Wfc_simulator.Monte_carlo.failures > 0.1)
+
+let test_shape_robustness_band () =
+  (* at equal MTBF, varying the Weibull shape perturbs the expected makespan
+     only moderately (the direction depends on the workflow's segment
+     lengths); check the three laws stay within a 25% band of each other *)
+  let g = workflow () in
+  let s = schedule g in
+  let mean_of shape =
+    let dist =
+      if shape = 1. then D.exponential ~rate:(1. /. 400.)
+      else D.weibull_of_mean ~shape ~mean:400.
+    in
+    let est =
+      Wfc_simulator.Monte_carlo.estimate_renewal ~runs:30_000 ~seed:7
+        ~failures:dist ~downtime:0. g s
+    in
+    Stats.mean est.Wfc_simulator.Monte_carlo.makespan
+  in
+  let ms = List.map mean_of [ 0.5; 1.; 3. ] in
+  let lo = List.fold_left Float.min infinity ms in
+  let hi = List.fold_left Float.max 0. ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "band [%.0f, %.0f] within 25%%" lo hi)
+    true
+    (hi <= lo *. 1.25)
+
+let () =
+  Alcotest.run "distribution"
+    [
+      ( "special_functions",
+        [
+          Alcotest.test_case "gamma values" `Quick test_gamma_values;
+          Alcotest.test_case "gamma recurrence" `Quick test_gamma_recurrence;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "means" `Quick test_means;
+          Alcotest.test_case "shape 1 = exponential" `Quick
+            test_shape_one_is_exponential;
+          Alcotest.test_case "sample means" `Slow test_sample_means;
+          Alcotest.test_case "survival" `Quick test_survival;
+          Alcotest.test_case "survival vs samples" `Slow
+            test_survival_matches_samples;
+        ] );
+      ( "renewal",
+        [
+          Alcotest.test_case "exponential matches analytic" `Slow
+            test_renewal_exponential_matches_analytic;
+          Alcotest.test_case "weibull runs" `Slow test_renewal_weibull_runs;
+          Alcotest.test_case "shape robustness band" `Slow
+            test_shape_robustness_band;
+        ] );
+    ]

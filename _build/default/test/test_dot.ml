@@ -1,0 +1,53 @@
+open Wfc_dag
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let g () = Builders.fork ~source_weight:2. ~sink_weights:[| 1.; 3. |] ()
+
+let test_nodes_and_edges () =
+  let dot = Dot.to_dot (g ()) in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("contains " ^ sub) true (contains ~sub dot))
+    [ "digraph"; "n0"; "n1"; "n2"; "n0 -> n1"; "n0 -> n2"; "w=2" ]
+
+let test_checkpoint_shading () =
+  let dot = Dot.to_dot ~checkpointed:(fun v -> v = 0) (g ()) in
+  Alcotest.(check bool) "shaded" true (contains ~sub:"fillcolor=gray80" dot);
+  let plain = Dot.to_dot (g ()) in
+  Alcotest.(check bool) "no shading by default" false
+    (contains ~sub:"fillcolor" plain)
+
+let test_highlight_order () =
+  let dot = Dot.to_dot ~highlight_order:[| 0; 2; 1 |] (g ()) in
+  Alcotest.(check bool) "positions shown" true (contains ~sub:"#0" dot);
+  Alcotest.(check bool) "positions shown 2" true (contains ~sub:"#2" dot)
+
+let test_name () =
+  let dot = Dot.to_dot ~name:"montage" (g ()) in
+  Alcotest.(check bool) "named" true (contains ~sub:"\"montage\"" dot)
+
+let test_write_file () =
+  let path = Filename.temp_file "wfc_dot" ".dot" in
+  Dot.write_file path "digraph x {}\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "digraph x {}" line
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "nodes and edges" `Quick test_nodes_and_edges;
+          Alcotest.test_case "checkpoint shading" `Quick test_checkpoint_shading;
+          Alcotest.test_case "highlight order" `Quick test_highlight_order;
+          Alcotest.test_case "graph name" `Quick test_name;
+          Alcotest.test_case "write_file" `Quick test_write_file;
+        ] );
+    ]

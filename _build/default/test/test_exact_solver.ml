@@ -1,0 +1,123 @@
+open Wfc_core
+module Dag = Wfc_dag.Dag
+module FM = Wfc_platform.Failure_model
+
+(* ---- reference evaluator (executable specification) ---- *)
+
+let prop_reference_evaluator_agrees =
+  Wfc_test_util.qtest ~count:120 "optimized evaluator = literal Theorem 3"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:8 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      List.for_all
+        (fun model ->
+          Wfc_test_util.close ~eps:1e-9
+            (Evaluator.expected_makespan model g s)
+            (Evaluator_reference.expected_makespan model g s))
+        Wfc_test_util.models)
+
+let test_reference_on_figure1 () =
+  let g =
+    Dag.of_weights
+      ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+      ~recovery_cost:(fun _ w -> 0.1 *. w)
+      ~weights:[| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |]
+      ~edges:[ (0, 3); (3, 4); (3, 5); (4, 6); (5, 6); (1, 2); (2, 7); (6, 7) ]
+      ()
+  in
+  let s =
+    Schedule.make g ~order:[| 0; 3; 1; 2; 4; 5; 6; 7 |]
+      ~checkpointed:[| false; false; false; true; true; false; false; false |]
+  in
+  let model = FM.make ~lambda:0.05 ~downtime:0.3 () in
+  Wfc_test_util.check_close ~eps:1e-9 "figure 1"
+    (Evaluator.expected_makespan model g s)
+    (Evaluator_reference.expected_makespan model g s)
+
+(* ---- branch and bound ---- *)
+
+let model = FM.make ~lambda:0.06 ~downtime:0.2 ()
+
+let prop_bnb_equals_brute_force =
+  Wfc_test_util.qtest ~count:40 "B&B = exhaustive subset search"
+    (Wfc_test_util.gen_dag ~max_n:9 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let sol = Exact_solver.optimal_checkpoints model g ~order in
+      let _, brute = Brute_force.optimal_checkpoints_for_order model g ~order in
+      Wfc_test_util.close ~eps:1e-9 sol.Exact_solver.makespan brute)
+
+let test_bnb_beyond_brute_force () =
+  (* 20-task workflow: impractical for the 2^20-subset enumerator (each
+     subset costs a full evaluation), routine for B&B *)
+  let g =
+    Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1)
+      (Wfc_workflows.Pegasus.generate Wfc_workflows.Pegasus.Montage ~n:20 ~seed:5)
+  in
+  let model = FM.make ~lambda:5e-3 () in
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  let sol = Exact_solver.optimal_checkpoints model g ~order in
+  (* optimal must not exceed the best heuristic with the same order *)
+  let heur =
+    Heuristics.run model g ~lin:Wfc_dag.Linearize.Depth_first
+      ~ckpt:Heuristics.Ckpt_weight
+  in
+  Alcotest.(check bool) "<= DF-CkptW" true
+    (sol.Exact_solver.makespan <= heur.Heuristics.makespan +. 1e-9);
+  (* and local search started from the exact solution cannot improve it *)
+  let ls = Local_search.improve model g sol.Exact_solver.schedule in
+  Wfc_test_util.check_close ~eps:1e-9 "flip-optimal"
+    sol.Exact_solver.makespan ls.Local_search.makespan;
+  (* the bound must prune a substantial part of the 2 * 2^20 node tree *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pruning worked (%d nodes)" sol.Exact_solver.nodes)
+    true
+    (sol.Exact_solver.nodes < (1 lsl 20) / 2)
+
+let test_bnb_budget () =
+  let g =
+    Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1)
+      (Wfc_workflows.Pegasus.generate Wfc_workflows.Pegasus.Ligo ~n:30 ~seed:5)
+  in
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  match Exact_solver.optimal_checkpoints ~max_nodes:5 model g ~order with
+  | exception Exact_solver.Node_budget_exceeded -> ()
+  | _ -> Alcotest.fail "budget of 5 nodes cannot suffice"
+
+let test_bnb_validates_order () =
+  let g = Wfc_dag.Builders.chain ~weights:[| 1.; 2. |] () in
+  match Exact_solver.optimal_checkpoints model g ~order:[| 1; 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid order accepted"
+
+let test_bnb_fail_free () =
+  let g =
+    Wfc_dag.Builders.chain ~weights:[| 1.; 2.; 3. |]
+      ~checkpoint_cost:(fun _ _ -> 0.5) ()
+  in
+  let sol =
+    Exact_solver.optimal_checkpoints FM.fail_free g ~order:[| 0; 1; 2 |]
+  in
+  Alcotest.(check int) "no checkpoints when no failures" 0
+    (Schedule.checkpoint_count sol.Exact_solver.schedule);
+  Wfc_test_util.check_close "T_inf" 6. sol.Exact_solver.makespan
+
+let () =
+  Alcotest.run "exact_solver"
+    [
+      ( "reference evaluator",
+        [
+          prop_reference_evaluator_agrees;
+          Alcotest.test_case "figure 1" `Quick test_reference_on_figure1;
+        ] );
+      ( "branch and bound",
+        [
+          prop_bnb_equals_brute_force;
+          Alcotest.test_case "beyond brute force" `Slow
+            test_bnb_beyond_brute_force;
+          Alcotest.test_case "node budget" `Quick test_bnb_budget;
+          Alcotest.test_case "order validation" `Quick test_bnb_validates_order;
+          Alcotest.test_case "fail-free" `Quick test_bnb_fail_free;
+        ] );
+    ]

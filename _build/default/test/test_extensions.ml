@@ -1,0 +1,314 @@
+(* Tests for the extensions beyond the paper: bounds, the SIPHT family, the
+   DF-BL linearization, the CkptE strategy, cost-model parsing, and the
+   event-traced simulator. *)
+
+open Wfc_core
+module Dag = Wfc_dag.Dag
+module Linearize = Wfc_dag.Linearize
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+
+(* ---- bounds ---- *)
+
+let test_bounds_bracket_optimum () =
+  let g =
+    Dag.of_weights
+      ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+      ~recovery_cost:(fun _ w -> 0.2 *. w)
+      ~weights:[| 4.; 2.; 6.; 3. |]
+      ~edges:[ (0, 2); (1, 2); (2, 3) ]
+      ()
+  in
+  List.iter
+    (fun model ->
+      let _, opt = Brute_force.optimal model g in
+      let lb = Bounds.lower_bound model g in
+      let ub = Bounds.upper_bound model g in
+      if not (lb <= opt +. 1e-9 && opt <= ub +. 1e-9) then
+        Alcotest.failf "bounds [%g, %g] do not bracket optimum %g" lb ub opt)
+    Wfc_test_util.models
+
+let test_bounds_fail_free () =
+  let g = Wfc_dag.Builders.chain ~weights:[| 1.; 2.; 3. |] () in
+  Wfc_test_util.check_close "lb = T_inf at lambda 0" 6.
+    (Bounds.lower_bound FM.fail_free g);
+  Wfc_test_util.check_close "ub = T_inf at lambda 0 (zero ckpt cost)" 6.
+    (Bounds.upper_bound FM.fail_free g)
+
+let test_optimality_gap () =
+  let g =
+    Wfc_workflows.Cost_model.apply (CM.Proportional 0.1)
+      (P.generate P.Montage ~n:60 ~seed:3)
+  in
+  let model = FM.make ~lambda:1e-3 () in
+  let o = Heuristics.run ~search:(Heuristics.Grid 16) model g
+      ~lin:Linearize.Depth_first ~ckpt:Heuristics.Ckpt_weight in
+  let gap = Bounds.optimality_gap model g ~makespan:o.Heuristics.makespan in
+  Alcotest.(check bool) "gap non-negative" true (gap >= 0.);
+  (* the lower bound ignores dependencies entirely, so the gap is loose but
+     should stay moderate in this benign regime *)
+  Alcotest.(check bool) "gap below 50%" true (gap < 0.5);
+  match Bounds.optimality_gap model g ~makespan:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sub-lower-bound makespan accepted"
+
+(* ---- SIPHT ---- *)
+
+let test_sipht_sizes () =
+  List.iter
+    (fun n ->
+      let g = P.generate P.Sipht ~n ~seed:2 in
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) n (Dag.n_tasks g))
+    [ 13; 14; 33; 50; 100; 200; 431 ]
+
+let test_sipht_structure () =
+  let g = P.generate P.Sipht ~n:66 ~seed:2 in
+  (* two sub-workflows: two annotate sinks *)
+  Alcotest.(check int) "two units -> two sinks" 2 (List.length (Dag.sinks g));
+  List.iter
+    (fun v ->
+      let l = (Dag.task g v).Wfc_dag.Task.label in
+      Alcotest.(check bool) "sink is annotate" true
+        (String.length l >= 13 && String.sub l 0 13 = "SRNA_annotate"))
+    (Dag.sinks g);
+  (* average weight in the ~140 s ballpark *)
+  let avg = Dag.total_weight g /. 66. in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg weight %.0f in [90, 220]" avg)
+    true
+    (avg > 90. && avg < 220.)
+
+let test_sipht_in_extended_only () =
+  Alcotest.(check bool) "not in all" true (not (List.mem P.Sipht P.all));
+  Alcotest.(check bool) "in extended" true (List.mem P.Sipht P.extended);
+  Alcotest.(check bool) "name round trip" true
+    (P.family_of_string "sipht" = Some P.Sipht)
+
+(* ---- DF-BL linearization ---- *)
+
+let test_blevel_values () =
+  let g =
+    Dag.of_weights ~weights:[| 1.; 2.; 3.; 4. |]
+      ~edges:[ (0, 1); (1, 3); (0, 2) ] ()
+  in
+  let bl = Linearize.bottom_level g in
+  Wfc_test_util.check_close "sink 3" 4. bl.(3);
+  Wfc_test_util.check_close "sink 2" 3. bl.(2);
+  Wfc_test_util.check_close "mid 1" 6. bl.(1);
+  Wfc_test_util.check_close "source" 7. bl.(0)
+
+let test_blevel_linearization_valid () =
+  List.iter
+    (fun fam ->
+      let g = P.generate fam ~n:60 ~seed:5 in
+      Alcotest.(check bool)
+        (P.family_name fam ^ " DF-BL valid")
+        true
+        (Dag.is_linearization g (Linearize.run Linearize.Depth_first_blevel g)))
+    P.extended
+
+let test_blevel_prefers_critical_path () =
+  (* two branches from a common source: a long chain of light tasks
+     (1 -> 2 -> 3 -> 4, bottom level 12, outweight 3) versus a short branch
+     with one heavy direct successor (5 -> 6, bottom level 9, outweight 8).
+     Outweight-DF starts the short branch, b-level DF follows the heavier
+     path. *)
+  let g =
+    Dag.of_weights ~weights:[| 1.; 3.; 3.; 3.; 3.; 1.; 8. |]
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (0, 5); (5, 6) ] ()
+  in
+  let df = Linearize.run Linearize.Depth_first g in
+  let bl = Linearize.run Linearize.Depth_first_blevel g in
+  Alcotest.(check int) "DF picks heavy direct successor" 5 df.(1);
+  Alcotest.(check int) "DF-BL follows heavy path" 1 bl.(1)
+
+let test_extended_lists () =
+  Alcotest.(check int) "paper's three" 3 (List.length Linearize.all);
+  Alcotest.(check int) "plus one" 4 (List.length Linearize.extended);
+  Alcotest.(check bool) "DF-BL name" true
+    (Linearize.strategy_of_string "df-bl" = Some Linearize.Depth_first_blevel)
+
+(* ---- CkptE ---- *)
+
+let test_ckpt_efficiency_ranking () =
+  (* weights 10,40,20; costs 10,2,1: efficiency 1,20,20 -> tasks 1 and 2
+     (tie broken by id) lead *)
+  let g =
+    Dag.of_weights
+      ~checkpoint_cost:(fun i _ -> [| 10.; 2.; 1. |].(i))
+      ~weights:[| 10.; 40.; 20. |] ~edges:[] ()
+  in
+  let flags =
+    Heuristics.checkpoint_flags Heuristics.Ckpt_efficiency g
+      ~order:[| 0; 1; 2 |] ~n_ckpt:2
+  in
+  Alcotest.(check (list bool)) "best ratio first" [ false; true; true ]
+    (Array.to_list flags)
+
+let test_ckpt_efficiency_runs () =
+  let g =
+    CM.apply (CM.Constant 5.) (P.generate P.Cybershake ~n:60 ~seed:4)
+  in
+  let model = FM.make ~lambda:1e-3 () in
+  let e = Heuristics.run ~search:(Heuristics.Grid 16) model g
+      ~lin:Linearize.Depth_first ~ckpt:Heuristics.Ckpt_efficiency in
+  let w = Heuristics.run ~search:(Heuristics.Grid 16) model g
+      ~lin:Linearize.Depth_first ~ckpt:Heuristics.Ckpt_weight in
+  Alcotest.(check bool) "finite" true (Float.is_finite e.Heuristics.makespan);
+  (* with constant costs, efficiency ranking = weight ranking *)
+  Wfc_test_util.check_close "equals CkptW under constant costs"
+    w.Heuristics.makespan e.Heuristics.makespan;
+  Alcotest.(check string) "name" "CkptE"
+    (Heuristics.ckpt_strategy_name Heuristics.Ckpt_efficiency);
+  Alcotest.(check bool) "not in paper list" true
+    (not (List.mem Heuristics.Ckpt_efficiency Heuristics.all_ckpt_strategies));
+  Alcotest.(check bool) "in extended list" true
+    (List.mem Heuristics.Ckpt_efficiency Heuristics.extended_ckpt_strategies)
+
+(* ---- cost model parsing ---- *)
+
+let test_cost_of_string () =
+  Alcotest.(check bool) "0.1w" true (CM.of_string "0.1w" = Some (CM.Proportional 0.1));
+  Alcotest.(check bool) "5s" true (CM.of_string "5s" = Some (CM.Constant 5.));
+  Alcotest.(check bool) "c= prefix" true
+    (CM.of_string "c=0.01w" = Some (CM.Proportional 0.01));
+  Alcotest.(check bool) "garbage" true (CM.of_string "w5" = None);
+  Alcotest.(check bool) "negative" true (CM.of_string "-1w" = None);
+  Alcotest.(check bool) "empty" true (CM.of_string "" = None);
+  (* round trip through name *)
+  List.iter
+    (fun cm ->
+      match CM.of_string (CM.name cm) with
+      | Some cm' when cm' = cm -> ()
+      | _ -> Alcotest.fail "name round trip")
+    [ CM.Proportional 0.1; CM.Constant 5. ]
+
+(* ---- traced simulation ---- *)
+
+let test_trace_consistent_with_summary () =
+  let g =
+    CM.apply (CM.Proportional 0.1) (P.generate P.Montage ~n:30 ~seed:9)
+  in
+  let order = Linearize.run Linearize.Depth_first g in
+  let s = Schedule.all_checkpoints g ~order in
+  let model = FM.make ~lambda:5e-3 ~downtime:2. () in
+  let summary, events =
+    Wfc_simulator.Sim_trace.run ~rng:(Wfc_platform.Rng.create 3) model g s
+  in
+  (* same RNG stream: the plain engine must produce the identical run *)
+  let plain = Wfc_simulator.Sim.run ~rng:(Wfc_platform.Rng.create 3) model g s in
+  Wfc_test_util.check_close "same makespan" plain.Wfc_simulator.Sim.makespan
+    summary.Wfc_simulator.Sim.makespan;
+  Alcotest.(check int) "same failures" plain.Wfc_simulator.Sim.failures
+    summary.Wfc_simulator.Sim.failures;
+  (* event-log invariants *)
+  let completions =
+    List.filter (function Wfc_simulator.Sim_trace.Completion _ -> true | _ -> false) events
+  in
+  let fails =
+    List.filter (function Wfc_simulator.Sim_trace.Failure _ -> true | _ -> false) events
+  in
+  Alcotest.(check int) "one completion per task" 30 (List.length completions);
+  Alcotest.(check int) "failure events match" summary.Wfc_simulator.Sim.failures
+    (List.length fails);
+  (* chronological and ending at the makespan *)
+  let time_of = function
+    | Wfc_simulator.Sim_trace.Attempt { start; _ } -> start
+    | Wfc_simulator.Sim_trace.Completion { time; _ } -> time
+    | Wfc_simulator.Sim_trace.Failure { time; _ } -> time
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> time_of a <= time_of b +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (monotone events);
+  match List.rev events with
+  | Wfc_simulator.Sim_trace.Completion { time; _ } :: _ ->
+      Wfc_test_util.check_close "last event at makespan" summary.Wfc_simulator.Sim.makespan time
+  | _ -> Alcotest.fail "last event must be a completion"
+
+let test_trace_timeline () =
+  let g =
+    CM.apply (CM.Proportional 0.1) (P.generate P.Montage ~n:15 ~seed:9)
+  in
+  let order = Linearize.run Linearize.Depth_first g in
+  let s = Schedule.all_checkpoints g ~order in
+  let model = FM.make ~lambda:5e-3 ~downtime:2. () in
+  let summary, events =
+    Wfc_simulator.Sim_trace.run ~rng:(Wfc_platform.Rng.create 5) model g s
+  in
+  let timeline = Wfc_simulator.Sim_trace.render_timeline ~width:60 events in
+  let lines = String.split_on_char '\n' timeline in
+  (* one lane per position plus the summary line and trailing empty *)
+  Alcotest.(check int) "lane count" (15 + 2) (List.length lines);
+  Alcotest.(check bool) "mentions duration" true
+    (List.exists
+       (fun l ->
+         String.length l > 0
+         && String.length l >= 5
+         && String.sub l (String.length l - 2) 2 = " s")
+       lines);
+  (* failures (if any) render as x *)
+  if summary.Wfc_simulator.Sim.failures > 0 then
+    Alcotest.(check bool) "failure marks" true (String.contains timeline 'x');
+  (* width validation *)
+  match Wfc_simulator.Sim_trace.render_timeline ~width:2 events with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tiny width accepted"
+
+let test_trace_pp () =
+  let s =
+    Format.asprintf "%a" Wfc_simulator.Sim_trace.pp_event
+      (Wfc_simulator.Sim_trace.Failure
+         { position = 3; task = 4; time = 12.25; elapsed = 5.125 })
+  in
+  Alcotest.(check bool) "mentions task" true
+    (String.length s > 0
+    &&
+    let contains sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains "T4" && contains "FAIL")
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "bracket optimum" `Slow test_bounds_bracket_optimum;
+          Alcotest.test_case "fail-free" `Quick test_bounds_fail_free;
+          Alcotest.test_case "optimality gap" `Quick test_optimality_gap;
+        ] );
+      ( "sipht",
+        [
+          Alcotest.test_case "exact sizes" `Quick test_sipht_sizes;
+          Alcotest.test_case "structure" `Quick test_sipht_structure;
+          Alcotest.test_case "extended only" `Quick test_sipht_in_extended_only;
+        ] );
+      ( "df-bl",
+        [
+          Alcotest.test_case "bottom levels" `Quick test_blevel_values;
+          Alcotest.test_case "valid linearizations" `Quick
+            test_blevel_linearization_valid;
+          Alcotest.test_case "prefers critical path" `Quick
+            test_blevel_prefers_critical_path;
+          Alcotest.test_case "strategy lists" `Quick test_extended_lists;
+        ] );
+      ( "ckpt-e",
+        [
+          Alcotest.test_case "ranking" `Quick test_ckpt_efficiency_ranking;
+          Alcotest.test_case "runs" `Quick test_ckpt_efficiency_runs;
+        ] );
+      ( "cost-model",
+        [ Alcotest.test_case "of_string" `Quick test_cost_of_string ] );
+      ( "trace",
+        [
+          Alcotest.test_case "consistent with summary" `Quick
+            test_trace_consistent_with_summary;
+          Alcotest.test_case "timeline" `Quick test_trace_timeline;
+          Alcotest.test_case "pp" `Quick test_trace_pp;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module FM = Wfc_platform.Failure_model
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_constructors () =
+  let m = FM.make ~lambda:0.01 ~downtime:2. () in
+  Alcotest.(check (float 1e-12)) "lambda" 0.01 m.FM.lambda;
+  Alcotest.(check (float 1e-12)) "downtime" 2. m.FM.downtime;
+  Alcotest.(check (float 1e-9)) "mtbf" 100. (FM.mtbf m);
+  let m2 = FM.of_mtbf ~mtbf:1000. () in
+  Alcotest.(check (float 1e-12)) "of_mtbf" 0.001 m2.FM.lambda;
+  let m3 = FM.of_platform ~processors:100 ~proc_mtbf:1e5 () in
+  Alcotest.(check (float 1e-12)) "of_platform" 0.001 m3.FM.lambda;
+  Alcotest.(check (float 0.)) "fail_free" 0. FM.fail_free.FM.lambda;
+  Alcotest.(check bool) "fail_free mtbf" true (FM.mtbf FM.fail_free = infinity)
+
+let test_validation () =
+  expect_invalid (fun () -> FM.make ~lambda:(-1.) ());
+  expect_invalid (fun () -> FM.make ~lambda:Float.nan ());
+  expect_invalid (fun () -> FM.make ~lambda:1. ~downtime:(-0.1) ());
+  expect_invalid (fun () -> FM.of_mtbf ~mtbf:0. ());
+  expect_invalid (fun () -> FM.of_platform ~processors:0 ~proc_mtbf:1. ());
+  expect_invalid (fun () -> FM.of_platform ~processors:4 ~proc_mtbf:(-1.) ())
+
+let e m ~w ~c ~r = FM.expected_exec_time m ~work:w ~checkpoint:c ~recovery:r
+
+(* Equation (1) computed directly, without expm1 tricks. *)
+let reference lambda d ~w ~c ~r =
+  Float.exp (lambda *. r) *. ((1. /. lambda) +. d)
+  *. (Float.exp (lambda *. (w +. c)) -. 1.)
+
+let test_equation_one () =
+  let cases =
+    [ (0.01, 0., 10., 1., 2.); (0.1, 0.5, 3., 0., 0.); (1e-4, 0., 100., 10., 5.);
+      (0.5, 2., 1., 0.2, 0.7) ]
+  in
+  List.iter
+    (fun (lambda, d, w, c, r) ->
+      let m = FM.make ~lambda ~downtime:d () in
+      Wfc_test_util.check_close ~eps:1e-12 "E[t] matches Eq. (1)"
+        (reference lambda d ~w ~c ~r)
+        (e m ~w ~c ~r))
+    cases
+
+let test_fail_free_limit () =
+  let m = FM.fail_free in
+  Alcotest.(check (float 1e-12)) "w+c" 11. (e m ~w:10. ~c:1. ~r:5.);
+  (* and continuity: tiny lambda stays close to w+c *)
+  let m' = FM.make ~lambda:1e-12 () in
+  Wfc_test_util.check_close ~eps:1e-6 "continuous at 0" 11.
+    (e m' ~w:10. ~c:1. ~r:5.)
+
+let test_monotonicity () =
+  let m = FM.make ~lambda:0.05 ~downtime:1. () in
+  let base = e m ~w:10. ~c:1. ~r:2. in
+  Alcotest.(check bool) "increasing in w" true (e m ~w:11. ~c:1. ~r:2. > base);
+  Alcotest.(check bool) "increasing in c" true (e m ~w:10. ~c:2. ~r:2. > base);
+  Alcotest.(check bool) "increasing in r" true (e m ~w:10. ~c:1. ~r:3. > base);
+  Alcotest.(check bool) "at least fail-free time" true (base > 11.)
+
+let test_zero_work () =
+  let m = FM.make ~lambda:0.05 () in
+  Alcotest.(check (float 1e-12)) "zero work, zero ckpt" 0. (e m ~w:0. ~c:0. ~r:3.)
+
+let test_args_validated () =
+  let m = FM.make ~lambda:0.05 () in
+  expect_invalid (fun () -> ignore (e m ~w:(-1.) ~c:0. ~r:0.));
+  expect_invalid (fun () -> ignore (e m ~w:1. ~c:(-1.) ~r:0.));
+  expect_invalid (fun () -> ignore (e m ~w:1. ~c:0. ~r:Float.nan))
+
+let test_expected_time_lost () =
+  let lambda = 0.1 in
+  let m = FM.make ~lambda () in
+  (* E[tlost(w)] = 1/lambda - w / (e^{lambda w} - 1) *)
+  let w = 7. in
+  Wfc_test_util.check_close ~eps:1e-12 "tlost"
+    ((1. /. lambda) -. (w /. (Float.exp (lambda *. w) -. 1.)))
+    (FM.expected_time_lost m ~work:w);
+  (* tlost is below both w and the mean 1/lambda, and grows with w *)
+  Alcotest.(check bool) "below w" true (FM.expected_time_lost m ~work:w < w);
+  Alcotest.(check bool) "below mean" true
+    (FM.expected_time_lost m ~work:50. < 1. /. lambda);
+  Alcotest.(check bool) "grows" true
+    (FM.expected_time_lost m ~work:8. > FM.expected_time_lost m ~work:7.);
+  Alcotest.(check (float 1e-12)) "zero work" 0. (FM.expected_time_lost m ~work:0.);
+  expect_invalid (fun () -> ignore (FM.expected_time_lost FM.fail_free ~work:1.))
+
+let test_success_probability () =
+  let m = FM.make ~lambda:0.01 () in
+  Wfc_test_util.check_close ~eps:1e-12 "e^-lw" (Float.exp (-0.5))
+    (FM.success_probability m ~work:50.);
+  Alcotest.(check (float 0.)) "certain when fail-free" 1.
+    (FM.success_probability FM.fail_free ~work:1e9)
+
+(* The defining property of E[t]: it satisfies the renewal equation
+   E = p (w+c+l_s) + (1-p)(l_f + D + r-term...). We verify by Monte Carlo in
+   test_simulator; here check the recursive identity
+   E[t(w;c;r)] = E[t(w+c;0;0)] evaluated with recovery folded in:
+   E[t(w;c;r)] = e^{lambda r} E[t(w;c;0)]. *)
+let test_recovery_factorization () =
+  let m = FM.make ~lambda:0.07 ~downtime:0.4 () in
+  Wfc_test_util.check_close ~eps:1e-12 "factorization"
+    (Float.exp (0.07 *. 3.) *. e m ~w:5. ~c:1. ~r:0.)
+    (e m ~w:5. ~c:1. ~r:3.)
+
+let () =
+  Alcotest.run "failure_model"
+    [
+      ( "failure_model",
+        [
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "equation (1)" `Quick test_equation_one;
+          Alcotest.test_case "fail-free limit" `Quick test_fail_free_limit;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+          Alcotest.test_case "zero work" `Quick test_zero_work;
+          Alcotest.test_case "argument validation" `Quick test_args_validated;
+          Alcotest.test_case "expected time lost" `Quick test_expected_time_lost;
+          Alcotest.test_case "success probability" `Quick
+            test_success_probability;
+          Alcotest.test_case "recovery factorization" `Quick
+            test_recovery_factorization;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+open Wfc_io
+
+let expect_error = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ---- parsing ---- *)
+
+let test_parse_scalars () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_ok " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_ok "42" = Json.Number 42.);
+  Alcotest.(check bool) "negative" true (parse_ok "-3.5" = Json.Number (-3.5));
+  Alcotest.(check bool) "exponent" true (parse_ok "1e3" = Json.Number 1000.);
+  Alcotest.(check bool) "string" true (parse_ok "\"hi\"" = Json.String "hi")
+
+let test_parse_structures () =
+  Alcotest.(check bool) "empty list" true (parse_ok "[]" = Json.List []);
+  Alcotest.(check bool) "empty object" true (parse_ok "{}" = Json.Assoc []);
+  Alcotest.(check bool) "nested" true
+    (parse_ok {|{"a": [1, {"b": null}], "c": "x"}|}
+    = Json.Assoc
+        [
+          ("a", Json.List [ Json.Number 1.; Json.Assoc [ ("b", Json.Null) ] ]);
+          ("c", Json.String "x");
+        ])
+
+let test_parse_escapes () =
+  Alcotest.(check bool) "escapes" true
+    (parse_ok {|"a\"b\\c\nd\te"|} = Json.String "a\"b\\c\nd\te");
+  Alcotest.(check bool) "unicode" true
+    (parse_ok {|"Aé"|} = Json.String "A\xc3\xa9");
+  (* surrogate pair: U+1F600 *)
+  Alcotest.(check bool) "surrogates" true
+    (parse_ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80")
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> expect_error (Json.of_string s))
+    [ ""; "{"; "[1,"; "nul"; "\"unterminated"; "01a"; "{\"a\" 1}"; "[1] extra";
+      {|"\u12"|}; {|"\ud83d"|} ]
+
+let test_roundtrip () =
+  let v =
+    Json.Assoc
+      [
+        ("name", Json.String "w\"eird\nname");
+        ("xs", Json.List [ Json.Number 1.5; Json.Bool false; Json.Null ]);
+        ("nested", Json.Assoc [ ("k", Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "pretty roundtrip" true
+    (parse_ok (Json.to_string v) = v);
+  Alcotest.(check bool) "minified roundtrip" true
+    (parse_ok (Json.to_string ~minify:true v) = v)
+
+let test_number_rendering () =
+  Alcotest.(check string) "integer" "42" (Json.to_string (Json.Number 42.));
+  Alcotest.(check bool) "fraction preserved" true
+    (parse_ok (Json.to_string (Json.Number 0.1)) = Json.Number 0.1)
+
+let test_accessors () =
+  let v = parse_ok {|{"a": 3, "b": [1, 2], "s": "x"}|} in
+  Alcotest.(check bool) "member" true (Json.member "a" v = Ok (Json.Number 3.));
+  expect_error (Json.member "z" v);
+  Alcotest.(check bool) "to_int" true
+    (Result.bind (Json.member "a" v) Json.to_int = Ok 3);
+  expect_error (Result.bind (Json.member "s" v) Json.to_int);
+  Alcotest.(check bool) "to_list length" true
+    (match Result.bind (Json.member "b" v) Json.to_list with
+    | Ok l -> List.length l = 2
+    | Error _ -> false);
+  Alcotest.(check bool) "to_string_value" true
+    (Result.bind (Json.member "s" v) Json.to_string_value = Ok "x")
+
+(* random JSON documents round-trip through print + parse *)
+let gen_json =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Number (float_of_int i)) (int_range (-1000) 1000);
+        map (fun x -> Json.Number x) (float_range (-1e6) 1e6);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            ( 1,
+              map (fun xs -> Json.List xs)
+                (list_size (int_range 0 4) (self (depth - 1))) );
+            ( 1,
+              map
+                (fun kvs ->
+                  (* duplicate keys would not round-trip; dedupe *)
+                  let seen = Hashtbl.create 8 in
+                  Json.Assoc
+                    (List.filter
+                       (fun (k, _) ->
+                         if Hashtbl.mem seen k then false
+                         else begin
+                           Hashtbl.add seen k ();
+                           true
+                         end)
+                       kvs))
+                (list_size (int_range 0 4)
+                   (pair key (self (depth - 1)))) );
+          ])
+    3
+
+let prop_roundtrip =
+  Wfc_test_util.qtest ~count:500 "print/parse round-trip (random documents)"
+    gen_json
+    (fun v -> Json.to_string ~minify:true v)
+    (fun v ->
+      Json.of_string (Json.to_string v) = Ok v
+      && Json.of_string (Json.to_string ~minify:true v) = Ok v)
+
+(* ---- workflow format ---- *)
+
+let sample_dag () =
+  Wfc_dag.Dag.of_weights
+    ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+    ~recovery_cost:(fun _ w -> 0.05 *. w)
+    ~weights:[| 4.; 2.5; 7. |] ~edges:[ (0, 2); (1, 2) ] ()
+
+let test_dag_roundtrip () =
+  let g = sample_dag () in
+  match Workflow_format.dag_of_json (Workflow_format.dag_to_json g) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok g' ->
+      Alcotest.(check bool) "tasks equal" true
+        (Array.for_all2 Wfc_dag.Task.equal (Wfc_dag.Dag.tasks g)
+           (Wfc_dag.Dag.tasks g'));
+      Alcotest.(check bool) "edges equal" true
+        (Wfc_dag.Dag.edges g = Wfc_dag.Dag.edges g')
+
+let test_pegasus_roundtrip () =
+  List.iter
+    (fun fam ->
+      let g =
+        Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1)
+          (Wfc_workflows.Pegasus.generate fam ~n:60 ~seed:8)
+      in
+      match Workflow_format.dag_of_json (Workflow_format.dag_to_json g) with
+      | Error e -> Alcotest.failf "decode failed: %s" e
+      | Ok g' ->
+          Alcotest.(check bool)
+            (Wfc_workflows.Pegasus.family_name fam ^ " roundtrip")
+            true
+            (Array.for_all2 Wfc_dag.Task.equal (Wfc_dag.Dag.tasks g)
+               (Wfc_dag.Dag.tasks g')
+            && Wfc_dag.Dag.edges g = Wfc_dag.Dag.edges g'))
+    Wfc_workflows.Pegasus.all
+
+let test_schedule_roundtrip () =
+  let g = sample_dag () in
+  let s =
+    Wfc_core.Schedule.make g ~order:[| 1; 0; 2 |]
+      ~checkpointed:[| true; false; true |]
+  in
+  match Workflow_format.schedule_of_json g (Workflow_format.schedule_to_json s) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok s' ->
+      for p = 0 to 2 do
+        Alcotest.(check int) "order" (Wfc_core.Schedule.task_at s p)
+          (Wfc_core.Schedule.task_at s' p)
+      done;
+      Alcotest.(check (list int)) "checkpoints"
+        (Wfc_core.Schedule.checkpointed_tasks s)
+        (Wfc_core.Schedule.checkpointed_tasks s')
+
+let test_file_roundtrip () =
+  let g = sample_dag () in
+  let path = Filename.temp_file "wfc" ".json" in
+  Workflow_format.save_dag path g;
+  (match Workflow_format.load_dag path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok g' ->
+      Alcotest.(check int) "n" (Wfc_dag.Dag.n_tasks g) (Wfc_dag.Dag.n_tasks g'));
+  Sys.remove path
+
+let test_decode_validates () =
+  (* cyclic edges must be rejected by the Dag invariants *)
+  let bad =
+    {|{"name":"x","tasks":[{"id":0,"weight":1},{"id":1,"weight":1}],
+       "edges":[[0,1],[1,0]]}|}
+  in
+  expect_error (Result.bind (Json.of_string bad) Workflow_format.dag_of_json);
+  (* schedule violating precedence *)
+  let g = sample_dag () in
+  let bad_sched = {|{"order":[2,0,1],"checkpointed":[]}|} in
+  expect_error
+    (Result.bind (Json.of_string bad_sched) (Workflow_format.schedule_of_json g));
+  (* checkpoint id out of range *)
+  let bad_ckpt = {|{"order":[0,1,2],"checkpointed":[9]}|} in
+  expect_error
+    (Result.bind (Json.of_string bad_ckpt) (Workflow_format.schedule_of_json g))
+
+let test_missing_costs_default_to_zero () =
+  let minimal =
+    {|{"tasks":[{"id":0,"weight":2}],"edges":[]}|}
+  in
+  match Result.bind (Json.of_string minimal) Workflow_format.dag_of_json with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok g ->
+      let t = Wfc_dag.Dag.task g 0 in
+      Alcotest.(check (float 0.)) "c" 0. t.Wfc_dag.Task.checkpoint_cost;
+      Alcotest.(check string) "default label" "T0" t.Wfc_dag.Task.label
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "structures" `Quick test_parse_structures;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          prop_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_number_rendering;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "workflow_format",
+        [
+          Alcotest.test_case "dag roundtrip" `Quick test_dag_roundtrip;
+          Alcotest.test_case "pegasus roundtrip" `Quick test_pegasus_roundtrip;
+          Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "decode validates" `Quick test_decode_validates;
+          Alcotest.test_case "defaults" `Quick test_missing_costs_default_to_zero;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+open Wfc_dag
+
+let figure1 () =
+  Dag.of_weights
+    ~weights:[| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |]
+    ~edges:[ (0, 1); (0, 3); (1, 2); (3, 4); (2, 5); (4, 5); (4, 6); (2, 7); (6, 7) ]
+    ()
+
+let test_strategy_names () =
+  List.iter
+    (fun s ->
+      match Linearize.strategy_of_string (Linearize.strategy_name s) with
+      | Some s' when s' = s -> ()
+      | _ -> Alcotest.fail "name round-trip failed")
+    Linearize.all;
+  Alcotest.(check bool) "df lowercase" true
+    (Linearize.strategy_of_string "df" = Some Linearize.Depth_first);
+  Alcotest.(check bool) "unknown" true (Linearize.strategy_of_string "zz" = None)
+
+let test_all_valid () =
+  let g = figure1 () in
+  List.iter
+    (fun s ->
+      let order = Linearize.run s g in
+      Alcotest.(check bool)
+        (Linearize.strategy_name s ^ " valid")
+        true
+        (Dag.is_linearization g order))
+    Linearize.all
+
+let test_priority () =
+  let g = figure1 () in
+  let p = Linearize.priority g in
+  Alcotest.(check (float 1e-9)) "p0" 6. p.(0);
+  Alcotest.(check (float 1e-9)) "p4" 13. p.(4);
+  Alcotest.(check (float 1e-9)) "p7" 0. p.(7)
+
+let test_df_goes_deep () =
+  (* Two independent chains a: 0->1, b: 2->3; source priorities equal, DF must
+     finish the chain it starts before switching. *)
+  let g =
+    Dag.of_weights ~weights:[| 1.; 1.; 1.; 1. |] ~edges:[ (0, 1); (2, 3) ] ()
+  in
+  let order = Array.to_list (Linearize.run Linearize.Depth_first g) in
+  let pos v = Option.get (List.find_index (Int.equal v) order) in
+  Alcotest.(check bool) "chains not interleaved" true
+    (abs (pos 1 - pos 0) = 1 && abs (pos 3 - pos 2) = 1)
+
+let test_df_priority_first () =
+  (* fork with unequal subtree weights: highest outweight source first *)
+  let g =
+    Dag.of_weights ~weights:[| 1.; 1.; 10.; 2. |] ~edges:[ (0, 2); (1, 3) ] ()
+  in
+  let order = Linearize.run Linearize.Depth_first g in
+  Alcotest.(check int) "heavy branch first" 0 order.(0);
+  Alcotest.(check int) "then its successor" 2 order.(1)
+
+let test_bf_level_order () =
+  let g = figure1 () in
+  let order = Linearize.run Linearize.Breadth_first g in
+  let lv = Dag.levels g in
+  let seen = Array.to_list (Array.map (fun v -> lv.(v)) order) in
+  (* BF never schedules a deeper task before a shallower ready one; since
+     every level is fully ready once the previous one is done, the level
+     sequence must be non-decreasing. *)
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "levels non-decreasing" true (non_decreasing seen)
+
+let test_rf_uses_rand () =
+  let g = figure1 () in
+  let mk seed =
+    let rng = Wfc_platform.Rng.create seed in
+    Linearize.run ~rand:(fun b -> Wfc_platform.Rng.int rng b)
+      Linearize.Random_first g
+  in
+  Alcotest.(check (array int)) "deterministic given seed" (mk 3) (mk 3);
+  let all_valid =
+    List.for_all (fun s -> Dag.is_linearization g (mk s))
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  Alcotest.(check bool) "always valid" true all_valid;
+  let differs =
+    List.exists (fun s -> mk s <> mk 0) [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  Alcotest.(check bool) "seeds explore different orders" true differs
+
+let test_rf_default_deterministic () =
+  let g = figure1 () in
+  Alcotest.(check (array int)) "default rand fixed"
+    (Linearize.run Linearize.Random_first g)
+    (Linearize.run Linearize.Random_first g)
+
+let test_single_task () =
+  let g = Dag.of_weights ~weights:[| 2. |] ~edges:[] () in
+  List.iter
+    (fun s -> Alcotest.(check (array int)) "singleton" [| 0 |] (Linearize.run s g))
+    Linearize.all
+
+let prop_always_linearization =
+  Wfc_test_util.qtest ~count:300 "run produces a linearization (random DAGs)"
+    (Wfc_test_util.gen_dag ~max_n:12 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      List.for_all (fun s -> Dag.is_linearization g (Linearize.run s g))
+        Linearize.all)
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "linearize",
+        [
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+          Alcotest.test_case "all valid on figure 1" `Quick test_all_valid;
+          Alcotest.test_case "priority = outweight" `Quick test_priority;
+          Alcotest.test_case "DF goes deep" `Quick test_df_goes_deep;
+          Alcotest.test_case "DF picks heavy branch" `Quick test_df_priority_first;
+          Alcotest.test_case "BF level order" `Quick test_bf_level_order;
+          Alcotest.test_case "RF uses rand" `Quick test_rf_uses_rand;
+          Alcotest.test_case "RF default deterministic" `Quick
+            test_rf_default_deterministic;
+          Alcotest.test_case "single task" `Quick test_single_task;
+          prop_always_linearization;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+open Wfc_core
+module Builders = Wfc_dag.Builders
+module FM = Wfc_platform.Failure_model
+
+let model = FM.make ~lambda:0.05 ~downtime:0.2 ()
+
+let chain () =
+  Builders.chain
+    ~weights:[| 6.; 2.; 8.; 4.; 5.; 3. |]
+    ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+    ~recovery_cost:(fun _ w -> 0.2 *. w)
+    ()
+
+let test_never_degrades () =
+  let g = chain () in
+  let order = Array.init 6 Fun.id in
+  List.iter
+    (fun flags ->
+      let seed = Schedule.make g ~order ~checkpointed:(Array.of_list flags) in
+      let r = Local_search.improve model g seed in
+      Alcotest.(check bool) "improved or equal" true
+        (r.Local_search.makespan <= r.Local_search.initial_makespan +. 1e-12);
+      Wfc_test_util.check_close "initial recorded"
+        (Evaluator.expected_makespan model g seed)
+        r.Local_search.initial_makespan)
+    [
+      [ false; false; false; false; false; false ];
+      [ true; true; true; true; true; true ];
+      [ true; false; true; false; true; false ];
+    ]
+
+let test_reaches_local_optimum () =
+  (* after convergence, no single flip improves *)
+  let g = chain () in
+  let order = Array.init 6 Fun.id in
+  let seed = Schedule.no_checkpoints g ~order in
+  let r = Local_search.improve model g seed in
+  let flags = Array.init 6 (Schedule.is_checkpointed r.Local_search.schedule) in
+  for v = 0 to 5 do
+    let flipped = Array.copy flags in
+    flipped.(v) <- not flipped.(v);
+    let m =
+      Evaluator.expected_makespan model g
+        (Schedule.make g ~order ~checkpointed:flipped)
+    in
+    if m < r.Local_search.makespan -. 1e-9 then
+      Alcotest.failf "flip of %d still improves" v
+  done
+
+let test_finds_chain_optimum () =
+  (* single flips reach the global optimum on this small chain (checked
+     against the DP) *)
+  let g = chain () in
+  let order = Array.init 6 Fun.id in
+  let seed = Schedule.no_checkpoints g ~order in
+  let r = Local_search.improve model g seed in
+  let dp = Chain_solver.solve model g in
+  Wfc_test_util.check_close ~eps:1e-9 "matches chain DP"
+    dp.Chain_solver.makespan r.Local_search.makespan
+
+let test_budget_respected () =
+  let g = chain () in
+  let seed = Schedule.no_checkpoints g ~order:(Array.init 6 Fun.id) in
+  let r = Local_search.improve ~max_evaluations:3 model g seed in
+  Alcotest.(check bool) "stopped at budget" true (r.Local_search.evaluations <= 3)
+
+let test_improves_bad_seed_on_workflow () =
+  let g =
+    Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Constant 5.)
+      (Wfc_workflows.Pegasus.generate Wfc_workflows.Pegasus.Montage ~n:40 ~seed:2)
+  in
+  let model = FM.make ~lambda:1e-3 () in
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  let seed = Schedule.all_checkpoints g ~order in
+  let r = Local_search.improve model g seed in
+  Alcotest.(check bool) "strictly improves all-checkpoint seed" true
+    (r.Local_search.makespan < r.Local_search.initial_makespan);
+  Alcotest.(check bool) "some flips recorded" true (r.Local_search.flips > 0)
+
+let test_keeps_linearization () =
+  let g = chain () in
+  let order = Array.init 6 Fun.id in
+  let seed = Schedule.no_checkpoints g ~order in
+  let r = Local_search.improve model g seed in
+  for p = 0 to 5 do
+    Alcotest.(check int) "order unchanged" (Schedule.task_at seed p)
+      (Schedule.task_at r.Local_search.schedule p)
+  done
+
+let () =
+  Alcotest.run "local_search"
+    [
+      ( "local_search",
+        [
+          Alcotest.test_case "never degrades" `Quick test_never_degrades;
+          Alcotest.test_case "local optimum" `Quick test_reaches_local_optimum;
+          Alcotest.test_case "finds chain optimum" `Quick test_finds_chain_optimum;
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "improves bad seed" `Quick
+            test_improves_bad_seed_on_workflow;
+          Alcotest.test_case "keeps linearization" `Quick test_keeps_linearization;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+open Wfc_core
+module Dag = Wfc_dag.Dag
+
+(* The example of Figure 1 / Section 3, reconstructed from the narrative:
+   sources T0 and T1; T0 -> T3 -> {T4, T5}; T4 -> T6; T5 -> T6;
+   T1 -> T2 -> T7; T6 -> T7. T3 and T4 are checkpointed and the linearization
+   is T0 T3 T1 T2 T4 T5 T6 T7. The paper walks through a failure during T5:
+   T5 retries by recovering T3's checkpoint, T6 recovers T4's checkpoint and
+   reuses T5's in-memory output, and T7 re-executes T1 then T2 (no checkpoint
+   on that reverse path). *)
+let w = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |]
+let r3 = 0.45
+let r4 = 0.55
+
+let figure1 () =
+  let costs = [| 0.; 0.; 0.; r3; r4; 0.; 0.; 0. |] in
+  Dag.of_weights
+    ~checkpoint_cost:(fun i _ -> if i = 3 then 0.4 else if i = 4 then 0.5 else 0.)
+    ~recovery_cost:(fun i _ -> costs.(i))
+    ~weights:w
+    ~edges:[ (0, 3); (3, 4); (3, 5); (4, 6); (5, 6); (1, 2); (2, 7); (6, 7) ]
+    ()
+
+let schedule g =
+  let flags = Array.make 8 false in
+  flags.(3) <- true;
+  flags.(4) <- true;
+  Schedule.make g ~order:[| 0; 3; 1; 2; 4; 5; 6; 7 |] ~checkpointed:flags
+
+let replay lw k i = Lost_work.replay_time lw ~last_fault:k ~position:i
+
+let test_paper_narrative () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  (* failure during X_5 (T5 at position 5) *)
+  Wfc_test_util.check_close "T5 retries via T3's checkpoint" r3 (replay lw 5 5);
+  Wfc_test_util.check_close "T6 recovers T4, reuses T5" r4 (replay lw 5 6);
+  Wfc_test_util.check_close "T7 re-executes T1 and T2" (w.(1) +. w.(2))
+    (replay lw 5 7)
+
+let test_first_use_exclusion () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  (* failure during X_3 (T2 at position 3) *)
+  Wfc_test_util.check_close "T2 re-executes T1" w.(1) (replay lw 3 3);
+  Wfc_test_util.check_close "T4 recovers T3" r3 (replay lw 3 4);
+  (* T3 was already recovered for T4; T5 reuses it from memory *)
+  Wfc_test_util.check_close "T5 reuses recovered T3" 0. (replay lw 3 5);
+  Wfc_test_util.check_close "T6 all in memory" 0. (replay lw 3 6);
+  Wfc_test_util.check_close "T7 all in memory" 0. (replay lw 3 7)
+
+let test_fault_during_last () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  (* failure during X_7: everything T7 needs is lost *)
+  Wfc_test_util.check_close "full replay for T7"
+    (w.(2) +. w.(1) +. w.(6) +. r4 +. w.(5) +. r3)
+    (replay lw 7 7)
+
+let test_entry_positions () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  Wfc_test_util.check_close "entry task needs nothing" 0. (replay lw 0 0);
+  (* fault during X_1 (T3): its retry re-executes the lost T0 *)
+  Wfc_test_util.check_close "T3 re-executes T0" w.(0) (replay lw 1 1)
+
+let test_no_fault_is_zero () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  for i = 0 to 7 do
+    Wfc_test_util.check_close "k = -1" 0. (replay lw (-1) i)
+  done
+
+let test_bounds () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  Alcotest.(check int) "n_positions" 8 (Lost_work.n_positions lw);
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> replay lw 5 3);
+  expect_invalid (fun () -> replay lw (-2) 0);
+  expect_invalid (fun () -> replay lw 0 8)
+
+let test_reference_agrees_on_figure1 () =
+  let g = figure1 () in
+  let s = schedule g in
+  let lw = Lost_work.compute g s in
+  for k = 0 to 7 do
+    for i = k to 7 do
+      Wfc_test_util.check_close
+        (Printf.sprintf "L(%d,%d)" k i)
+        (Lost_work_reference.replay_time g s ~last_fault:k ~position:i)
+        (replay lw k i)
+    done
+  done
+
+let test_reference_sets () =
+  let g = figure1 () in
+  let s = schedule g in
+  let sets = Lost_work_reference.replay_sets g s ~k:5 in
+  Alcotest.(check (list int)) "T↓5_5" [ 3 ] (List.sort compare sets.(5));
+  Alcotest.(check (list int)) "T↓5_6" [ 4 ] (List.sort compare sets.(6));
+  Alcotest.(check (list int)) "T↓5_7" [ 1; 2 ] (List.sort compare sets.(7))
+
+let test_checkpoints_cut_propagation () =
+  (* chain 0 -> 1 -> 2 -> 3, checkpoint on task 1: a late failure never
+     replays tasks 0 or 1's work, only 1's recovery *)
+  let g =
+    Wfc_dag.Builders.chain ~weights:[| 5.; 6.; 7.; 8. |]
+      ~recovery_cost:(fun _ _ -> 1.25) ()
+  in
+  let s =
+    Schedule.make g ~order:[| 0; 1; 2; 3 |]
+      ~checkpointed:[| false; true; false; false |]
+  in
+  let lw = Lost_work.compute g s in
+  Wfc_test_util.check_close "retry of 2 recovers 1" 1.25 (replay lw 2 2);
+  Wfc_test_util.check_close "fault at 3 replays 2 and recovers 1"
+    (7. +. 1.25) (replay lw 3 3);
+  Wfc_test_util.check_close "fault at 2, position 3 in memory" 0. (replay lw 2 3)
+
+let prop_optimized_equals_reference =
+  Wfc_test_util.qtest ~count:150 "optimized lost work = Algorithm 1 (random)"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:9 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let lw = Lost_work.compute g s in
+      let n = Schedule.n_tasks s in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        for i = k to n - 1 do
+          let a = Lost_work.replay_time lw ~last_fault:k ~position:i in
+          let b = Lost_work_reference.replay_time g s ~last_fault:k ~position:i in
+          if not (Wfc_test_util.close a b) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_replay_bounded_by_total =
+  Wfc_test_util.qtest ~count:150 "replay never exceeds total weight + recoveries"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:10 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let lw = Lost_work.compute g s in
+      let bound =
+        Dag.total_weight g
+        +. Array.fold_left
+             (fun acc t -> acc +. t.Wfc_dag.Task.recovery_cost)
+             0. (Dag.tasks g)
+      in
+      let n = Schedule.n_tasks s in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        for i = k to n - 1 do
+          let l = Lost_work.replay_time lw ~last_fault:k ~position:i in
+          if l < 0. || l > bound +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_full_loss_dominates =
+  Wfc_test_util.qtest ~count:150 "L(i,i) >= L(k,i): a fresh fault loses the most"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:10 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let lw = Lost_work.compute g s in
+      let n = Schedule.n_tasks s in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let full = Lost_work.replay_time lw ~last_fault:i ~position:i in
+        for k = 0 to i do
+          if Lost_work.replay_time lw ~last_fault:k ~position:i > full +. 1e-9
+          then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "lost_work"
+    [
+      ( "lost_work",
+        [
+          Alcotest.test_case "paper narrative (Fig. 1)" `Quick
+            test_paper_narrative;
+          Alcotest.test_case "first-use exclusion" `Quick
+            test_first_use_exclusion;
+          Alcotest.test_case "fault during last task" `Quick
+            test_fault_during_last;
+          Alcotest.test_case "entry positions" `Quick test_entry_positions;
+          Alcotest.test_case "no fault yet" `Quick test_no_fault_is_zero;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "reference agrees (Fig. 1)" `Quick
+            test_reference_agrees_on_figure1;
+          Alcotest.test_case "reference sets (Fig. 1)" `Quick
+            test_reference_sets;
+          Alcotest.test_case "checkpoints cut propagation" `Quick
+            test_checkpoints_cut_propagation;
+          prop_optimized_equals_reference;
+          prop_replay_bounded_by_total;
+          prop_full_loss_dominates;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+open Wfc_core
+module FM = Wfc_platform.Failure_model
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let model = FM.make ~lambda:1e-3 ()
+
+let test_young () =
+  (* sqrt(2 * 60 / 1e-3) = sqrt(120000) *)
+  Wfc_test_util.check_close "young" (Float.sqrt 120_000.)
+    (Periodic.young_period model ~checkpoint:60.);
+  expect_invalid (fun () -> Periodic.young_period FM.fail_free ~checkpoint:60.);
+  expect_invalid (fun () -> Periodic.young_period model ~checkpoint:0.)
+
+let test_daly () =
+  (* no downtime, c << MTBF: Daly ~ Young - c *)
+  let young = Periodic.young_period model ~checkpoint:60. in
+  let daly = Periodic.daly_period model ~checkpoint:60. in
+  Wfc_test_util.check_close ~eps:1e-9 "daly = young - c" (young -. 60.) daly;
+  (* downtime increases the period *)
+  let with_downtime =
+    Periodic.daly_period (FM.make ~lambda:1e-3 ~downtime:100. ()) ~checkpoint:60.
+  in
+  Alcotest.(check bool) "downtime raises period" true (with_downtime > daly);
+  (* degenerate: huge checkpoint clamps at c *)
+  let huge = Periodic.daly_period (FM.make ~lambda:1. ()) ~checkpoint:50. in
+  Alcotest.(check bool) "clamped" true (huge >= 50.)
+
+let test_divisible_single_segment () =
+  (* period >= work: one unchecked segment *)
+  Wfc_test_util.check_close "one segment"
+    (FM.expected_exec_time model ~work:100. ~checkpoint:0. ~recovery:0.)
+    (Periodic.expected_time_divisible model ~work:100. ~checkpoint:5.
+       ~recovery:5. ~period:200.)
+
+let test_divisible_exact_split () =
+  (* work = 3 periods: segments P+c, P+c, P with recoveries 0, r, r *)
+  let p = 50. and c = 4. and r = 3. in
+  let e = FM.expected_exec_time model in
+  let expected =
+    e ~work:p ~checkpoint:c ~recovery:0.
+    +. e ~work:p ~checkpoint:c ~recovery:r
+    +. e ~work:p ~checkpoint:0. ~recovery:r
+  in
+  Wfc_test_util.check_close "three segments" expected
+    (Periodic.expected_time_divisible model ~work:150. ~checkpoint:c ~recovery:r
+       ~period:p)
+
+let test_divisible_remainder () =
+  (* work = 2.5 periods: trailing half segment, no final checkpoint *)
+  let p = 40. and c = 4. and r = 3. in
+  let e = FM.expected_exec_time model in
+  let expected =
+    e ~work:p ~checkpoint:c ~recovery:0.
+    +. e ~work:p ~checkpoint:c ~recovery:r
+    +. e ~work:20. ~checkpoint:0. ~recovery:r
+  in
+  Wfc_test_util.check_close "remainder" expected
+    (Periodic.expected_time_divisible model ~work:100. ~checkpoint:c ~recovery:r
+       ~period:p);
+  expect_invalid (fun () ->
+      ignore
+        (Periodic.expected_time_divisible model ~work:0. ~checkpoint:1.
+           ~recovery:1. ~period:10.))
+
+let test_optimal_period_beats_neighbors () =
+  let work = 100_000. and checkpoint = 30. and recovery = 30. in
+  let best = Periodic.optimal_period model ~work ~checkpoint ~recovery in
+  let cost p =
+    Periodic.expected_time_divisible model ~work ~checkpoint ~recovery ~period:p
+  in
+  let c_best = cost best in
+  List.iter
+    (fun factor ->
+      if cost (best *. factor) < c_best -. 1e-6 then
+        Alcotest.failf "period %.1f x%.2f beats the optimum" best factor)
+    [ 0.25; 0.5; 0.8; 1.25; 2.; 4. ]
+
+let test_optimal_close_to_daly () =
+  (* in the regime where first-order approximations are valid (c << MTBF),
+     Young and Daly land within a few percent of the searched optimum *)
+  let work = 200_000. and checkpoint = 20. and recovery = 20. in
+  let best = Periodic.optimal_period model ~work ~checkpoint ~recovery in
+  let cost p =
+    Periodic.expected_time_divisible model ~work ~checkpoint ~recovery ~period:p
+  in
+  let rel p = (cost p -. cost best) /. cost best in
+  Alcotest.(check bool) "young within 1%" true
+    (rel (Periodic.young_period model ~checkpoint) < 0.01);
+  Alcotest.(check bool) "daly within 1%" true
+    (rel (Periodic.daly_period model ~checkpoint) < 0.01)
+
+let () =
+  Alcotest.run "periodic"
+    [
+      ( "periodic",
+        [
+          Alcotest.test_case "young" `Quick test_young;
+          Alcotest.test_case "daly" `Quick test_daly;
+          Alcotest.test_case "single segment" `Quick test_divisible_single_segment;
+          Alcotest.test_case "exact split" `Quick test_divisible_exact_split;
+          Alcotest.test_case "remainder" `Quick test_divisible_remainder;
+          Alcotest.test_case "optimum beats neighbors" `Quick
+            test_optimal_period_beats_neighbors;
+          Alcotest.test_case "young/daly near optimum" `Quick
+            test_optimal_close_to_daly;
+        ] );
+    ]

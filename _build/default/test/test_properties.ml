@@ -1,0 +1,218 @@
+(* Cross-cutting properties tying the whole system together on random
+   instances: scheduling invariants, consistency between the independent
+   implementations, and optimality sanity checks. *)
+
+open Wfc_core
+module Dag = Wfc_dag.Dag
+module Linearize = Wfc_dag.Linearize
+module FM = Wfc_platform.Failure_model
+
+let qtest = Wfc_test_util.qtest
+
+let prop_heuristic_schedules_valid =
+  qtest ~count:60 "heuristics emit valid schedules"
+    (Wfc_test_util.gen_dag ~max_n:12 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      let model = FM.make ~lambda:0.05 () in
+      List.for_all
+        (fun ckpt ->
+          List.for_all
+            (fun lin ->
+              let o = Heuristics.run model g ~lin ~ckpt in
+              Dag.is_linearization g
+                (Array.init (Dag.n_tasks g)
+                   (Schedule.task_at o.Heuristics.schedule)))
+            Linearize.all)
+        Heuristics.all_ckpt_strategies)
+
+let prop_brute_force_dominates_heuristics =
+  qtest ~count:25 "no heuristic beats the exhaustive optimum"
+    (Wfc_test_util.gen_dag ~max_n:6 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      let model = FM.make ~lambda:0.08 ~downtime:0.2 () in
+      let _, opt = Brute_force.optimal model g in
+      List.for_all
+        (fun ckpt ->
+          let _, o = Heuristics.best_over_linearizations model g ~ckpt in
+          o.Heuristics.makespan >= opt -. 1e-9)
+        Heuristics.all_ckpt_strategies)
+
+let prop_checkpoint_never_helps_when_fail_free =
+  qtest ~count:100 "lambda = 0: checkpoints only add their cost"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:10 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let none =
+        Schedule.with_checkpoints s (Array.make (Dag.n_tasks g) false)
+      in
+      Evaluator.expected_makespan FM.fail_free g none
+      <= Evaluator.expected_makespan FM.fail_free g s +. 1e-9)
+
+let prop_makespan_increases_with_lambda =
+  qtest ~count:60 "expected makespan grows with the failure rate"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:9 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let at lambda = Evaluator.expected_makespan (FM.make ~lambda ()) g s in
+      let ms = List.map at [ 0.; 0.01; 0.05; 0.1; 0.2 ] in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+        | _ -> true
+      in
+      non_decreasing ms)
+
+let prop_downtime_increases_makespan =
+  qtest ~count:60 "downtime only hurts"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:9 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let at downtime =
+        Evaluator.expected_makespan (FM.make ~lambda:0.05 ~downtime ()) g s
+      in
+      at 0. <= at 1. +. 1e-9 && at 1. <= at 5. +. 1e-9)
+
+let prop_chain_dp_optimal_on_random_chains =
+  qtest ~count:40 "chain DP matches subset brute force"
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* weights = array_repeat n (float_range 0.5 10.) in
+      let* costs = array_repeat n (float_range 0.1 2.) in
+      let* lambda = float_range 0.001 0.2 in
+      return (weights, costs, lambda))
+    (fun (w, c, lambda) ->
+      Format.asprintf "n=%d lambda=%g w0=%g c0=%g" (Array.length w) lambda
+        w.(0) c.(0))
+    (fun (weights, costs, lambda) ->
+      let g =
+        Wfc_dag.Builders.chain
+          ~checkpoint_cost:(fun i _ -> costs.(i))
+          ~recovery_cost:(fun i _ -> costs.(i))
+          ~weights ()
+      in
+      let model = FM.make ~lambda () in
+      let sol = Chain_solver.solve model g in
+      let order = Array.init (Array.length weights) Fun.id in
+      let _, brute = Brute_force.optimal_checkpoints_for_order model g ~order in
+      Wfc_test_util.close ~eps:1e-9 sol.Chain_solver.makespan brute)
+
+let prop_join_order_beats_permutations =
+  qtest ~count:40 "corrected join ordering is optimal on random joins"
+    QCheck2.Gen.(
+      let* n = int_range 2 5 in
+      let* weights = array_repeat n (float_range 0.5 10.) in
+      let* costs = array_repeat n (float_range 0.1 2.) in
+      let* recs = array_repeat n (float_range 0.0 2.) in
+      let* sink = float_range 0.5 5. in
+      let* lambda = float_range 0.01 0.3 in
+      let* mask = int_range 1 ((1 lsl n) - 1) in
+      return (weights, costs, recs, sink, lambda, mask))
+    (fun (w, _, _, _, lambda, mask) ->
+      Format.asprintf "n=%d lambda=%g mask=%d" (Array.length w) lambda mask)
+    (fun (weights, costs, recs, sink, lambda, mask) ->
+      let n = Array.length weights in
+      let g =
+        Wfc_dag.Builders.join
+          ~checkpoint_cost:(fun i _ -> if i < n then costs.(i) else 0.)
+          ~recovery_cost:(fun i _ -> if i < n then recs.(i) else 0.)
+          ~source_weights:weights ~sink_weight:sink ()
+      in
+      let model = FM.make ~lambda () in
+      let ckpt = Array.init (n + 1) (fun v -> v < n && mask land (1 lsl v) <> 0) in
+      let formula = Join_solver.expected_makespan model g ~ckpt in
+      (* every alternative order of the checkpointed prefix must be no
+         better; sample a handful of random permutations via RF *)
+      let rng = Wfc_platform.Rng.create mask in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let ck_list =
+          List.filter (fun v -> ckpt.(v)) (List.init n Fun.id)
+        in
+        let shuffled =
+          List.map snd
+            (List.sort compare
+               (List.map (fun v -> (Wfc_platform.Rng.int rng 1000000, v)) ck_list))
+        in
+        let rest = List.filter (fun v -> not ckpt.(v)) (List.init n Fun.id) in
+        let order = Array.of_list (shuffled @ rest @ [ n ]) in
+        let s = Schedule.make g ~order ~checkpointed:ckpt in
+        if Evaluator.expected_makespan model g s < formula -. 1e-9 then
+          ok := false
+      done;
+      !ok)
+
+let prop_checkpoint_flags_budget =
+  qtest ~count:80 "checkpoint_flags honors its budget"
+    QCheck2.Gen.(
+      let* g = Wfc_test_util.gen_dag ~max_n:12 () in
+      let* n_ckpt = int_range 0 (Dag.n_tasks g) in
+      return (g, n_ckpt))
+    (fun (g, n_ckpt) -> Format.asprintf "%a n_ckpt=%d" Dag.pp_stats g n_ckpt)
+    (fun (g, n_ckpt) ->
+      let order = Linearize.run Linearize.Depth_first g in
+      let count flags =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 flags
+      in
+      (* ranking strategies set exactly n_ckpt flags *)
+      List.for_all
+        (fun strat ->
+          count (Heuristics.checkpoint_flags strat g ~order ~n_ckpt) = n_ckpt)
+        [ Heuristics.Ckpt_weight; Heuristics.Ckpt_cost; Heuristics.Ckpt_outweight;
+          Heuristics.Ckpt_efficiency ]
+      (* periodic places at most n_ckpt - 1 checkpoints *)
+      && count (Heuristics.checkpoint_flags Heuristics.Ckpt_periodic g ~order ~n_ckpt)
+         <= Int.max 0 (n_ckpt - 1))
+
+let prop_simulator_fail_free_identity =
+  qtest ~count:100 "simulator at lambda 0 equals evaluator at lambda 0"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:10 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let rng = Wfc_platform.Rng.create 3 in
+      let r = Wfc_simulator.Sim.run ~rng FM.fail_free g s in
+      Wfc_test_util.close r.Wfc_simulator.Sim.makespan
+        (Evaluator.expected_makespan FM.fail_free g s))
+
+let prop_pegasus_schedulable =
+  (* end-to-end: every workflow family linearizes, schedules and evaluates
+     to a finite makespan under a mild failure rate *)
+  qtest ~count:20 "pegasus workflows schedule end to end"
+    QCheck2.Gen.(
+      let* fam = oneofl Wfc_workflows.Pegasus.all in
+      let* n = int_range 20 60 in
+      let* seed = int_range 0 1000 in
+      return (fam, n, seed))
+    (fun (fam, n, seed) ->
+      Printf.sprintf "%s n=%d seed=%d" (Wfc_workflows.Pegasus.family_name fam) n seed)
+    (fun (fam, n, seed) ->
+      let g = Wfc_workflows.Pegasus.generate fam ~n ~seed in
+      let g =
+        Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1) g
+      in
+      let mean = Wfc_workflows.Pegasus.mean_task_weight fam in
+      let model = FM.make ~lambda:(0.01 /. mean) () in
+      let o =
+        Heuristics.run ~search:(Heuristics.Grid 8) model g
+          ~lin:Linearize.Depth_first ~ckpt:Heuristics.Ckpt_weight
+      in
+      Float.is_finite o.Heuristics.makespan
+      && o.Heuristics.makespan >= Evaluator.fail_free_time g)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "properties",
+        [
+          prop_heuristic_schedules_valid;
+          prop_brute_force_dominates_heuristics;
+          prop_checkpoint_never_helps_when_fail_free;
+          prop_makespan_increases_with_lambda;
+          prop_downtime_increases_makespan;
+          prop_chain_dp_optimal_on_random_chains;
+          prop_join_order_beats_permutations;
+          prop_checkpoint_flags_budget;
+          prop_simulator_fail_free_identity;
+          prop_pegasus_schedulable;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+open Wfc_core
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_build_structure () =
+  let inst = Reduction.build ~weights:[| 3; 5; 7 |] ~target:8 in
+  let g = inst.Reduction.dag in
+  Alcotest.(check int) "n+1 tasks" 4 (Wfc_dag.Dag.n_tasks g);
+  Alcotest.(check bool) "is a join" true (Join_solver.is_join g = Some 3);
+  Alcotest.(check (float 0.)) "zero-weight sink" 0. (Wfc_dag.Dag.weight g 3);
+  (* lambda = 1 / min w *)
+  Wfc_test_util.check_close "lambda" (1. /. 3.)
+    inst.Reduction.model.Wfc_platform.Failure_model.lambda;
+  Array.iter
+    (fun (t : Wfc_dag.Task.t) ->
+      if t.Wfc_dag.Task.id < 3 then begin
+        if t.Wfc_dag.Task.checkpoint_cost <= 0. then
+          Alcotest.fail "c_i must be positive";
+        Alcotest.(check (float 0.)) "r_i = 0" 0. t.Wfc_dag.Task.recovery_cost
+      end)
+    (Wfc_dag.Dag.tasks g)
+
+let test_build_validation () =
+  expect_invalid (fun () -> Reduction.build ~weights:[||] ~target:1);
+  expect_invalid (fun () -> Reduction.build ~weights:[| 0; 2 |] ~target:1);
+  expect_invalid (fun () -> Reduction.build ~weights:[| 1; 2 |] ~target:0)
+
+(* the key identity of the proof: e^{lambda (w_i + c_i)} - 1 =
+   lambda w_i e^{lambda X} *)
+let test_cost_identity () =
+  let inst = Reduction.build ~weights:[| 3; 5; 7; 4 |] ~target:9 in
+  let lambda = inst.Reduction.model.Wfc_platform.Failure_model.lambda in
+  let x = float_of_int inst.Reduction.target in
+  Array.iter
+    (fun (t : Wfc_dag.Task.t) ->
+      if t.Wfc_dag.Task.id < 4 then
+        Wfc_test_util.check_close ~eps:1e-9 "identity"
+          (lambda *. t.Wfc_dag.Task.weight *. Float.exp (lambda *. x))
+          (Float.expm1
+             (lambda *. (t.Wfc_dag.Task.weight +. t.Wfc_dag.Task.checkpoint_cost))))
+    (Wfc_dag.Dag.tasks inst.Reduction.dag)
+
+(* normalized makespan as a function of the non-checkpointed sum W:
+   lambda e^{lambda X} (S - W) + e^{lambda W} - 1, minimized exactly at
+   W = X *)
+let test_makespan_profile () =
+  let weights = [| 3; 5; 7; 4 |] in
+  let inst = Reduction.build ~weights ~target:9 in
+  let lambda = inst.Reduction.model.Wfc_platform.Failure_model.lambda in
+  let s = 19. and x = 9. in
+  let closed_form w =
+    (lambda *. Float.exp (lambda *. x) *. (s -. w)) +. Float.expm1 (lambda *. w)
+  in
+  let subsets =
+    [ [| false; false; false; false |]  (* W = 0 *)
+    ; [| true; false; false; false |]  (* W = 3 *)
+    ; [| false; true; true; false |]  (* W = 12 *)
+    ; [| false; true; false; true |]  (* W = 9 = X *)
+    ; [| true; true; false; false |]  (* W = 8 *)
+    ]
+  in
+  List.iter
+    (fun not_ckpt ->
+      let w =
+        Array.to_list (Array.mapi (fun i b -> if b then weights.(i) else 0) not_ckpt)
+        |> List.fold_left ( + ) 0 |> float_of_int
+      in
+      Wfc_test_util.check_close ~eps:1e-9 "profile"
+        (closed_form w)
+        (Reduction.normalized_makespan inst ~not_checkpointed:not_ckpt))
+    subsets;
+  (* threshold is the minimum, attained only at W = X *)
+  Wfc_test_util.check_close ~eps:1e-9 "threshold = profile at X"
+    (closed_form x) inst.Reduction.threshold
+
+let test_yes_instance () =
+  (* 3 + 5 + 4 admits 9 = 5 + 4 *)
+  let inst = Reduction.build ~weights:[| 3; 5; 7; 4 |] ~target:9 in
+  (match Reduction.solve_subset_sum ~weights:[| 3; 5; 7; 4 |] ~target:9 with
+  | None -> Alcotest.fail "subset sum solver missed a witness"
+  | Some witness ->
+      Alcotest.(check bool) "witness meets threshold" true
+        (Reduction.meets_threshold inst ~not_checkpointed:witness));
+  (* a wrong subset misses the threshold *)
+  Alcotest.(check bool) "W = 8 misses" false
+    (Reduction.meets_threshold inst
+       ~not_checkpointed:[| true; true; false; false |]);
+  Alcotest.(check bool) "W = 12 misses" false
+    (Reduction.meets_threshold inst
+       ~not_checkpointed:[| false; true; true; false |])
+
+let test_no_instance () =
+  (* weights 4, 6, 10 and target 9: no subset sums to 9 *)
+  (match Reduction.solve_subset_sum ~weights:[| 4; 6; 10 |] ~target:9 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "phantom witness");
+  let inst = Reduction.build ~weights:[| 4; 6; 10 |] ~target:9 in
+  (* no subset meets the threshold *)
+  for mask = 0 to 7 do
+    let not_ckpt = Array.init 3 (fun i -> mask land (1 lsl i) <> 0) in
+    if Reduction.meets_threshold inst ~not_checkpointed:not_ckpt then
+      Alcotest.failf "mask %d wrongly meets the threshold" mask
+  done
+
+let test_equivalence_exhaustive () =
+  (* full equivalence on a batch of small instances: some subset meets the
+     threshold iff SUBSET-SUM is a yes-instance *)
+  let cases =
+    [ ([| 2; 3; 4 |], 5); ([| 2; 3; 4 |], 6); ([| 2; 4; 6 |], 7);
+      ([| 5; 5; 5 |], 10); ([| 3; 5; 7; 9 |], 12); ([| 3; 5; 7; 9 |], 13);
+      ([| 4; 8; 12 |], 10) ]
+  in
+  List.iter
+    (fun (weights, target) ->
+      let n = Array.length weights in
+      let inst = Reduction.build ~weights ~target in
+      let any_meets = ref false in
+      for mask = 0 to (1 lsl n) - 1 do
+        let not_ckpt = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+        if Reduction.meets_threshold inst ~not_checkpointed:not_ckpt then
+          any_meets := true
+      done;
+      let has_witness =
+        Reduction.solve_subset_sum ~weights ~target <> None
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "equivalence for target %d" target)
+        has_witness !any_meets)
+    cases
+
+let test_subset_sum_solver () =
+  (match Reduction.solve_subset_sum ~weights:[| 1; 2; 5 |] ~target:8 with
+  | Some w -> Alcotest.(check (list bool)) "all items" [ true; true; true ]
+                (Array.to_list w)
+  | None -> Alcotest.fail "missed 1+2+5");
+  (match Reduction.solve_subset_sum ~weights:[| 7; 11 |] ~target:5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "impossible target");
+  (* witness sums correctly on a larger instance *)
+  let weights = [| 13; 4; 9; 21; 7; 2; 16 |] in
+  match Reduction.solve_subset_sum ~weights ~target:30 with
+  | None -> Alcotest.fail "30 = 21 + 7 + 2 exists"
+  | Some w ->
+      let total =
+        Array.to_list (Array.mapi (fun i b -> if b then weights.(i) else 0) w)
+        |> List.fold_left ( + ) 0
+      in
+      Alcotest.(check int) "witness sums to target" 30 total
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "build structure" `Quick test_build_structure;
+          Alcotest.test_case "build validation" `Quick test_build_validation;
+          Alcotest.test_case "cost identity" `Quick test_cost_identity;
+          Alcotest.test_case "makespan profile" `Quick test_makespan_profile;
+          Alcotest.test_case "yes instance" `Quick test_yes_instance;
+          Alcotest.test_case "no instance" `Quick test_no_instance;
+          Alcotest.test_case "exhaustive equivalence" `Quick
+            test_equivalence_exhaustive;
+          Alcotest.test_case "subset-sum solver" `Quick test_subset_sum_solver;
+        ] );
+    ]

@@ -1,0 +1,110 @@
+open Wfc_reporting
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---- Table ---- *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22.5" ];
+  let rendered = Table.render t in
+  Alcotest.(check string) "aligned"
+    "name   value\n-----  -----\nalpha  1    \nb      22.5 \n" rendered
+
+let test_table_validation () =
+  expect_invalid (fun () -> Table.create ~columns:[]);
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  expect_invalid (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_float_row () =
+  let t = Table.create ~columns:[ "x"; "y"; "z" ] in
+  Table.add_float_row t "row" [ 1.; 0.123456 ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "integer printed plainly" true
+    (String.length rendered > 0
+    && contains rendered "1"
+    && contains rendered "0.1235")
+
+(* ---- Csv ---- *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_line () =
+  Alcotest.(check string) "joined" "a,\"b,c\",d" (Csv.line [ "a"; "b,c"; "d" ])
+
+let test_csv_write_file () =
+  let dir = Filename.temp_file "wfc_csv" "" in
+  Sys.remove dir;
+  let path = Filename.concat (Filename.concat dir "sub") "out.csv" in
+  Csv.write_file path ~header:[ "h1"; "h2" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ];
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Alcotest.(check (list string)) "contents" [ "h1,h2"; "1,2"; "3,4" ] lines
+
+(* ---- Series ---- *)
+
+let s1 = Series.make ~name:"a" ~points:[ (1., 10.); (2., 20.) ]
+let s2 = Series.make ~name:"b" ~points:[ (1., 5.); (2., 40.) ]
+
+let test_series_accessors () =
+  Alcotest.(check string) "name" "a" (Series.name s1);
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "points"
+    [ (1., 10.); (2., 20.) ] (Series.points s1);
+  Alcotest.(check (float 0.)) "min" 10. (Series.min_y s1);
+  Alcotest.(check (float 0.)) "max" 20. (Series.max_y s1)
+
+let test_series_table () =
+  let t = Series.to_table ~x_label:"n" [ s1; s2 ] in
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has values" true
+    (contains rendered "10.0000"
+    && contains rendered "40.0000");
+  let s3 = Series.make ~name:"c" ~points:[ (9., 1.) ] in
+  expect_invalid (fun () -> ignore (Series.to_table ~x_label:"n" [ s1; s3 ]));
+  expect_invalid (fun () -> ignore (Series.to_table ~x_label:"n" []))
+
+let test_series_csv_rows () =
+  let rows = Series.to_csv_rows [ s1; s2 ] in
+  Alcotest.(check int) "row count" 4 (List.length rows);
+  match rows with
+  | [ "a"; x; y ] :: _ ->
+      Alcotest.(check string) "x" "1" x;
+      Alcotest.(check string) "y" "10" y
+  | _ -> Alcotest.fail "unexpected first row"
+
+let () =
+  Alcotest.run "reporting"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "validation" `Quick test_table_validation;
+          Alcotest.test_case "float row" `Quick test_table_float_row;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "line" `Quick test_csv_line;
+          Alcotest.test_case "write file" `Quick test_csv_write_file;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "accessors" `Quick test_series_accessors;
+          Alcotest.test_case "table" `Quick test_series_table;
+          Alcotest.test_case "csv rows" `Quick test_series_csv_rows;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+open Wfc_core
+module Dag = Wfc_dag.Dag
+module Builders = Wfc_dag.Builders
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let g () = Builders.chain ~weights:[| 1.; 2.; 3.; 4. |] ()
+
+let test_make () =
+  let g = g () in
+  let s =
+    Schedule.make g ~order:[| 0; 1; 2; 3 |]
+      ~checkpointed:[| false; true; false; true |]
+  in
+  Alcotest.(check int) "n" 4 (Schedule.n_tasks s);
+  Alcotest.(check int) "task_at 2" 2 (Schedule.task_at s 2);
+  Alcotest.(check int) "position_of 3" 3 (Schedule.position_of s 3);
+  Alcotest.(check bool) "ckpt 1" true (Schedule.is_checkpointed s 1);
+  Alcotest.(check bool) "ckpt 0" false (Schedule.is_checkpointed s 0);
+  Alcotest.(check int) "count" 2 (Schedule.checkpoint_count s);
+  Alcotest.(check (list int)) "ckpt tasks" [ 1; 3 ] (Schedule.checkpointed_tasks s)
+
+let test_make_validation () =
+  let g = g () in
+  expect_invalid (fun () ->
+      Schedule.make g ~order:[| 1; 0; 2; 3 |] ~checkpointed:(Array.make 4 false));
+  expect_invalid (fun () ->
+      Schedule.make g ~order:[| 0; 1; 2; 3 |] ~checkpointed:(Array.make 3 false));
+  expect_invalid (fun () ->
+      Schedule.make g ~order:[| 0; 1; 2 |] ~checkpointed:(Array.make 4 false))
+
+let test_arrays_copied () =
+  let g = g () in
+  let order = [| 0; 1; 2; 3 |] and flags = Array.make 4 false in
+  let s = Schedule.make g ~order ~checkpointed:flags in
+  flags.(0) <- true;
+  order.(0) <- 99;
+  Alcotest.(check bool) "flags copied" false (Schedule.is_checkpointed s 0);
+  Alcotest.(check int) "order copied" 0 (Schedule.task_at s 0)
+
+let test_of_positions () =
+  let g = g () in
+  let s = Schedule.of_positions g ~order:[| 0; 1; 2; 3 |] ~ckpt_positions:[ 1; 3 ] in
+  Alcotest.(check (list int)) "tasks" [ 1; 3 ] (Schedule.checkpointed_tasks s);
+  expect_invalid (fun () ->
+      Schedule.of_positions g ~order:[| 0; 1; 2; 3 |] ~ckpt_positions:[ 9 ])
+
+let test_with_checkpoints () =
+  let g = g () in
+  let s = Schedule.no_checkpoints g ~order:[| 0; 1; 2; 3 |] in
+  Alcotest.(check int) "none" 0 (Schedule.checkpoint_count s);
+  let s' = Schedule.with_checkpoints s [| true; true; true; true |] in
+  Alcotest.(check int) "all" 4 (Schedule.checkpoint_count s');
+  Alcotest.(check int) "original untouched" 0 (Schedule.checkpoint_count s);
+  expect_invalid (fun () -> ignore (Schedule.with_checkpoints s [| true |]))
+
+let test_all_checkpoints () =
+  let g = g () in
+  let s = Schedule.all_checkpoints g ~order:[| 0; 1; 2; 3 |] in
+  Alcotest.(check int) "all" 4 (Schedule.checkpoint_count s)
+
+let test_position_of_roundtrip () =
+  let g =
+    Wfc_dag.Dag.of_weights ~weights:[| 1.; 1.; 1.; 1. |]
+      ~edges:[ (0, 2); (1, 3) ] ()
+  in
+  let s = Schedule.no_checkpoints g ~order:[| 1; 0; 3; 2 |] in
+  for p = 0 to 3 do
+    Alcotest.(check int) "roundtrip" p (Schedule.position_of s (Schedule.task_at s p))
+  done
+
+let test_pp () =
+  let g = g () in
+  let s = Schedule.of_positions g ~order:[| 0; 1; 2; 3 |] ~ckpt_positions:[ 1 ] in
+  Alcotest.(check string) "pp" "T0 T1* T2 T3" (Format.asprintf "%a" Schedule.pp s)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "arrays copied" `Quick test_arrays_copied;
+          Alcotest.test_case "of_positions" `Quick test_of_positions;
+          Alcotest.test_case "with_checkpoints" `Quick test_with_checkpoints;
+          Alcotest.test_case "all_checkpoints" `Quick test_all_checkpoints;
+          Alcotest.test_case "position_of roundtrip" `Quick
+            test_position_of_roundtrip;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+open Wfc_core
+module Dag = Wfc_dag.Dag
+module Builders = Wfc_dag.Builders
+module FM = Wfc_platform.Failure_model
+
+(* ---------- fork (Theorem 1) ---------- *)
+
+let fork_dag () =
+  Builders.fork ~source_weight:8. ~sink_weights:[| 2.; 5.; 3. |]
+    ~checkpoint_cost:(fun _ w -> 0.25 *. w)
+    ~recovery_cost:(fun _ w -> 0.12 *. w)
+    ()
+
+let test_is_fork () =
+  Alcotest.(check bool) "fork recognized" true
+    (Fork_solver.is_fork (fork_dag ()) = Some 0);
+  let not_fork = Builders.chain ~weights:[| 1.; 2.; 3. |] () in
+  Alcotest.(check bool) "chain rejected" true (Fork_solver.is_fork not_fork = None);
+  let join = Builders.join ~source_weights:[| 1.; 2. |] ~sink_weight:1. () in
+  Alcotest.(check bool) "join rejected" true (Fork_solver.is_fork join = None)
+
+let test_fork_solver_vs_brute_force () =
+  List.iter
+    (fun model ->
+      let g = fork_dag () in
+      let sol = Fork_solver.solve model g in
+      let _, brute = Brute_force.optimal model g in
+      Wfc_test_util.check_close ~eps:1e-9 "fork optimal = brute force" brute
+        sol.Fork_solver.makespan;
+      (* the materialized schedule evaluates to the reported makespan *)
+      let s = Fork_solver.schedule_of g sol in
+      Wfc_test_util.check_close ~eps:1e-9 "schedule matches value"
+        sol.Fork_solver.makespan
+        (Evaluator.expected_makespan model g s))
+    Wfc_test_util.models
+
+let test_fork_decision_flips () =
+  (* cheap checkpoint: checkpointing wins; expensive checkpoint: skipping *)
+  let mk c =
+    Builders.fork ~source_weight:10. ~sink_weights:(Array.make 6 5.)
+      ~checkpoint_cost:(fun _ _ -> c)
+      ~recovery_cost:(fun _ _ -> 0.5)
+      ()
+  in
+  let model = FM.make ~lambda:0.05 () in
+  let cheap = Fork_solver.solve model (mk 0.2) in
+  Alcotest.(check bool) "cheap -> checkpoint" true
+    cheap.Fork_solver.checkpoint_source;
+  let expensive = Fork_solver.solve model (mk 200.) in
+  Alcotest.(check bool) "expensive -> skip" false
+    expensive.Fork_solver.checkpoint_source
+
+(* ---------- join (Lemma 2, Corollaries, Theorem 2) ---------- *)
+
+let join_dag () =
+  Builders.join ~source_weights:[| 4.; 7.; 2.; 5. |] ~sink_weight:3.
+    ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+    ~recovery_cost:(fun _ w -> 0.1 *. w)
+    ()
+
+let test_is_join () =
+  Alcotest.(check bool) "join recognized" true
+    (Join_solver.is_join (join_dag ()) = Some 4);
+  Alcotest.(check bool) "fork rejected" true
+    (Join_solver.is_join (fork_dag ()) = None)
+
+let test_corrected_order_is_optimal () =
+  (* the corrected exchange-argument order minimizes the expected makespan
+     among all permutations of the same checkpoint set (general evaluator as
+     the referee) *)
+  let g = join_dag () in
+  let model = FM.make ~lambda:0.09 ~downtime:0.4 () in
+  let ckpt = [| true; true; true; false; false |] in
+  let best_formula = Join_solver.expected_makespan model g ~ckpt in
+  let perms =
+    (* all orders of the three checkpointed sources 0, 1, 2 *)
+    [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ]; [ 2; 1; 0 ] ]
+  in
+  List.iter
+    (fun perm ->
+      let order = Array.of_list (perm @ [ 3; 4 ]) in
+      let s = Schedule.make g ~order ~checkpointed:ckpt in
+      let m = Evaluator.expected_makespan model g s in
+      if m < best_formula -. 1e-9 then
+        Alcotest.failf "permutation %s beats the corrected order: %.12g < %.12g"
+          (String.concat "" (List.map string_of_int perm))
+          m best_formula;
+      (* and Equation (2) agrees with the evaluator on every order *)
+      Wfc_test_util.check_close ~eps:1e-9 "Eq. (2) for this permutation" m
+        (Join_solver.expected_makespan_order model g ~ckpt ~sigma:perm))
+    perms
+
+let test_lemma2_erratum () =
+  (* Counterexample to the published Lemma 2 ordering: with heterogeneous
+     costs the non-increasing-g order is strictly beaten by the corrected
+     order. Found by random search, cross-checked against the Theorem 3
+     evaluator (itself validated by Monte Carlo fault injection). *)
+  let g =
+    Wfc_dag.Builders.join
+      ~checkpoint_cost:(fun i _ -> if i < 2 then [| 0.808; 0.913 |].(i) else 0.)
+      ~recovery_cost:(fun i _ -> if i < 2 then [| 0.821; 1.545 |].(i) else 0.)
+      ~source_weights:[| 0.809; 5.244 |] ~sink_weight:1.568 ()
+  in
+  let model = FM.make ~lambda:0.102 () in
+  let ckpt = [| true; true; false |] in
+  let task i = Wfc_dag.Dag.task g i in
+  (* the published criterion prefers task 0 first... *)
+  Alcotest.(check bool) "g(0) > g(1)" true
+    (Join_solver.g_value model (task 0) > Join_solver.g_value model (task 1));
+  (* ...but running task 1 first is strictly better *)
+  let m_paper = Join_solver.expected_makespan_order model g ~ckpt ~sigma:[ 0; 1 ] in
+  let m_fixed = Join_solver.expected_makespan_order model g ~ckpt ~sigma:[ 1; 0 ] in
+  Alcotest.(check bool) "corrected order strictly better" true
+    (m_fixed < m_paper -. 1e-6);
+  (* the corrected key agrees *)
+  Alcotest.(check bool) "key(1) < key(0)" true
+    (Join_solver.order_key model (task 1) < Join_solver.order_key model (task 0));
+  (* and the solver picks the better order *)
+  Wfc_test_util.check_close ~eps:1e-12 "solver uses corrected order" m_fixed
+    (Join_solver.expected_makespan model g ~ckpt)
+
+let test_join_solver_exact_vs_brute_force () =
+  let g = join_dag () in
+  List.iter
+    (fun model ->
+      let sol = Join_solver.solve_exact model g in
+      let _, brute = Brute_force.optimal model g in
+      Wfc_test_util.check_close ~eps:1e-9 "join exact = brute force" brute
+        sol.Join_solver.makespan)
+    Wfc_test_util.models
+
+let test_join_uniform_costs () =
+  let g =
+    Builders.join ~source_weights:[| 6.; 3.; 9.; 4.; 5. |] ~sink_weight:2.
+      ~checkpoint_cost:(fun _ _ -> 1.)
+      ~recovery_cost:(fun _ _ -> 0.8)
+      ()
+  in
+  List.iter
+    (fun model ->
+      let sol = Join_solver.solve_uniform_costs model g in
+      let exact = Join_solver.solve_exact model g in
+      Wfc_test_util.check_close ~eps:1e-9 "Corollary 1 optimal"
+        exact.Join_solver.makespan sol.Join_solver.makespan)
+    Wfc_test_util.models;
+  (* rejects non-uniform costs *)
+  match Join_solver.solve_uniform_costs (FM.make ~lambda:0.1 ()) (join_dag ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-uniform costs accepted"
+
+let test_zero_recovery_closed_form () =
+  let g =
+    Builders.join ~source_weights:[| 4.; 7.; 2. |] ~sink_weight:3.
+      ~checkpoint_cost:(fun _ w -> 0.3 *. w)
+      ()
+  in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun flags ->
+          let ckpt = Array.of_list flags in
+          Wfc_test_util.check_close ~eps:1e-9 "Corollary 2 = Lemma 2 at r = 0"
+            (Join_solver.expected_makespan model g ~ckpt)
+            (Join_solver.zero_recovery_makespan model g ~ckpt))
+        [
+          [ false; false; false; false ];
+          [ true; true; true; false ];
+          [ true; false; true; false ];
+        ])
+    Wfc_test_util.models
+
+let test_zero_recovery_order_irrelevant () =
+  (* Corollary 2: with r = 0 every execution order of the same sets gives the
+     same expected makespan *)
+  let g =
+    Builders.join ~source_weights:[| 4.; 7.; 2. |] ~sink_weight:3.
+      ~checkpoint_cost:(fun _ w -> 0.3 *. w)
+      ()
+  in
+  let model = FM.make ~lambda:0.07 () in
+  let ckpt = [| true; true; false; false |] in
+  let m order =
+    Evaluator.expected_makespan model g
+      (Schedule.make g ~order ~checkpointed:ckpt)
+  in
+  Wfc_test_util.check_close ~eps:1e-9 "order swap"
+    (m [| 0; 1; 2; 3 |]) (m [| 1; 0; 2; 3 |])
+
+(* ---------- chain (Toueg-Babaoglu baseline) ---------- *)
+
+let chain_dag () =
+  Builders.chain
+    ~weights:[| 6.; 2.; 8.; 4.; 5. |]
+    ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+    ~recovery_cost:(fun _ w -> 0.15 *. w)
+    ()
+
+let test_is_chain () =
+  Alcotest.(check bool) "chain" true (Chain_solver.is_chain (chain_dag ()));
+  Alcotest.(check bool) "fork is not" false (Chain_solver.is_chain (fork_dag ()))
+
+let test_chain_dp_vs_brute_force () =
+  let g = chain_dag () in
+  List.iter
+    (fun model ->
+      let sol = Chain_solver.solve model g in
+      let order = [| 0; 1; 2; 3; 4 |] in
+      let _, brute = Brute_force.optimal_checkpoints_for_order model g ~order in
+      Wfc_test_util.check_close ~eps:1e-9 "DP = brute force over subsets" brute
+        sol.Chain_solver.makespan;
+      (* the DP's flags evaluate to its claimed makespan *)
+      let s = Schedule.make g ~order ~checkpointed:sol.Chain_solver.checkpointed in
+      Wfc_test_util.check_close ~eps:1e-9 "flags match value"
+        sol.Chain_solver.makespan
+        (Evaluator.expected_makespan model g s))
+    Wfc_test_util.models
+
+let test_chain_fail_free_no_checkpoints () =
+  let g = chain_dag () in
+  let sol = Chain_solver.solve FM.fail_free g in
+  Alcotest.(check bool) "no checkpoint when no failures" true
+    (Array.for_all not sol.Chain_solver.checkpointed);
+  Wfc_test_util.check_close "T_inf" 25. sol.Chain_solver.makespan
+
+let test_chain_harsh_failures_checkpoint_more () =
+  let g = chain_dag () in
+  let count lambda =
+    let sol = Chain_solver.solve (FM.make ~lambda ()) g in
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+      sol.Chain_solver.checkpointed
+  in
+  Alcotest.(check bool) "more failures, at least as many checkpoints" true
+    (count 0.2 >= count 0.001)
+
+let () =
+  Alcotest.run "solvers"
+    [
+      ( "fork",
+        [
+          Alcotest.test_case "recognition" `Quick test_is_fork;
+          Alcotest.test_case "vs brute force" `Slow test_fork_solver_vs_brute_force;
+          Alcotest.test_case "decision flips" `Quick test_fork_decision_flips;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "recognition" `Quick test_is_join;
+          Alcotest.test_case "corrected order optimal" `Quick
+            test_corrected_order_is_optimal;
+          Alcotest.test_case "Lemma 2 erratum" `Quick test_lemma2_erratum;
+          Alcotest.test_case "exact vs brute force" `Slow
+            test_join_solver_exact_vs_brute_force;
+          Alcotest.test_case "uniform costs (Corollary 1)" `Slow
+            test_join_uniform_costs;
+          Alcotest.test_case "zero recovery (Corollary 2)" `Quick
+            test_zero_recovery_closed_form;
+          Alcotest.test_case "zero recovery order-free" `Quick
+            test_zero_recovery_order_irrelevant;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "recognition" `Quick test_is_chain;
+          Alcotest.test_case "DP vs brute force" `Slow test_chain_dp_vs_brute_force;
+          Alcotest.test_case "fail-free: no checkpoints" `Quick
+            test_chain_fail_free_no_checkpoints;
+          Alcotest.test_case "harsher failures, more checkpoints" `Quick
+            test_chain_harsh_failures_checkpoint_more;
+        ] );
+    ]

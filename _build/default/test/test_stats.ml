@@ -1,0 +1,135 @@
+module Stats = Wfc_platform.Stats
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let of_list xs =
+  let s = Stats.create () in
+  List.iter (Stats.add s) xs;
+  s
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  expect_invalid (fun () -> ignore (Stats.mean s));
+  expect_invalid (fun () -> ignore (Stats.std_error s));
+  expect_invalid (fun () -> ignore (Stats.min_value s))
+
+let test_known_values () =
+  let s = of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Wfc_test_util.check_close "mean" 5. (Stats.mean s);
+  (* sample variance with Bessel correction: sum sq dev = 32, / 7 *)
+  Wfc_test_util.check_close "variance" (32. /. 7.) (Stats.variance s);
+  Wfc_test_util.check_close "stddev" (Float.sqrt (32. /. 7.)) (Stats.stddev s);
+  Alcotest.(check (float 1e-12)) "min" 2. (Stats.min_value s);
+  Alcotest.(check (float 1e-12)) "max" 9. (Stats.max_value s)
+
+let test_single_sample () =
+  let s = of_list [ 3.5 ] in
+  Wfc_test_util.check_close "mean" 3.5 (Stats.mean s);
+  Alcotest.(check (float 0.)) "variance" 0. (Stats.variance s)
+
+let test_std_error_and_ci () =
+  let s = of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  let se = Stats.std_error s in
+  Wfc_test_util.check_close "stderr" (Stats.stddev s /. Float.sqrt 5.) se;
+  let lo, hi = Stats.confidence95 s in
+  Wfc_test_util.check_close "ci lo" (3. -. (1.96 *. se)) lo;
+  Wfc_test_util.check_close "ci hi" (3. +. (1.96 *. se)) hi
+
+let test_merge () =
+  let a = of_list [ 1.; 2.; 3. ] and b = of_list [ 10.; 20. ] in
+  let m = Stats.merge a b in
+  let direct = of_list [ 1.; 2.; 3.; 10.; 20. ] in
+  Alcotest.(check int) "count" 5 (Stats.count m);
+  Wfc_test_util.check_close "mean" (Stats.mean direct) (Stats.mean m);
+  Wfc_test_util.check_close "variance" (Stats.variance direct) (Stats.variance m);
+  Alcotest.(check (float 0.)) "min" 1. (Stats.min_value m);
+  Alcotest.(check (float 0.)) "max" 20. (Stats.max_value m)
+
+let test_merge_empty () =
+  let a = of_list [ 1.; 2. ] and e = Stats.create () in
+  Wfc_test_util.check_close "left empty" (Stats.mean a)
+    (Stats.mean (Stats.merge e a));
+  Wfc_test_util.check_close "right empty" (Stats.mean a)
+    (Stats.mean (Stats.merge a e))
+
+let test_numerical_stability () =
+  (* Welford must not lose the variance of tiny fluctuations around a huge
+     offset. *)
+  let offset = 1e9 in
+  let s = of_list (List.init 1000 (fun i -> offset +. float_of_int (i mod 2))) in
+  Wfc_test_util.check_close ~eps:1e-6 "variance of 0/1 pattern"
+    (0.25 *. 1000. /. 999.)
+    (Stats.variance s)
+
+(* ---- Sample_set ---- *)
+
+module SS = Wfc_platform.Sample_set
+
+let sample_of_list xs =
+  let t = SS.create () in
+  List.iter (SS.add t) xs;
+  t
+
+let test_sample_set_basics () =
+  let t = sample_of_list [ 5.; 1.; 3.; 2.; 4. ] in
+  Alcotest.(check int) "count" 5 (SS.count t);
+  Wfc_test_util.check_close "mean" 3. (SS.mean t);
+  Alcotest.(check (array (float 0.))) "sorted" [| 1.; 2.; 3.; 4.; 5. |]
+    (SS.sorted t);
+  Wfc_test_util.check_close "median" 3. (SS.median t);
+  (* adding after sorting keeps working *)
+  SS.add t 0.;
+  Alcotest.(check (array (float 0.))) "resorted" [| 0.; 1.; 2.; 3.; 4.; 5. |]
+    (SS.sorted t)
+
+let test_sample_set_quantiles () =
+  let t = sample_of_list [ 10.; 20.; 30.; 40. ] in
+  Wfc_test_util.check_close "q0" 10. (SS.quantile t 0.);
+  Wfc_test_util.check_close "q1" 40. (SS.quantile t 1.);
+  (* type-7 interpolation: h = 0.5 * 3 = 1.5 -> 20 + 0.5 * 10 *)
+  Wfc_test_util.check_close "median interpolated" 25. (SS.quantile t 0.5);
+  Wfc_test_util.check_close "q 1/3" 20. (SS.quantile t (1. /. 3.));
+  expect_invalid (fun () -> ignore (SS.quantile t 1.5));
+  expect_invalid (fun () -> ignore (SS.quantile (SS.create ()) 0.5))
+
+let test_sample_set_to_stats () =
+  let t = sample_of_list [ 1.; 2.; 3. ] in
+  let s = SS.to_stats t in
+  Alcotest.(check int) "count" 3 (Stats.count s);
+  Wfc_test_util.check_close "mean" 2. (Stats.mean s)
+
+let test_sample_set_growth () =
+  let t = SS.create () in
+  for i = 1 to 1000 do
+    SS.add t (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (SS.count t);
+  Wfc_test_util.check_close "q99" 990.01 (SS.quantile t 0.99)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "sample_set",
+        [
+          Alcotest.test_case "basics" `Quick test_sample_set_basics;
+          Alcotest.test_case "quantiles" `Quick test_sample_set_quantiles;
+          Alcotest.test_case "to_stats" `Quick test_sample_set_to_stats;
+          Alcotest.test_case "growth" `Quick test_sample_set_growth;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "single sample" `Quick test_single_sample;
+          Alcotest.test_case "std error and CI" `Quick test_std_error_and_ci;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge with empty" `Quick test_merge_empty;
+          Alcotest.test_case "numerical stability" `Quick
+            test_numerical_stability;
+        ] );
+    ]

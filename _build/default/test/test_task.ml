@@ -1,0 +1,81 @@
+open Wfc_dag
+
+let check = Alcotest.(check bool)
+
+let test_make_defaults () =
+  let t = Task.make ~id:3 ~weight:7.5 () in
+  Alcotest.(check int) "id" 3 t.Task.id;
+  Alcotest.(check string) "label" "T3" t.Task.label;
+  Alcotest.(check (float 0.)) "weight" 7.5 t.Task.weight;
+  Alcotest.(check (float 0.)) "ckpt" 0. t.Task.checkpoint_cost;
+  Alcotest.(check (float 0.)) "rec" 0. t.Task.recovery_cost
+
+let test_make_full () =
+  let t =
+    Task.make ~id:0 ~label:"mAdd_2" ~weight:18. ~checkpoint_cost:1.8
+      ~recovery_cost:1.5 ()
+  in
+  Alcotest.(check string) "label" "mAdd_2" t.Task.label;
+  Alcotest.(check (float 0.)) "ckpt" 1.8 t.Task.checkpoint_cost;
+  Alcotest.(check (float 0.)) "rec" 1.5 t.Task.recovery_cost
+
+let test_zero_weight_allowed () =
+  let t = Task.make ~id:0 ~weight:0. () in
+  Alcotest.(check (float 0.)) "weight" 0. t.Task.weight
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_validation () =
+  expect_invalid (fun () -> Task.make ~id:(-1) ~weight:1. ());
+  expect_invalid (fun () -> Task.make ~id:0 ~weight:(-1.) ());
+  expect_invalid (fun () -> Task.make ~id:0 ~weight:Float.nan ());
+  expect_invalid (fun () -> Task.make ~id:0 ~weight:infinity ());
+  expect_invalid (fun () -> Task.make ~id:0 ~weight:1. ~checkpoint_cost:(-0.1) ());
+  expect_invalid (fun () -> Task.make ~id:0 ~weight:1. ~recovery_cost:Float.nan ())
+
+let test_with_costs () =
+  let t = Task.make ~id:1 ~weight:4. () in
+  let t' = Task.with_costs t ~checkpoint_cost:0.4 ~recovery_cost:0.3 in
+  Alcotest.(check (float 0.)) "new ckpt" 0.4 t'.Task.checkpoint_cost;
+  Alcotest.(check (float 0.)) "new rec" 0.3 t'.Task.recovery_cost;
+  Alcotest.(check (float 0.)) "old untouched" 0. t.Task.checkpoint_cost;
+  expect_invalid (fun () ->
+      Task.with_costs t ~checkpoint_cost:(-1.) ~recovery_cost:0.)
+
+let test_with_weight () =
+  let t = Task.make ~id:1 ~weight:4. () in
+  let t' = Task.with_weight t ~weight:9. in
+  Alcotest.(check (float 0.)) "new weight" 9. t'.Task.weight;
+  expect_invalid (fun () -> Task.with_weight t ~weight:(-2.))
+
+let test_equal_compare () =
+  let a = Task.make ~id:1 ~weight:4. () in
+  let b = Task.make ~id:1 ~weight:4. () in
+  let c = Task.make ~id:2 ~weight:4. () in
+  check "equal" true (Task.equal a b);
+  check "not equal" false (Task.equal a c);
+  check "relabel differs" false (Task.equal a (Task.relabel a "x"));
+  Alcotest.(check int) "compare" (-1) (Task.compare_by_id a c)
+
+let test_pp () =
+  let t = Task.make ~id:2 ~weight:10. ~checkpoint_cost:1. ~recovery_cost:0.5 () in
+  Alcotest.(check string) "to_string" "T2(w=10,c=1,r=0.5)" (Task.to_string t)
+
+let () =
+  Alcotest.run "task"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "make defaults" `Quick test_make_defaults;
+          Alcotest.test_case "make full" `Quick test_make_full;
+          Alcotest.test_case "zero weight allowed" `Quick test_zero_weight_allowed;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "with_costs" `Quick test_with_costs;
+          Alcotest.test_case "with_weight" `Quick test_with_weight;
+          Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+open Wfc_dag
+module FM = Wfc_platform.Failure_model
+
+(* diamond with a shortcut edge 0 -> 3 implied by 0 -> 1 -> 3 and 0 -> 2 -> 3 *)
+let diamond_with_shortcut () =
+  Dag.of_weights
+    ~weights:[| 1.; 2.; 3.; 4. |]
+    ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3); (0, 3) ]
+    ()
+
+let test_redundant_edges () =
+  let g = diamond_with_shortcut () in
+  Alcotest.(check (list (pair int int))) "shortcut found" [ (0, 3) ]
+    (Transform.redundant_edges g);
+  let chain = Builders.chain ~weights:[| 1.; 1.; 1. |] () in
+  Alcotest.(check (list (pair int int))) "chain has none" []
+    (Transform.redundant_edges chain)
+
+let test_transitive_reduction () =
+  let g = diamond_with_shortcut () in
+  let r = Transform.transitive_reduction g in
+  Alcotest.(check int) "one edge dropped" 4 (Dag.n_edges r);
+  Alcotest.(check bool) "shortcut gone" false (Dag.is_edge r 0 3);
+  (* reachability preserved *)
+  for v = 0 to 3 do
+    Alcotest.(check (array bool))
+      (Printf.sprintf "descendants of %d" v)
+      (Dag.descendants g v) (Dag.descendants r v)
+  done;
+  (* idempotent *)
+  Alcotest.(check int) "idempotent" 4
+    (Dag.n_edges (Transform.transitive_reduction r))
+
+let test_reduction_preserves_unchecked_makespan () =
+  let g = diamond_with_shortcut () in
+  let r = Transform.transitive_reduction g in
+  let model = FM.make ~lambda:0.1 ~downtime:0.5 () in
+  let order = [| 0; 1; 2; 3 |] in
+  let s g = Wfc_core.Schedule.no_checkpoints g ~order in
+  Wfc_test_util.check_close "no-checkpoint makespan invariant"
+    (Wfc_core.Evaluator.expected_makespan model g (s g))
+    (Wfc_core.Evaluator.expected_makespan model r (s r))
+
+let test_reduction_changes_checkpointed_makespan () =
+  (* checkpointing the middle task makes the shortcut edge semantically
+     meaningful: the reduced DAG replays less *)
+  let g =
+    Dag.of_weights
+      ~checkpoint_cost:(fun _ _ -> 0.2)
+      ~recovery_cost:(fun _ _ -> 0.2)
+      ~weights:[| 5.; 1.; 4. |]
+      ~edges:[ (0, 1); (1, 2); (0, 2) ]
+      ()
+  in
+  let r = Transform.transitive_reduction g in
+  let model = FM.make ~lambda:0.1 () in
+  let flags = [| false; true; false |] in
+  let order = [| 0; 1; 2 |] in
+  let m g = Wfc_core.Evaluator.expected_makespan model g
+      (Wfc_core.Schedule.make g ~order ~checkpointed:flags) in
+  Alcotest.(check bool) "reduced is strictly cheaper" true (m r < m g -. 1e-9)
+
+let prop_reduction_never_hurts =
+  Wfc_test_util.qtest ~count:150 "transitive reduction never increases makespan"
+    (Wfc_test_util.gen_dag_and_schedule ~max_n:9 ())
+    Wfc_test_util.print_dag_schedule
+    (fun (g, s) ->
+      let r = Transform.transitive_reduction g in
+      let order = Array.init (Wfc_core.Schedule.n_tasks s)
+          (Wfc_core.Schedule.task_at s) in
+      let flags = Array.init (Dag.n_tasks g)
+          (Wfc_core.Schedule.is_checkpointed s) in
+      let s_r = Wfc_core.Schedule.make r ~order ~checkpointed:flags in
+      List.for_all
+        (fun model ->
+          Wfc_core.Evaluator.expected_makespan model r s_r
+          <= Wfc_core.Evaluator.expected_makespan model g s +. 1e-9)
+        Wfc_test_util.models)
+
+(* ---- chain fusion ---- *)
+
+let test_fuse_whole_chain () =
+  let g =
+    Builders.chain ~weights:[| 1.; 2.; 3. |]
+      ~checkpoint_cost:(fun i _ -> float_of_int i +. 1.)
+      ~recovery_cost:(fun i _ -> 0.5 *. (float_of_int i +. 1.))
+      ()
+  in
+  let f = Transform.fuse_chains g in
+  Alcotest.(check int) "single task" 1 (Dag.n_tasks f.Transform.dag);
+  Alcotest.(check (list int)) "members in order" [ 0; 1; 2 ]
+    f.Transform.members.(0);
+  let t = Dag.task f.Transform.dag 0 in
+  Wfc_test_util.check_close "weights add" 6. t.Task.weight;
+  Wfc_test_util.check_close "last checkpoint kept" 3. t.Task.checkpoint_cost;
+  Wfc_test_util.check_close "last recovery kept" 1.5 t.Task.recovery_cost;
+  Alcotest.(check string) "label" "T0+T1+T2" t.Task.label
+
+let test_fuse_respects_branching () =
+  (* fork: nothing to fuse at the source (out-degree 2); each branch is a
+     2-chain that fuses *)
+  let g =
+    Dag.of_weights ~weights:[| 1.; 2.; 3.; 4.; 5. |]
+      ~edges:[ (0, 1); (1, 2); (0, 3); (3, 4) ] ()
+  in
+  let f = Transform.fuse_chains g in
+  Alcotest.(check int) "three tasks" 3 (Dag.n_tasks f.Transform.dag);
+  Alcotest.(check int) "two edges" 2 (Dag.n_edges f.Transform.dag);
+  (* total weight preserved *)
+  Wfc_test_util.check_close "weight preserved" 15.
+    (Dag.total_weight f.Transform.dag);
+  (* member lists partition the original tasks *)
+  let all = Array.to_list f.Transform.members |> List.concat |> List.sort compare in
+  Alcotest.(check (list int)) "partition" [ 0; 1; 2; 3; 4 ] all
+
+let test_fuse_predicate () =
+  let g =
+    Builders.chain ~weights:[| 1.; 2.; 3. |]
+      ~recovery_cost:(fun i w -> if i = 1 then 3. *. w else 0.1 *. w)
+      ()
+  in
+  (* only task 1 has r > w: only it is absorbed *)
+  let f = Transform.fuse_unrecoverable g in
+  Alcotest.(check int) "two tasks" 2 (Dag.n_tasks f.Transform.dag);
+  Alcotest.(check (list int)) "0 and 1 merged" [ 0; 1 ] f.Transform.members.(0);
+  Alcotest.(check (list int)) "2 alone" [ 2 ] f.Transform.members.(1)
+
+let test_fuse_diamond_untouched () =
+  let g = Builders.diamond ~width:3 () in
+  let f = Transform.fuse_chains g in
+  Alcotest.(check int) "no fusion possible" (Dag.n_tasks g)
+    (Dag.n_tasks f.Transform.dag)
+
+let prop_fusion_valid_dag =
+  Wfc_test_util.qtest ~count:150 "fusion yields a valid DAG partitioning the tasks"
+    (Wfc_test_util.gen_dag ~max_n:12 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      let f = Transform.fuse_chains g in
+      let dag = f.Transform.dag in
+      let all =
+        Array.to_list f.Transform.members |> List.concat |> List.sort compare
+      in
+      all = List.init (Dag.n_tasks g) Fun.id
+      && Dag.is_linearization dag (Dag.topological_order dag)
+      && Wfc_test_util.close (Dag.total_weight dag) (Dag.total_weight g))
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "redundant edges" `Quick test_redundant_edges;
+          Alcotest.test_case "reduce" `Quick test_transitive_reduction;
+          Alcotest.test_case "no-checkpoint invariance" `Quick
+            test_reduction_preserves_unchecked_makespan;
+          Alcotest.test_case "checkpointed semantics differ" `Quick
+            test_reduction_changes_checkpointed_makespan;
+          prop_reduction_never_hurts;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "whole chain" `Quick test_fuse_whole_chain;
+          Alcotest.test_case "branching" `Quick test_fuse_respects_branching;
+          Alcotest.test_case "predicate" `Quick test_fuse_predicate;
+          Alcotest.test_case "diamond untouched" `Quick
+            test_fuse_diamond_untouched;
+          prop_fusion_valid_dag;
+        ] );
+    ]

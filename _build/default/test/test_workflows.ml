@@ -1,0 +1,214 @@
+open Wfc_workflows
+module Dag = Wfc_dag.Dag
+
+let families = Pegasus.all
+
+let test_exact_size () =
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun n ->
+          let g = Pegasus.generate fam ~n ~seed:1 in
+          Alcotest.(check int)
+            (Printf.sprintf "%s n=%d" (Pegasus.family_name fam) n)
+            n (Dag.n_tasks g))
+        [ 15; 16; 17; 50; 51; 99; 100; 137; 200; 700 ])
+    families
+
+let test_min_sizes () =
+  List.iter
+    (fun fam ->
+      let n = Pegasus.min_size fam in
+      let g = Pegasus.generate fam ~n ~seed:3 in
+      Alcotest.(check int) "min size works" n (Dag.n_tasks g);
+      match Pegasus.generate fam ~n:(n - 1) ~seed:3 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "below min size should fail")
+    families
+
+let test_validity () =
+  List.iter
+    (fun fam ->
+      let g = Pegasus.generate fam ~n:120 ~seed:5 in
+      Alcotest.(check bool) "acyclic and well-formed" true
+        (Dag.is_linearization g (Dag.topological_order g));
+      (* weights strictly positive *)
+      Array.iter
+        (fun t ->
+          if t.Wfc_dag.Task.weight <= 0. then Alcotest.fail "bad weight")
+        (Dag.tasks g);
+      (* costs are zero until a cost model is applied *)
+      Array.iter
+        (fun t ->
+          if t.Wfc_dag.Task.checkpoint_cost <> 0. then
+            Alcotest.fail "unexpected checkpoint cost")
+        (Dag.tasks g))
+    families
+
+let test_average_weights () =
+  (* paper: Montage ~10 s, Ligo ~220 s, CyberShake ~25 s, Genome > 1000 s *)
+  let bands =
+    [ (Pegasus.Montage, 8., 14.); (Pegasus.Ligo, 180., 260.);
+      (Pegasus.Cybershake, 18., 35.); (Pegasus.Genome, 950., 1400.) ]
+  in
+  List.iter
+    (fun (fam, lo, hi) ->
+      List.iter
+        (fun n ->
+          let g = Pegasus.generate fam ~n ~seed:11 in
+          let avg = Dag.total_weight g /. float_of_int n in
+          if avg < lo || avg > hi then
+            Alcotest.failf "%s n=%d: average weight %g outside [%g, %g]"
+              (Pegasus.family_name fam) n avg lo hi)
+        [ 50; 200; 700 ])
+    bands
+
+let test_determinism () =
+  List.iter
+    (fun fam ->
+      let a = Pegasus.generate fam ~n:80 ~seed:9 in
+      let b = Pegasus.generate fam ~n:80 ~seed:9 in
+      Alcotest.(check bool) "same structure" true (Dag.edges a = Dag.edges b);
+      Alcotest.(check bool) "same weights" true
+        (Array.for_all2 Wfc_dag.Task.equal (Dag.tasks a) (Dag.tasks b)))
+    families
+
+let test_seed_changes_weights () =
+  let a = Pegasus.generate Pegasus.Montage ~n:80 ~seed:1 in
+  let b = Pegasus.generate Pegasus.Montage ~n:80 ~seed:2 in
+  Alcotest.(check bool) "weights differ" false
+    (Array.for_all2 Wfc_dag.Task.equal (Dag.tasks a) (Dag.tasks b))
+
+let test_montage_structure () =
+  let g = Pegasus.generate Pegasus.Montage ~n:100 ~seed:1 in
+  (* sources are the projections; single final JPEG sink *)
+  let sinks = Dag.sinks g in
+  Alcotest.(check int) "one sink" 1 (List.length sinks);
+  let labels = Array.map (fun t -> t.Wfc_dag.Task.label) (Dag.tasks g) in
+  Alcotest.(check bool) "has mProjectPP" true
+    (Array.exists (fun l -> String.length l >= 10 && String.sub l 0 10 = "mProjectPP") labels);
+  Alcotest.(check bool) "sink is the jpeg" true
+    (String.sub labels.(List.hd sinks) 0 5 = "mJPEG")
+
+let test_ligo_structure () =
+  let g = Pegasus.generate Pegasus.Ligo ~n:100 ~seed:1 in
+  (* sources are the template banks; exits are second-level thincas *)
+  List.iter
+    (fun v ->
+      let l = (Dag.task g v).Wfc_dag.Task.label in
+      Alcotest.(check bool) "source is TmpltBank" true
+        (String.sub l 0 9 = "TmpltBank"))
+    (Dag.sources g);
+  Alcotest.(check bool) "several exit thincas" true
+    (List.length (Dag.sinks g) >= 2)
+
+let test_cybershake_structure () =
+  let g = Pegasus.generate Pegasus.Cybershake ~n:100 ~seed:1 in
+  let label v = (Dag.task g v).Wfc_dag.Task.label in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "source is ExtractSGT" true
+        (String.sub (label v) 0 10 = "ExtractSGT"))
+    (Dag.sources g);
+  let sinks = Dag.sinks g in
+  Alcotest.(check int) "two zips" 2 (List.length sinks)
+
+let test_genome_structure () =
+  let g = Pegasus.generate Pegasus.Genome ~n:100 ~seed:1 in
+  let label v = (Dag.task g v).Wfc_dag.Task.label in
+  let sinks = Dag.sinks g in
+  Alcotest.(check int) "single pileup sink" 1 (List.length sinks);
+  Alcotest.(check string) "sink label" "pileup_0" (label (List.hd sinks));
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "source is fastQSplit" true
+        (String.sub (label v) 0 10 = "fastQSplit"))
+    (Dag.sources g)
+
+let test_family_names () =
+  List.iter
+    (fun fam ->
+      match Pegasus.family_of_string (Pegasus.family_name fam) with
+      | Some f when f = fam -> ()
+      | _ -> Alcotest.fail "family name round-trip")
+    families;
+  Alcotest.(check bool) "case insensitive" true
+    (Pegasus.family_of_string "cybershake" = Some Pegasus.Cybershake);
+  Alcotest.(check bool) "unknown" true (Pegasus.family_of_string "foo" = None)
+
+let test_cost_model () =
+  let g = Pegasus.generate Pegasus.Montage ~n:50 ~seed:1 in
+  let prop = Cost_model.apply (Cost_model.Proportional 0.1) g in
+  Array.iter
+    (fun t ->
+      Wfc_test_util.check_close "c = w/10" (0.1 *. t.Wfc_dag.Task.weight)
+        t.Wfc_dag.Task.checkpoint_cost;
+      Wfc_test_util.check_close "r = c" t.Wfc_dag.Task.checkpoint_cost
+        t.Wfc_dag.Task.recovery_cost)
+    (Dag.tasks prop);
+  let const = Cost_model.apply (Cost_model.Constant 5.) g in
+  Array.iter
+    (fun t ->
+      Alcotest.(check (float 0.)) "c = 5" 5. t.Wfc_dag.Task.checkpoint_cost)
+    (Dag.tasks const);
+  let half = Cost_model.apply ~recovery_factor:0.5 (Cost_model.Constant 4.) g in
+  Array.iter
+    (fun t ->
+      Alcotest.(check (float 0.)) "r = c/2" 2. t.Wfc_dag.Task.recovery_cost)
+    (Dag.tasks half);
+  Alcotest.(check string) "prop name" "c=0.1w"
+    (Cost_model.name (Cost_model.Proportional 0.1));
+  Alcotest.(check string) "const name" "c=5s"
+    (Cost_model.name (Cost_model.Constant 5.))
+
+let test_job_type () =
+  let jt = Job_type.make ~name:"map" ~mean_weight:100. ~cv:0.3 () in
+  let rng = Wfc_platform.Rng.create 4 in
+  let s = Wfc_platform.Stats.create () in
+  for _ = 1 to 20_000 do
+    let w = Job_type.sample_weight jt rng in
+    if w < 10. then Alcotest.fail "below truncation floor";
+    Wfc_platform.Stats.add s w
+  done;
+  Wfc_test_util.check_close ~eps:0.02 "mean" 100. (Wfc_platform.Stats.mean s);
+  (match Job_type.make ~name:"x" ~mean_weight:0. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero mean accepted")
+
+let test_builder_validation () =
+  let rng = Wfc_platform.Rng.create 1 in
+  let b = Builder.create ~rng in
+  let jt = Job_type.make ~name:"a" ~mean_weight:1. () in
+  let t0 = Builder.add_task b jt ~deps:[] in
+  Alcotest.(check int) "first id" 0 t0;
+  (match Builder.add_task b jt ~deps:[ 5 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "forward dep accepted");
+  let b2 = Builder.create ~rng in
+  match Builder.finalize b2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty builder finalized"
+
+let () =
+  Alcotest.run "workflows"
+    [
+      ( "workflows",
+        [
+          Alcotest.test_case "exact sizes" `Quick test_exact_size;
+          Alcotest.test_case "min sizes" `Quick test_min_sizes;
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "average weights" `Quick test_average_weights;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed changes weights" `Quick
+            test_seed_changes_weights;
+          Alcotest.test_case "montage structure" `Quick test_montage_structure;
+          Alcotest.test_case "ligo structure" `Quick test_ligo_structure;
+          Alcotest.test_case "cybershake structure" `Quick
+            test_cybershake_structure;
+          Alcotest.test_case "genome structure" `Quick test_genome_structure;
+          Alcotest.test_case "family names" `Quick test_family_names;
+          Alcotest.test_case "cost models" `Quick test_cost_model;
+          Alcotest.test_case "job type sampling" `Slow test_job_type;
+          Alcotest.test_case "builder validation" `Quick test_builder_validation;
+        ] );
+    ]
