@@ -5,6 +5,7 @@
           FIG=3 dune exec bench/main.exe         only Figure 3
           FIG=ablation dune exec bench/main.exe  extension/ablation studies
           FIG=micro dune exec bench/main.exe     only the micro-benchmarks
+          FIG=stress dune exec bench/main.exe    resilience stress micro-campaign
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -33,10 +34,11 @@ let () =
   (match fig with
   | Some "micro" -> Micro.run ()
   | Some "ablation" -> Ablation.run cfg
+  | Some "stress" -> Stress.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
-      | None -> Printf.eprintf "FIG must be 2..7, 'ablation' or 'micro'\n")
+      | None -> Printf.eprintf "FIG must be 2..7, 'ablation', 'micro' or 'stress'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

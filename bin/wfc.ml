@@ -5,7 +5,8 @@
      evaluate   expected makespan of one heuristic schedule
      schedule   compare all heuristics on one workflow
      simulate   Monte Carlo fault injection vs the analytic evaluator
-     solve      optimal solvers on special structures (chain / fork / join) *)
+     solve      optimal solvers on special structures (chain / fork / join)
+     stress     misspecification campaign ranking heuristics by tail behavior *)
 
 open Cmdliner
 open Wfc_core
@@ -52,17 +53,54 @@ let ckpt_conv =
   Arg.conv
     (parse, fun ppf c -> Format.pp_print_string ppf (Heuristics.ckpt_strategy_name c))
 
+(* Validated numeric converters: out-of-range values must die as one-line
+   Cmdliner usage errors (exit 124), never as Invalid_argument backtraces. *)
+
+let float_conv ~what ~ok ~must =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when ok v -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be %s (got '%s')" what must s))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s '%s'" what s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let positive_float what =
+  float_conv ~what ~ok:(fun v -> v > 0. && Float.is_finite v) ~must:"positive"
+
+let nonneg_float what =
+  float_conv ~what ~ok:(fun v -> v >= 0. && Float.is_finite v)
+    ~must:"non-negative"
+
+let probability what =
+  float_conv ~what ~ok:(fun v -> v >= 0. && v <= 1.) ~must:"in [0, 1]"
+
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some _ ->
+        Error (`Msg (Printf.sprintf "%s must be at least 1 (got '%s')" what s))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let family_t =
   Arg.(value & opt family_conv P.Montage & info [ "w"; "workflow" ] ~doc:"Workflow family: Montage, Ligo, CyberShake or Genome.")
 
-let n_t = Arg.(value & opt int 100 & info [ "n"; "tasks" ] ~doc:"Number of tasks.")
+let n_t =
+  Arg.(value & opt (positive_int "task count") 100
+       & info [ "n"; "tasks" ] ~doc:"Number of tasks.")
+
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generation seed.")
 
 let mtbf_t =
-  Arg.(value & opt float 1000. & info [ "mtbf" ] ~doc:"Platform MTBF in seconds.")
+  Arg.(value & opt (positive_float "MTBF") 1000.
+       & info [ "mtbf" ] ~doc:"Platform MTBF in seconds.")
 
 let downtime_t =
-  Arg.(value & opt float 0. & info [ "downtime" ] ~doc:"Downtime after each failure (s).")
+  Arg.(value & opt (nonneg_float "downtime") 0.
+       & info [ "downtime" ] ~doc:"Downtime after each failure (s).")
 
 let cost_t =
   Arg.(value & opt cost_conv (CM.Proportional 0.1)
@@ -340,6 +378,237 @@ let simulate_cmd =
           $ downtime_t $ lin_t $ ckpt_t $ grid_t $ runs_t $ load_t
           $ weibull_t $ overlap_t $ trace_t)
 
+(* ---- stress (misspecification campaign) ---- *)
+
+let stress family n seed cost mtbf downtime grid load runs domains csv
+    exact_budget deadline p_ckpt p_rec max_failures =
+  let module Stress = Wfc_resilience.Stress in
+  let module Driver = Wfc_resilience.Solver_driver in
+  let g = workflow ~load family n seed cost in
+  let nominal = model mtbf downtime in
+  let scenarios =
+    Stress.default_grid nominal
+    @
+    if p_ckpt > 0. || p_rec > 0. then
+      [
+        {
+          Stress.name = Printf.sprintf "custom(pc=%g,pr=%g)" p_ckpt p_rec;
+          params =
+            {
+              (Wfc_simulator.Sim_faults.nominal nominal) with
+              Wfc_simulator.Sim_faults.p_ckpt_fail = p_ckpt;
+              p_rec_fail = p_rec;
+            };
+        };
+      ]
+    else []
+  in
+  let heuristics =
+    List.map
+      (fun ckpt -> (Linearize.Depth_first, ckpt))
+      [
+        Heuristics.Ckpt_never; Heuristics.Ckpt_always; Heuristics.Ckpt_weight;
+        Heuristics.Ckpt_cost; Heuristics.Ckpt_outweight; Heuristics.Ckpt_periodic;
+      ]
+  in
+  let ranked =
+    Stress.rank ~runs ?domains ~max_failures ~search:(search_of_grid grid)
+      ~seed ~nominal ~scenarios g heuristics
+  in
+  let rows =
+    List.map
+      (fun r ->
+        ( r.Stress.heuristic,
+          r.Stress.outcome.Heuristics.makespan,
+          r.Stress.report ))
+      ranked
+  in
+  (* optional graceful-degradation driver entry, stress-tested like the rest *)
+  let driver_result =
+    if exact_budget <= 0 then None
+    else begin
+      let order = Linearize.run Linearize.Depth_first g in
+      let config =
+        {
+          Driver.default_config with
+          Driver.max_nodes = exact_budget;
+          deadline;
+          search = search_of_grid grid;
+        }
+      in
+      let d = Driver.solve ~config nominal g ~order in
+      let report =
+        Stress.evaluate ~runs ?domains ~max_failures ~seed ~nominal ~scenarios
+          g d.Driver.schedule
+      in
+      Some (d, ("DF-exact[" ^ Driver.tier_name d.Driver.tier ^ "]", d.Driver.makespan, report))
+    end
+  in
+  let rows =
+    match driver_result with None -> rows | Some (_, row) -> rows @ [ row ]
+  in
+  let rows =
+    List.stable_sort
+      (fun (_, m1, r1) (_, m2, r2) ->
+        match Float.compare r1.Stress.robustness r2.Stress.robustness with
+        | 0 -> Float.compare m1 m2
+        | c -> c)
+      rows
+  in
+  Format.printf
+    "stress campaign: %s (%d tasks), nominal %a@.%d scenarios x %d schedules, \
+     %d runs each, seed %d@.@."
+    (source_name ~load family) (Wfc_dag.Dag.n_tasks g) FM.pp nominal
+    (List.length scenarios) (List.length rows) runs seed;
+  (match driver_result with
+  | Some (d, _) ->
+      Format.printf "exact driver: tier %s, E[makespan] %.2f s (%s)@.@."
+        (Driver.tier_name d.Driver.tier) d.Driver.makespan d.Driver.reason
+  | None -> ());
+  let ranking =
+    Wfc_reporting.Table.create
+      ~columns:
+        [
+          "rank"; "schedule"; "E[T] nominal"; "worst mean x"; "worst p99 x";
+          "divergent";
+        ]
+  in
+  List.iteri
+    (fun i (name, nominal_m, report) ->
+      let worst_mean =
+        List.fold_left
+          (fun acc r -> Float.max acc r.Stress.mean_degradation)
+          0. report.Stress.results
+      in
+      let divergent =
+        List.fold_left
+          (fun acc r -> acc + r.Stress.divergent)
+          0 report.Stress.results
+      in
+      Wfc_reporting.Table.add_row ranking
+        [
+          string_of_int (i + 1);
+          name;
+          Printf.sprintf "%.1f" nominal_m;
+          Printf.sprintf "%.3f" worst_mean;
+          (* divergent runs truncate makespans, so the tail ratio is a
+             meaningless lower bound: flag it instead of printing it *)
+          (if Float.is_finite report.Stress.robustness then
+             Printf.sprintf "%.3f" report.Stress.robustness
+           else "(divergent)");
+          string_of_int divergent;
+        ])
+    rows;
+  Wfc_reporting.Table.print ranking;
+  (match rows with
+  | (best, _, report) :: _ ->
+      Format.printf "@.per-scenario tail behavior of %s:@.@." best;
+      let detail =
+        Wfc_reporting.Table.create
+          ~columns:
+            [ "scenario"; "mean"; "p95"; "p99"; "mean x"; "p99 x"; "divergent" ]
+      in
+      List.iter
+        (fun r ->
+          Wfc_reporting.Table.add_row detail
+            [
+              r.Stress.scenario.Stress.name;
+              Printf.sprintf "%.1f" r.Stress.mean;
+              Printf.sprintf "%.1f" r.Stress.p95;
+              Printf.sprintf "%.1f" r.Stress.p99;
+              Printf.sprintf "%.3f" r.Stress.mean_degradation;
+              Printf.sprintf "%.3f" r.Stress.tail_degradation;
+              string_of_int r.Stress.divergent;
+            ])
+        report.Stress.results;
+      Wfc_reporting.Table.print detail
+  | [] -> ());
+  match csv with
+  | None -> ()
+  | Some path ->
+      let csv_rows =
+        List.concat_map
+          (fun (name, nominal_m, report) ->
+            List.map
+              (fun r ->
+                [
+                  name;
+                  r.Stress.scenario.Stress.name;
+                  Printf.sprintf "%.6g" nominal_m;
+                  Printf.sprintf "%.6g" r.Stress.mean;
+                  Printf.sprintf "%.6g" r.Stress.p95;
+                  Printf.sprintf "%.6g" r.Stress.p99;
+                  Printf.sprintf "%.6g" r.Stress.mean_degradation;
+                  Printf.sprintf "%.6g" r.Stress.tail_degradation;
+                ])
+              report.Stress.results)
+          rows
+      in
+      Wfc_reporting.Csv.write_file path
+        ~header:
+          [
+            "schedule"; "scenario"; "nominal_makespan"; "mean"; "p95"; "p99";
+            "mean_degradation"; "p99_degradation";
+          ]
+        ~rows:csv_rows;
+      Format.printf "@.wrote %s@." path
+
+let stress_cmd =
+  let runs_t =
+    Arg.(value & opt (positive_int "run count") 2000
+         & info [ "runs" ] ~doc:"Monte Carlo runs per scenario.")
+  in
+  let domains_t =
+    Arg.(value & opt (some (positive_int "domain count")) None
+         & info [ "domains" ]
+             ~doc:"Parallelize each scenario over this many domains (results \
+                   are bit-identical whatever the value).")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Also dump every (schedule, scenario) row as CSV to $(docv).")
+  in
+  let exact_budget_t =
+    Arg.(value & opt int 0
+         & info [ "exact-budget" ] ~docv:"NODES"
+             ~doc:"Also run the graceful-degradation exact driver with this \
+                   branch-and-bound node budget (0 = skip).")
+  in
+  let deadline_t =
+    Arg.(value & opt (some (positive_float "deadline")) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock deadline for the exact driver's search.")
+  in
+  let p_ckpt_t =
+    Arg.(value & opt (probability "checkpoint corruption probability") 0.
+         & info [ "p-ckpt-fail" ]
+             ~doc:"Add a custom scenario where checkpoints silently corrupt \
+                   with this probability.")
+  in
+  let p_rec_t =
+    Arg.(value & opt (probability "recovery failure probability") 0.
+         & info [ "p-rec-fail" ]
+             ~doc:"Add a custom scenario where recovery reads fail \
+                   transiently with this probability.")
+  in
+  let max_failures_t =
+    Arg.(value & opt (positive_int "failure cap") 10_000
+         & info [ "max-failures" ]
+             ~doc:"Per-run failure cap: runs injecting this many failures \
+                   stop early and count as divergent, which disqualifies \
+                   the schedule's robustness score. Raise it for heavy \
+                   workflows whose runs legitimately survive thousands of \
+                   failures.")
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Misspecification campaign: rank schedules by tail behavior under \
+             perturbed platforms")
+    Term.(const stress $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
+          $ grid_t $ load_t $ runs_t $ domains_t $ csv_t $ exact_budget_t
+          $ deadline_t $ p_ckpt_t $ p_rec_t $ max_failures_t)
+
 (* ---- solve (special structures) ---- *)
 
 let solve kind n seed mtbf downtime =
@@ -409,6 +678,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "wfc" ~version:"1.0.0"
        ~doc:"Scheduling computational workflows on failure-prone platforms")
-    [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd ]
+    [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd;
+      stress_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

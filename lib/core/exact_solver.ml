@@ -2,7 +2,8 @@ type solution = { schedule : Schedule.t; makespan : float; nodes : int }
 
 exception Node_budget_exceeded
 
-let optimal_checkpoints ?(max_nodes = 1_000_000) model g ~order =
+let optimal_checkpoints_within ?(max_nodes = 1_000_000)
+    ?(should_stop = fun () -> false) model g ~order =
   if not (Wfc_dag.Dag.is_linearization g order) then
     invalid_arg "Exact_solver.optimal_checkpoints: invalid order";
   let n = Array.length order in
@@ -52,9 +53,13 @@ let optimal_checkpoints ?(max_nodes = 1_000_000) model g ~order =
         (Heuristics.candidate_counts (Heuristics.Grid 16) ~n))
     [ Heuristics.Ckpt_weight; Heuristics.Ckpt_cost ];
   let nodes = ref 0 in
+  let exception Stop in
+  (* the deadline predicate is polled every 1024 expansions: cheap enough to
+     leave in the hot path, frequent enough for sub-second deadlines *)
   let rec go i cost =
     incr nodes;
-    if !nodes > max_nodes then raise Node_budget_exceeded;
+    if !nodes > max_nodes || (!nodes land 1023 = 0 && should_stop ()) then
+      raise Stop;
     if i = n then begin
       if cost < !incumbent then begin
         incumbent := cost;
@@ -85,9 +90,15 @@ let optimal_checkpoints ?(max_nodes = 1_000_000) model g ~order =
       flags.(v) <- false
     end
   in
-  go 0 0.;
-  {
-    schedule = Schedule.make g ~order ~checkpointed:!incumbent_flags;
-    makespan = !incumbent;
-    nodes = !nodes;
-  }
+  let status = match go 0 0. with () -> `Optimal | exception Stop -> `Budget_exhausted in
+  ( {
+      schedule = Schedule.make g ~order ~checkpointed:!incumbent_flags;
+      makespan = !incumbent;
+      nodes = !nodes;
+    },
+    status )
+
+let optimal_checkpoints ?max_nodes model g ~order =
+  match optimal_checkpoints_within ?max_nodes model g ~order with
+  | sol, `Optimal -> sol
+  | _, `Budget_exhausted -> raise Node_budget_exceeded

@@ -23,6 +23,23 @@ type solution = {
 
 exception Node_budget_exceeded
 
+val optimal_checkpoints_within :
+  ?max_nodes:int ->
+  ?should_stop:(unit -> bool) ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  solution * [ `Optimal | `Budget_exhausted ]
+(** [optimal_checkpoints_within model g ~order] runs the branch and bound
+    under a node budget and an optional caller-supplied stop predicate
+    (polled periodically — e.g. a wall-clock deadline). Instead of raising
+    when the budget runs out, it returns the best incumbent found so far
+    tagged [`Budget_exhausted], so callers can degrade gracefully; the
+    incumbent is never worse than the warm-start heuristics, hence always a
+    finite, valid schedule. [`Optimal] certifies the search completed.
+
+    @raise Invalid_argument if [order] is not a linearization of [g]. *)
+
 val optimal_checkpoints :
   ?max_nodes:int ->
   Wfc_platform.Failure_model.t ->
@@ -31,7 +48,8 @@ val optimal_checkpoints :
   solution
 (** [optimal_checkpoints model g ~order] finds the checkpoint set minimizing
     the expected makespan among all [2^n] subsets for the given
-    linearization.
+    linearization. Thin wrapper over {!optimal_checkpoints_within} that
+    raises instead of returning an incumbent.
 
     @raise Node_budget_exceeded after [max_nodes] (default [1_000_000])
     expansions.

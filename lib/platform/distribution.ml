@@ -1,4 +1,8 @@
-type t = Exponential of float | Weibull of { shape : float; scale : float }
+type t =
+  | Exponential of float
+  | Weibull of { shape : float; scale : float }
+  | Constant of float
+  | Hyperexponential of { p : float; rate1 : float; rate2 : float }
 
 let exponential ~rate =
   if not (rate > 0. && Float.is_finite rate) then
@@ -18,26 +22,50 @@ let weibull_of_mean ~shape ~mean =
   let scale = mean /. Special_functions.gamma (1. +. (1. /. shape)) in
   weibull ~shape ~scale
 
+let constant c =
+  if not (c >= 0. && Float.is_finite c) then
+    invalid_arg "Distribution.constant: value must be non-negative and finite";
+  Constant c
+
+let hyperexponential ~p ~rate1 ~rate2 =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Distribution.hyperexponential: p must be in [0, 1]";
+  if not (rate1 > 0. && Float.is_finite rate1 && rate2 > 0. && Float.is_finite rate2)
+  then invalid_arg "Distribution.hyperexponential: rates must be positive";
+  Hyperexponential { p; rate1; rate2 }
+
 let mean = function
   | Exponential rate -> 1. /. rate
   | Weibull { shape; scale } ->
       scale *. Special_functions.gamma (1. +. (1. /. shape))
+  | Constant c -> c
+  | Hyperexponential { p; rate1; rate2 } ->
+      (p /. rate1) +. ((1. -. p) /. rate2)
+
+(* -log (1 - u) is a unit exponential draw; u in [0,1) keeps the log finite *)
+let unit_exponential rng = -.Float.log (1. -. Rng.uniform rng)
 
 let sample t rng =
-  let u = Rng.uniform rng in
-  (* -log (1 - u) is a unit exponential draw *)
-  let e = -.Float.log (1. -. u) in
   match t with
-  | Exponential rate -> e /. rate
-  | Weibull { shape; scale } -> scale *. (e ** (1. /. shape))
+  | Exponential rate -> unit_exponential rng /. rate
+  | Weibull { shape; scale } -> scale *. (unit_exponential rng ** (1. /. shape))
+  | Constant c -> c (* degenerate: consumes no randomness *)
+  | Hyperexponential { p; rate1; rate2 } ->
+      let rate = if Rng.uniform rng < p then rate1 else rate2 in
+      unit_exponential rng /. rate
 
 let survival t x =
-  if x <= 0. then 1.
-  else
-    match t with
-    | Exponential rate -> Float.exp (-.rate *. x)
-    | Weibull { shape; scale } -> Float.exp (-.((x /. scale) ** shape))
+  match t with
+  | Constant c -> if x < c then 1. else 0.
+  | _ when x <= 0. -> 1.
+  | Exponential rate -> Float.exp (-.rate *. x)
+  | Weibull { shape; scale } -> Float.exp (-.((x /. scale) ** shape))
+  | Hyperexponential { p; rate1; rate2 } ->
+      (p *. Float.exp (-.rate1 *. x)) +. ((1. -. p) *. Float.exp (-.rate2 *. x))
 
 let name = function
   | Exponential rate -> Printf.sprintf "exp(%g)" rate
   | Weibull { shape; scale } -> Printf.sprintf "weibull(k=%g,s=%g)" shape scale
+  | Constant c -> Printf.sprintf "const(%g)" c
+  | Hyperexponential { p; rate1; rate2 } ->
+      Printf.sprintf "hyperexp(p=%g,r1=%g,r2=%g)" p rate1 rate2

@@ -11,6 +11,15 @@ type t =
   | Weibull of { shape : float; scale : float }
       (** hazard increasing for [shape > 1], infant-mortality for
           [shape < 1]; [shape = 1] is [Exponential (1 /. scale)] *)
+  | Constant of float
+      (** degenerate: always the same value; sampling consumes no
+          randomness, so it models the paper's constant downtime [D]
+          without perturbing the RNG stream *)
+  | Hyperexponential of { p : float; rate1 : float; rate2 : float }
+      (** mixture of two exponentials: with probability [p] the gap is
+          [Exp(rate1)], else [Exp(rate2)]. With [rate1 >> rate2] this is the
+          classic bursty renewal process — clusters of short gaps separated
+          by long quiet stretches — at coefficient of variation [> 1] *)
 
 val exponential : rate:float -> t
 (** @raise Invalid_argument if [rate <= 0]. *)
@@ -22,6 +31,13 @@ val weibull_of_mean : shape:float -> mean:float -> t
 (** The Weibull with the given shape and mean: [scale = mean /.
     Gamma (1. +. 1. /. shape)]. Handy for comparing distributions at equal
     MTBF. *)
+
+val constant : float -> t
+(** @raise Invalid_argument if the value is negative or not finite. *)
+
+val hyperexponential : p:float -> rate1:float -> rate2:float -> t
+(** @raise Invalid_argument if [p] is outside [\[0, 1\]] or either rate is
+    non-positive. *)
 
 val mean : t -> float
 (** Expected inter-arrival time (the MTBF). *)

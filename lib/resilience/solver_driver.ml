@@ -1,0 +1,115 @@
+open Wfc_core
+
+type tier = Exact | Local_search | Heuristic
+
+let tier_name = function
+  | Exact -> "exact"
+  | Local_search -> "local-search"
+  | Heuristic -> "heuristic"
+
+type config = {
+  max_nodes : int;
+  deadline : float option;
+  search : Heuristics.search;
+  fallbacks : (Wfc_dag.Linearize.strategy * Heuristics.ckpt_strategy) list;
+  ls_evaluations : int;
+}
+
+let default_config =
+  {
+    max_nodes = 1_000_000;
+    deadline = None;
+    search = Heuristics.Exhaustive;
+    fallbacks =
+      List.map
+        (fun ckpt -> (Wfc_dag.Linearize.Depth_first, ckpt))
+        [
+          Heuristics.Ckpt_weight;
+          Heuristics.Ckpt_cost;
+          Heuristics.Ckpt_outweight;
+          Heuristics.Ckpt_periodic;
+        ];
+    ls_evaluations = 2000;
+  }
+
+type result = {
+  schedule : Schedule.t;
+  makespan : float;
+  tier : tier;
+  reason : string;
+  nodes : int;
+  elapsed : float;
+}
+
+let solve ?(config = default_config) model g ~order =
+  let t0 = Unix.gettimeofday () in
+  let should_stop =
+    match config.deadline with
+    | None -> fun () -> false
+    | Some limit -> fun () -> Unix.gettimeofday () -. t0 > limit
+  in
+  let sol, status =
+    Exact_solver.optimal_checkpoints_within ~max_nodes:config.max_nodes
+      ~should_stop model g ~order
+  in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  match status with
+  | `Optimal ->
+      {
+        schedule = sol.Exact_solver.schedule;
+        makespan = sol.Exact_solver.makespan;
+        tier = Exact;
+        reason =
+          Printf.sprintf "branch and bound completed within budget (%d nodes)"
+            sol.Exact_solver.nodes;
+        nodes = sol.Exact_solver.nodes;
+        elapsed = elapsed ();
+      }
+  | `Budget_exhausted ->
+      (* tier 2: refine the incumbent the truncated search left behind *)
+      let ls =
+        Local_search.improve ~max_evaluations:config.ls_evaluations model g
+          sol.Exact_solver.schedule
+      in
+      (* tier 3: the configured heuristic chain, on their own linearizations *)
+      let best_fallback =
+        List.fold_left
+          (fun best (lin, ckpt) ->
+            let o = Heuristics.run ~search:config.search model g ~lin ~ckpt in
+            match best with
+            | Some (_, b) when b.Heuristics.makespan <= o.Heuristics.makespan ->
+                best
+            | _ -> Some (Heuristics.name lin ckpt, o))
+          None config.fallbacks
+      in
+      let stopped =
+        (* the budget check fires on the node after the limit, so clamp for
+           the human-facing count *)
+        Printf.sprintf "exact search stopped after %d of %d nodes"
+          (Int.min sol.Exact_solver.nodes config.max_nodes)
+          config.max_nodes
+      in
+      let from_local_search reason_tail =
+        {
+          schedule = ls.Local_search.schedule;
+          makespan = ls.Local_search.makespan;
+          tier = Local_search;
+          reason = Printf.sprintf "%s; %s" stopped reason_tail;
+          nodes = sol.Exact_solver.nodes;
+          elapsed = elapsed ();
+        }
+      in
+      (match best_fallback with
+      | Some (name, o) when o.Heuristics.makespan < ls.Local_search.makespan ->
+          {
+            schedule = o.Heuristics.schedule;
+            makespan = o.Heuristics.makespan;
+            tier = Heuristic;
+            reason = Printf.sprintf "%s; fallback heuristic %s won" stopped name;
+            nodes = sol.Exact_solver.nodes;
+            elapsed = elapsed ();
+          }
+      | Some (name, _) ->
+          from_local_search
+            (Printf.sprintf "hill-climbed incumbent beat fallback %s" name)
+      | None -> from_local_search "no fallback heuristics configured")

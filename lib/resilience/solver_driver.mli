@@ -1,0 +1,58 @@
+(** Graceful degradation for the exact solver: always return the best answer
+    the budget allows, and say which tier produced it.
+
+    DAG-ChkptSched is NP-complete, so {!Wfc_core.Exact_solver} can blow any
+    node budget or wall-clock deadline on an unlucky instance. A production
+    toolchain must not fall over when that happens: this driver runs the
+    branch and bound under both limits via
+    {!Wfc_core.Exact_solver.optimal_checkpoints_within}, and on exhaustion
+    falls back through a configurable chain — hill-climb the incumbent, then
+    compare against the best fallback heuristic — returning whichever
+    schedule is best, tagged with the tier that produced it and a
+    human-readable reason. *)
+
+type tier =
+  | Exact  (** branch and bound completed: certified optimal for the order *)
+  | Local_search
+      (** budget exhausted; the hill-climbed incumbent won the fallback *)
+  | Heuristic  (** budget exhausted; a fallback heuristic won *)
+
+val tier_name : tier -> string
+(** ["exact"], ["local-search"] or ["heuristic"]. *)
+
+type config = {
+  max_nodes : int;  (** branch-and-bound node budget *)
+  deadline : float option;  (** wall-clock seconds for the exact attempt *)
+  search : Wfc_core.Heuristics.search;  (** checkpoint-count search of the fallbacks *)
+  fallbacks :
+    (Wfc_dag.Linearize.strategy * Wfc_core.Heuristics.ckpt_strategy) list;
+      (** heuristic chain tried on budget exhaustion, in order *)
+  ls_evaluations : int;
+      (** evaluator budget for hill climbing the exact incumbent *)
+}
+
+val default_config : config
+(** [max_nodes = 1_000_000], [deadline = None], exhaustive search, the
+    paper's four searched strategies under DF as fallbacks,
+    [ls_evaluations = 2000]. *)
+
+type result = {
+  schedule : Wfc_core.Schedule.t;
+  makespan : float;  (** analytic expectation of [schedule] *)
+  tier : tier;
+  reason : string;  (** why this tier answered, e.g. the budget that ran out *)
+  nodes : int;  (** branch-and-bound nodes expanded *)
+  elapsed : float;  (** wall-clock seconds spent in the driver *)
+}
+
+val solve :
+  ?config:config ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  result
+(** [solve model g ~order] never raises {!Wfc_core.Exact_solver.Node_budget_exceeded}:
+    it degrades through the configured chain instead. The returned makespan
+    is never worse than the best configured fallback heuristic's.
+
+    @raise Invalid_argument if [order] is not a linearization of [g]. *)

@@ -28,6 +28,39 @@ let estimate_renewal ?(runs = 1000) ~seed ~failures ~downtime g sched =
 let estimate_overlap ?(runs = 1000) ~seed params g sched =
   aggregate ~runs ~seed (fun rng -> Sim_overlap.run ~rng params g sched)
 
+type faults_estimate = {
+  summary : estimate;
+  corrupt_reads : Wfc_platform.Stats.t;
+  failed_recoveries : Wfc_platform.Stats.t;
+  truncated_runs : int;
+}
+
+let estimate_faults ?(runs = 1000) ~seed params g sched =
+  if runs <= 0 then invalid_arg "Monte_carlo.estimate_faults: runs <= 0";
+  let rng = Wfc_platform.Rng.create seed in
+  let makespan = Wfc_platform.Stats.create () in
+  let failures = Wfc_platform.Stats.create () in
+  let wasted = Wfc_platform.Stats.create () in
+  let corrupt_reads = Wfc_platform.Stats.create () in
+  let failed_recoveries = Wfc_platform.Stats.create () in
+  let truncated_runs = ref 0 in
+  for _ = 1 to runs do
+    let r = Sim_faults.run ~rng params g sched in
+    Wfc_platform.Stats.add makespan r.Sim_faults.makespan;
+    Wfc_platform.Stats.add failures (float_of_int r.Sim_faults.failures);
+    Wfc_platform.Stats.add wasted r.Sim_faults.wasted;
+    Wfc_platform.Stats.add corrupt_reads (float_of_int r.Sim_faults.corrupt_reads);
+    Wfc_platform.Stats.add failed_recoveries
+      (float_of_int r.Sim_faults.failed_recoveries);
+    if r.Sim_faults.truncated then incr truncated_runs
+  done;
+  {
+    summary = { makespan; failures; wasted };
+    corrupt_reads;
+    failed_recoveries;
+    truncated_runs = !truncated_runs;
+  }
+
 let estimate_parallel ?(runs = 1000) ?domains ~seed model g sched =
   let domains =
     match domains with

@@ -38,6 +38,30 @@ val estimate_overlap :
   estimate
 (** Like {!estimate}, with {!Sim_overlap.run}: non-blocking checkpoints. *)
 
+type faults_estimate = {
+  summary : estimate;  (** makespan / failures / wasted, as in {!estimate} *)
+  corrupt_reads : Wfc_platform.Stats.t;
+      (** corrupt checkpoints discovered per run *)
+  failed_recoveries : Wfc_platform.Stats.t;
+      (** transient recovery failures per run *)
+  truncated_runs : int;
+      (** runs stopped by the {!Sim_faults.params} [max_failures] valve;
+          their makespans are lower bounds, so when this is non-zero the
+          summary statistics underestimate the true severity *)
+}
+
+val estimate_faults :
+  ?runs:int ->
+  seed:int ->
+  Sim_faults.params ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  faults_estimate
+(** Like {!estimate}, with {!Sim_faults.run}: checkpoint corruption,
+    transient recovery failures and random downtime.
+
+    @raise Invalid_argument if [runs <= 0]. *)
+
 val estimate_parallel :
   ?runs:int ->
   ?domains:int ->

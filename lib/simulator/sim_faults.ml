@@ -1,0 +1,153 @@
+module Distribution = Wfc_platform.Distribution
+module Rng = Wfc_platform.Rng
+
+type params = {
+  failures : Distribution.t;
+  downtime : Distribution.t;
+  p_ckpt_fail : float;
+  p_rec_fail : float;
+  max_failures : int;
+}
+
+let nominal model =
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  if lambda = 0. then invalid_arg "Sim_faults.nominal: fail-free model";
+  {
+    failures = Distribution.exponential ~rate:lambda;
+    downtime = Distribution.constant model.Wfc_platform.Failure_model.downtime;
+    p_ckpt_fail = 0.;
+    p_rec_fail = 0.;
+    max_failures = 0;
+  }
+
+type run = {
+  makespan : float;
+  failures : int;
+  wasted : float;
+  corrupt_reads : int;
+  failed_recoveries : int;
+  truncated : bool;
+}
+
+let check_probability what ~strict p =
+  if not (p >= 0. && (if strict then p < 1. else p <= 1.)) then
+    invalid_arg (Printf.sprintf "Sim_faults: %s out of range" what)
+
+(* Mirrors Sim.run_engine draw for draw so that the zero-fault configuration
+   is bit-identical to Sim.run on the same RNG stream: fault bernoullis and
+   degenerate downtimes consume no randomness at all. *)
+let run ~rng params g sched =
+  check_probability "p_ckpt_fail" ~strict:false params.p_ckpt_fail;
+  check_probability "p_rec_fail" ~strict:true params.p_rec_fail;
+  if params.max_failures < 0 then
+    invalid_arg "Sim_faults: max_failures must be non-negative";
+  let n = Wfc_core.Schedule.n_tasks sched in
+  let in_memory = Array.make n false in
+  let on_disk = Array.make n false in
+  let corrupt = Array.make n false in
+  let seen = Array.make n false in
+  let restored = ref [] in
+  let corrupt_reads = ref 0 and failed_recoveries = ref 0 in
+  let weight v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight in
+  let ckpt_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost in
+  let rec_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost in
+  let bernoulli p = p > 0. && Rng.uniform rng < p in
+  let time_to_failure, consume, after_failure =
+    match params.failures with
+    | Distribution.Exponential rate ->
+        (* memoryless: a fresh draw per attempt is exact, as in Sim.run *)
+        ((fun () -> Rng.exponential rng ~rate), (fun _ -> ()), fun () -> ())
+    | d ->
+        (* renewal: countdown consumed by successful segments, redrawn after
+           each repair, as in Sim.run_renewal *)
+        let remaining = ref (Distribution.sample d rng) in
+        ( (fun () -> !remaining),
+          (fun dt -> remaining := !remaining -. dt),
+          fun () -> remaining := Distribution.sample d rng )
+  in
+  (* Replay for task [v]: recover lost checkpointed ancestors, recompute lost
+     plain ones. A recovery read retries on transient failure; a read of a
+     corrupt checkpoint discards it and falls back to recomputing the task
+     from its own ancestors. *)
+  let replay_cost v =
+    restored := [];
+    Array.fill seen 0 n false;
+    let cost = ref 0. in
+    let rec visit v =
+      Array.iter
+        (fun u ->
+          if (not in_memory.(u)) && not seen.(u) then begin
+            seen.(u) <- true;
+            restored := u :: !restored;
+            if on_disk.(u) then begin
+              let rc = rec_cost u in
+              while bernoulli params.p_rec_fail do
+                incr failed_recoveries;
+                cost := !cost +. rc
+              done;
+              cost := !cost +. rc;
+              if corrupt.(u) then begin
+                incr corrupt_reads;
+                on_disk.(u) <- false;
+                corrupt.(u) <- false;
+                cost := !cost +. weight u;
+                visit u
+              end
+            end
+            else begin
+              cost := !cost +. weight u;
+              visit u
+            end
+          end)
+        (Wfc_dag.Dag.preds_array g v)
+    in
+    visit v;
+    !cost
+  in
+  let time = ref 0. and failures = ref 0 and wasted = ref 0. in
+  let truncated = ref false in
+  let exception Capped in
+  (try
+     for p = 0 to n - 1 do
+       let v = Wfc_core.Schedule.task_at sched p in
+       let checkpointing = Wfc_core.Schedule.is_checkpointed sched v in
+       let finished = ref false in
+       while not !finished do
+         let replay = replay_cost v in
+         let segment =
+           replay +. weight v +. (if checkpointing then ckpt_cost v else 0.)
+         in
+         let fail_after = time_to_failure () in
+         if fail_after >= segment then begin
+           time := !time +. segment;
+           wasted := !wasted +. replay;
+           consume segment;
+           List.iter (fun u -> in_memory.(u) <- true) !restored;
+           in_memory.(v) <- true;
+           if checkpointing then begin
+             on_disk.(v) <- true;
+             if bernoulli params.p_ckpt_fail then corrupt.(v) <- true
+           end;
+           finished := true
+         end
+         else begin
+           let down = Distribution.sample params.downtime rng in
+           time := !time +. fail_after +. down;
+           wasted := !wasted +. fail_after +. down;
+           incr failures;
+           Array.fill in_memory 0 n false;
+           after_failure ();
+           if params.max_failures > 0 && !failures >= params.max_failures then
+             raise Capped
+         end
+       done
+     done
+   with Capped -> truncated := true);
+  {
+    makespan = !time;
+    failures = !failures;
+    wasted = !wasted;
+    corrupt_reads = !corrupt_reads;
+    failed_recoveries = !failed_recoveries;
+    truncated = !truncated;
+  }

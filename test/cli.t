@@ -28,3 +28,63 @@ Unknown workflow families are rejected:
   Usage: wfc generate [OPTION]…
   $ echo $?
   0
+
+Nonsensical platform or workflow parameters die with a one-line parse error
+(cmdliner's exit code 124) instead of a traceback deep inside the library:
+
+  $ ../bin/wfc.exe evaluate -w montage -n 12 --mtbf 0 2>&1 | head -1
+  wfc: option '--mtbf': MTBF must be positive (got '0')
+  $ ../bin/wfc.exe evaluate -w montage -n 12 --mtbf 0 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe evaluate -w montage -n 12 --mtbf 500 --downtime=-1 2>&1 | head -1
+  wfc: option '--downtime': downtime must be non-negative (got '-1')
+  $ ../bin/wfc.exe evaluate -w montage -n 12 --mtbf 500 --downtime=-1 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe evaluate -w montage -n 0 --mtbf 500 2>&1 | head -1
+  wfc: option '-n': task count must be at least 1 (got '0')
+  $ ../bin/wfc.exe evaluate -w montage -n 0 --mtbf 500 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+A misspecification stress campaign: simulation-backed, but deterministic in
+the seed — and bit-identical for any --domains value, so the pinned output
+below is stable on any machine:
+
+  $ ../bin/wfc.exe stress -w montage -n 12 --mtbf 300 --runs 100 --seed 3 --domains 2 --exact-budget 5000
+  stress campaign: Montage (12 tasks), nominal platform: lambda=0.00333333 (MTBF 300 s), downtime 0 s
+  12 scenarios x 7 schedules, 100 runs each, seed 3
+  
+  exact driver: tier exact, E[makespan] 144.78 s (branch and bound completed within budget (367 nodes))
+  
+  rank  schedule         E[T] nominal  worst mean x  worst p99 x  divergent
+  ----  ---------------  ------------  ------------  -----------  ---------
+  1     DF-CkptAlws      148.7         1.338         1.973        0
+  2     DF-CkptW         147.7         1.361         2.042        0
+  3     DF-CkptD         144.8         1.623         2.688        0
+  4     DF-CkptC         145.9         1.583         2.996        0
+  5     DF-CkptPer       148.6         1.937         4.938        0
+  6     DF-exact[exact]  144.8         1.966         4.973        0
+  7     DF-CkptNvr       164.1         13.703        41.904       0
+  
+  per-scenario tail behavior of DF-CkptAlws:
+  
+  scenario            mean   p95    p99    mean x  p99 x  divergent
+  ------------------  -----  -----  -----  ------  -----  ---------
+  nominal             149.1  164.8  169.6  1.003   1.141  0
+  mtbf/2              152.9  177.9  183.3  1.028   1.233  0
+  mtbf/10             198.9  254.4  291.4  1.338   1.959  0
+  mtbf*2              146.4  158.8  163.3  0.984   1.098  0
+  mtbf*10             144.4  144.8  160.6  0.971   1.080  0
+  weibull k=0.7       150.4  172.7  179.9  1.011   1.210  0
+  weibull k=1.5       146.8  158.9  169.5  0.988   1.140  0
+  bursty              155.7  181.2  190.2  1.047   1.279  0
+  random downtime     149.2  172.2  177.7  1.003   1.195  0
+  corrupt ckpt 10%    151.0  174.9  185.5  1.015   1.247  0
+  flaky recovery 10%  149.6  164.7  173.6  1.006   1.167  0
+  hostile             179.1  258.0  293.4  1.204   1.973  0
+
+The same campaign with a different --domains split is bit-identical:
+
+  $ ../bin/wfc.exe stress -w montage -n 12 --mtbf 300 --runs 100 --seed 3 --domains 2 --exact-budget 5000 > split2.out
+  $ ../bin/wfc.exe stress -w montage -n 12 --mtbf 300 --runs 100 --seed 3 --domains 1 --exact-budget 5000 > split1.out
+  $ cmp split1.out split2.out && echo bit-identical
+  bit-identical

@@ -37,7 +37,46 @@ let test_validation () =
   expect_invalid (fun () -> ignore (D.exponential ~rate:0.));
   expect_invalid (fun () -> ignore (D.weibull ~shape:0. ~scale:1.));
   expect_invalid (fun () -> ignore (D.weibull ~shape:1. ~scale:(-1.)));
-  expect_invalid (fun () -> ignore (D.weibull_of_mean ~shape:1. ~mean:0.))
+  expect_invalid (fun () -> ignore (D.weibull_of_mean ~shape:1. ~mean:0.));
+  expect_invalid (fun () -> ignore (D.constant (-1.)));
+  expect_invalid (fun () -> ignore (D.constant Float.infinity));
+  expect_invalid (fun () -> ignore (D.hyperexponential ~p:1.5 ~rate1:1. ~rate2:1.));
+  expect_invalid (fun () -> ignore (D.hyperexponential ~p:0.5 ~rate1:0. ~rate2:1.));
+  expect_invalid (fun () -> ignore (D.hyperexponential ~p:0.5 ~rate1:1. ~rate2:(-1.)))
+
+let test_constant () =
+  let c = D.constant 3.5 in
+  Wfc_test_util.check_close ~eps:1e-12 "mean" 3.5 (D.mean c);
+  Alcotest.(check (float 0.)) "survival below" 1. (D.survival c 2.);
+  Alcotest.(check (float 0.)) "survival above" 0. (D.survival c 4.);
+  (* degenerate sampling consumes no randomness: the stream is untouched *)
+  let rng = Rng.create 77 in
+  let witness = Rng.copy rng in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "sample" 3.5 (D.sample c rng)
+  done;
+  Alcotest.(check int64) "stream untouched" (Rng.bits64 witness) (Rng.bits64 rng)
+
+let test_hyperexponential () =
+  let p = 0.9 and rate1 = 0.03 and rate2 = 1. /. 700. in
+  let h = D.hyperexponential ~p ~rate1 ~rate2 in
+  Wfc_test_util.check_close ~eps:1e-12 "mean formula"
+    ((p /. rate1) +. ((1. -. p) /. rate2))
+    (D.mean h);
+  Wfc_test_util.check_close ~eps:1e-12 "survival"
+    ((p *. Float.exp (-.rate1 *. 100.))
+    +. ((1. -. p) *. Float.exp (-.rate2 *. 100.)))
+    (D.survival h 100.);
+  (* sample mean agrees with the analytic mean *)
+  let rng = Rng.create 23 in
+  let s = Stats.create () in
+  for _ = 1 to 100_000 do
+    let x = D.sample h rng in
+    if x < 0. then Alcotest.fail "negative sample";
+    Stats.add s x
+  done;
+  if Float.abs (Stats.mean s -. D.mean h) > 6. *. Stats.std_error s then
+    Alcotest.failf "sample mean %.2f vs %.2f" (Stats.mean s) (D.mean h)
 
 let test_means () =
   Wfc_test_util.check_close "exp mean" 1000. (D.mean (D.exponential ~rate:1e-3));
@@ -181,6 +220,8 @@ let () =
       ( "distribution",
         [
           Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "hyperexponential" `Slow test_hyperexponential;
           Alcotest.test_case "means" `Quick test_means;
           Alcotest.test_case "shape 1 = exponential" `Quick
             test_shape_one_is_exponential;

@@ -85,6 +85,53 @@ let test_bnb_budget () =
   | exception Exact_solver.Node_budget_exceeded -> ()
   | _ -> Alcotest.fail "budget of 5 nodes cannot suffice"
 
+let test_bnb_within_budget () =
+  let g =
+    Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1)
+      (Wfc_workflows.Pegasus.generate Wfc_workflows.Pegasus.Ligo ~n:30 ~seed:5)
+  in
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  (* a 5-node budget is exhausted immediately, yet the incumbent must be a
+     finite, valid schedule no worse than the warm-start heuristic *)
+  let sol, status =
+    Exact_solver.optimal_checkpoints_within ~max_nodes:5 model g ~order
+  in
+  (match status with
+  | `Budget_exhausted -> ()
+  | `Optimal -> Alcotest.fail "budget of 5 nodes cannot suffice");
+  Alcotest.(check bool) "finite incumbent" true
+    (Float.is_finite sol.Exact_solver.makespan);
+  let heur =
+    List.fold_left
+      (fun acc ckpt ->
+        Float.min acc
+          (Heuristics.run model g ~lin:Wfc_dag.Linearize.Depth_first ~ckpt)
+            .Heuristics.makespan)
+      infinity
+      [ Heuristics.Ckpt_weight; Heuristics.Ckpt_periodic ]
+  in
+  Alcotest.(check bool) "no worse than warm start" true
+    (sol.Exact_solver.makespan <= heur +. 1e-9);
+  (* the caller-supplied stop predicate also exhausts the budget *)
+  let _, status =
+    Exact_solver.optimal_checkpoints_within
+      ~should_stop:(fun () -> true)
+      model g ~order
+  in
+  (match status with
+  | `Budget_exhausted -> ()
+  | `Optimal -> Alcotest.fail "should_stop ignored");
+  (* and with room to breathe the status certifies optimality *)
+  let g = Wfc_dag.Builders.chain ~weights:[| 1.; 2.; 3.; 4. |] () in
+  let order = [| 0; 1; 2; 3 |] in
+  let sol, status = Exact_solver.optimal_checkpoints_within model g ~order in
+  (match status with
+  | `Optimal -> ()
+  | `Budget_exhausted -> Alcotest.fail "tiny instance must complete");
+  Wfc_test_util.check_close "same optimum as the raising API"
+    (Exact_solver.optimal_checkpoints model g ~order).Exact_solver.makespan
+    sol.Exact_solver.makespan
+
 let test_bnb_validates_order () =
   let g = Wfc_dag.Builders.chain ~weights:[| 1.; 2. |] () in
   match Exact_solver.optimal_checkpoints model g ~order:[| 1; 0 |] with
@@ -117,6 +164,7 @@ let () =
           Alcotest.test_case "beyond brute force" `Slow
             test_bnb_beyond_brute_force;
           Alcotest.test_case "node budget" `Quick test_bnb_budget;
+          Alcotest.test_case "within budget" `Slow test_bnb_within_budget;
           Alcotest.test_case "order validation" `Quick test_bnb_validates_order;
           Alcotest.test_case "fail-free" `Quick test_bnb_fail_free;
         ] );

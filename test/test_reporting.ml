@@ -18,7 +18,7 @@ let test_table_render () =
   Table.add_row t [ "b"; "22.5" ];
   let rendered = Table.render t in
   Alcotest.(check string) "aligned"
-    "name   value\n-----  -----\nalpha  1    \nb      22.5 \n" rendered
+    "name   value\n-----  -----\nalpha  1\nb      22.5\n" rendered
 
 let test_table_validation () =
   expect_invalid (fun () -> Table.create ~columns:[]);

@@ -1,0 +1,206 @@
+module D = Wfc_platform.Distribution
+module FM = Wfc_platform.Failure_model
+module Heuristics = Wfc_core.Heuristics
+module Stress = Wfc_resilience.Stress
+module Driver = Wfc_resilience.Solver_driver
+
+let workflow n =
+  Wfc_workflows.Cost_model.apply (Wfc_workflows.Cost_model.Proportional 0.1)
+    (Wfc_workflows.Pegasus.generate Wfc_workflows.Pegasus.Montage ~n ~seed:4)
+
+let nominal = FM.make ~lambda:5e-3 ~downtime:1. ()
+
+let df_order g = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g
+
+(* ---- solver driver: graceful degradation ---- *)
+
+let test_driver_exact_tier () =
+  let g = workflow 12 in
+  let order = df_order g in
+  let r = Driver.solve nominal g ~order in
+  Alcotest.(check string) "tier" "exact" (Driver.tier_name r.Driver.tier);
+  let sol = Wfc_core.Exact_solver.optimal_checkpoints nominal g ~order in
+  Wfc_test_util.check_close "matches the raising solver"
+    sol.Wfc_core.Exact_solver.makespan r.Driver.makespan;
+  Alcotest.(check bool) "reason mentions completion" true
+    (String.length r.Driver.reason > 0)
+
+let test_driver_degrades () =
+  (* 25 tasks under a 100-node budget: the exact tier cannot finish, but the
+     driver must still return a schedule no worse than its best fallback *)
+  let g = workflow 25 in
+  let order = df_order g in
+  let config = { Driver.default_config with Driver.max_nodes = 100 } in
+  let r = Driver.solve ~config nominal g ~order in
+  Alcotest.(check bool) "not the exact tier" true (r.Driver.tier <> Driver.Exact);
+  Alcotest.(check bool) "non-empty reason" true (String.length r.Driver.reason > 0);
+  let best_fallback =
+    List.fold_left
+      (fun acc (lin, ckpt) ->
+        Float.min acc (Heuristics.run nominal g ~lin ~ckpt).Heuristics.makespan)
+      infinity config.Driver.fallbacks
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f <= best fallback %.2f" r.Driver.makespan best_fallback)
+    true
+    (r.Driver.makespan <= best_fallback +. 1e-9);
+  (* the returned expectation matches its own schedule *)
+  Wfc_test_util.check_close "self-consistent"
+    (Wfc_core.Evaluator.expected_makespan nominal g r.Driver.schedule)
+    r.Driver.makespan
+
+let test_driver_deadline () =
+  (* an already-elapsed deadline forces immediate degradation *)
+  let g = workflow 25 in
+  let r =
+    Driver.solve
+      ~config:{ Driver.default_config with Driver.deadline = Some 0. }
+      nominal g ~order:(df_order g)
+  in
+  Alcotest.(check bool) "degraded" true (r.Driver.tier <> Driver.Exact)
+
+(* ---- stress campaigns ---- *)
+
+let stress_fixture () =
+  let g = workflow 12 in
+  let outcome =
+    Heuristics.run nominal g ~lin:Wfc_dag.Linearize.Depth_first
+      ~ckpt:Heuristics.Ckpt_weight
+  in
+  (g, outcome.Heuristics.schedule)
+
+let test_evaluate_deterministic_and_domain_invariant () =
+  let g, s = stress_fixture () in
+  let scenarios = Stress.default_grid nominal in
+  let eval domains =
+    Stress.evaluate ~runs:200 ~domains ~seed:5 ~nominal ~scenarios g s
+  in
+  let a = eval 1 and b = eval 1 and c = eval 3 in
+  List.iter2
+    (fun (x : Stress.scenario_result) (y : Stress.scenario_result) ->
+      Alcotest.(check (float 0.)) "mean" x.Stress.mean y.Stress.mean;
+      Alcotest.(check (float 0.)) "p99" x.Stress.p99 y.Stress.p99;
+      Alcotest.(check int) "divergent" x.Stress.divergent y.Stress.divergent)
+    a.Stress.results b.Stress.results;
+  (* bit-identical across domain counts, not merely statistically equal *)
+  List.iter2
+    (fun (x : Stress.scenario_result) (y : Stress.scenario_result) ->
+      Alcotest.(check (float 0.)) "mean across domains" x.Stress.mean
+        y.Stress.mean;
+      Alcotest.(check (float 0.)) "p99 across domains" x.Stress.p99 y.Stress.p99)
+    a.Stress.results c.Stress.results
+
+let test_evaluate_degradations () =
+  let g, s = stress_fixture () in
+  let scenarios = Stress.default_grid nominal in
+  let report = Stress.evaluate ~runs:2000 ~domains:2 ~seed:9 ~nominal ~scenarios g s in
+  let find name =
+    List.find
+      (fun r -> r.Stress.scenario.Stress.name = name)
+      report.Stress.results
+  in
+  let nom = find "nominal" in
+  Alcotest.(check bool)
+    (Printf.sprintf "nominal mean ratio %.3f close to 1" nom.Stress.mean_degradation)
+    true
+    (Float.abs (nom.Stress.mean_degradation -. 1.) < 0.05);
+  let harsh = find "mtbf/10" in
+  Alcotest.(check bool) "mtbf/10 is worse than nominal" true
+    (harsh.Stress.mean > nom.Stress.mean);
+  Alcotest.(check bool) "tail dominates mean" true
+    (List.for_all
+       (fun r -> r.Stress.tail_degradation >= r.Stress.mean_degradation)
+       report.Stress.results);
+  Alcotest.(check bool) "robustness is the worst tail" true
+    (Float.equal report.Stress.robustness
+       (List.fold_left
+          (fun acc r -> Float.max acc r.Stress.tail_degradation)
+          0. report.Stress.results))
+
+let test_rank_sorted () =
+  let g, _ = stress_fixture () in
+  let scenarios = Stress.default_grid nominal in
+  let ranked =
+    Stress.rank ~runs:300 ~domains:2 ~seed:5 ~nominal ~scenarios g
+      [
+        (Wfc_dag.Linearize.Depth_first, Heuristics.Ckpt_never);
+        (Wfc_dag.Linearize.Depth_first, Heuristics.Ckpt_weight);
+        (Wfc_dag.Linearize.Depth_first, Heuristics.Ckpt_periodic);
+      ]
+  in
+  Alcotest.(check int) "all ranked" 3 (List.length ranked);
+  let scores = List.map (fun r -> r.Stress.report.Stress.robustness) ranked in
+  Alcotest.(check bool) "ascending robustness" true
+    (List.sort Float.compare scores = scores);
+  (* a checkpointing heuristic must beat restart-only under the harsh grid *)
+  let first = List.hd ranked in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s is not CkptNvr" first.Stress.heuristic)
+    true
+    (first.Stress.heuristic <> "DF-CkptNvr")
+
+let test_divergence_disqualifies () =
+  (* a restart-only schedule that cannot finish under a harsh scenario gets
+     truncated makespans — lower bounds that would otherwise look "robust".
+     Divergence must force the score to infinity *)
+  let g = Wfc_dag.Builders.chain ~weights:(Array.make 8 100.) () in
+  let s =
+    Wfc_core.Schedule.make g ~order:(Array.init 8 Fun.id)
+      ~checkpointed:(Array.make 8 false)
+  in
+  let harsh =
+    {
+      Stress.name = "harsh";
+      params =
+        Wfc_simulator.Sim_faults.nominal (FM.make ~lambda:0.05 ~downtime:0. ());
+    }
+  in
+  let report =
+    Stress.evaluate ~runs:20 ~domains:1 ~max_failures:100 ~seed:3
+      ~nominal:(FM.make ~lambda:1e-4 ())
+      ~scenarios:[ harsh ] g s
+  in
+  let r = List.hd report.Stress.results in
+  Alcotest.(check bool) "runs diverged" true (r.Stress.divergent > 0);
+  Alcotest.(check bool) "score disqualified" true
+    (report.Stress.robustness = Float.infinity)
+
+let test_validation () =
+  let g, s = stress_fixture () in
+  let scenarios = Stress.default_grid nominal in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> ignore (Stress.default_grid FM.fail_free));
+  expect_invalid (fun () ->
+      ignore (Stress.evaluate ~runs:0 ~seed:1 ~nominal ~scenarios g s));
+  expect_invalid (fun () ->
+      ignore (Stress.evaluate ~domains:0 ~seed:1 ~nominal ~scenarios g s));
+  expect_invalid (fun () ->
+      ignore (Stress.evaluate ~max_failures:0 ~seed:1 ~nominal ~scenarios g s));
+  expect_invalid (fun () ->
+      ignore (Stress.evaluate ~seed:1 ~nominal ~scenarios:[] g s))
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "solver driver",
+        [
+          Alcotest.test_case "exact tier" `Quick test_driver_exact_tier;
+          Alcotest.test_case "graceful degradation" `Slow test_driver_degrades;
+          Alcotest.test_case "deadline" `Quick test_driver_deadline;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "deterministic, domain-invariant" `Quick
+            test_evaluate_deterministic_and_domain_invariant;
+          Alcotest.test_case "degradation ratios" `Slow
+            test_evaluate_degradations;
+          Alcotest.test_case "ranking sorted" `Slow test_rank_sorted;
+          Alcotest.test_case "divergence disqualifies" `Quick
+            test_divergence_disqualifies;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]
