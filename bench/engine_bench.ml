@@ -1,0 +1,176 @@
+(* End-to-end timing of the incremental evaluation engine against the naive
+   per-candidate evaluation, on the searches the engine was built for. Writes
+   the measured speedups to BENCH_engine.json (consumed by EXPERIMENTS.md)
+   and prints a human-readable table.
+
+   Run with: FIG=engine dune exec bench/main.exe *)
+
+open Wfc_core
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+
+let model = FM.make ~lambda:1e-3 ()
+
+let instance family n =
+  let g = CM.apply (CM.Proportional 0.1) (P.generate family ~n ~seed:7) in
+  let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+  (g, order)
+
+(* median-of-repeats wall time of one thunk, seconds *)
+let time ?(repeats = 5) f =
+  let samples =
+    List.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        Unix.gettimeofday () -. t0)
+  in
+  List.nth (List.sort compare samples) (repeats / 2)
+
+type row = {
+  name : string;
+  naive_s : float;
+  engine_s : float;
+  detail : string;
+}
+
+let speedup r = r.naive_s /. r.engine_s
+
+let bench_local_search () =
+  let g, order = instance P.Ligo 200 in
+  let flags =
+    Heuristics.checkpoint_flags Heuristics.Ckpt_weight g ~order ~n_ckpt:50
+  in
+  let seed = Schedule.make g ~order ~checkpointed:flags in
+  let run backend () = Local_search.improve ~backend model g seed in
+  let naive = run Eval_engine.Naive () in
+  let engine = run Eval_engine.Incremental () in
+  assert (naive.Local_search.makespan = engine.Local_search.makespan);
+  {
+    name = "local-search/Ligo/n=200";
+    naive_s = time ~repeats:3 (run Eval_engine.Naive);
+    engine_s = time ~repeats:3 (run Eval_engine.Incremental);
+    detail =
+      Printf.sprintf "%d evaluations, %d flips" naive.Local_search.evaluations
+        naive.Local_search.flips;
+  }
+
+let bench_ckptw_sweep () =
+  let g, order = instance P.Ligo 200 in
+  ignore order;
+  let run backend () =
+    Heuristics.run ~search:Heuristics.Exhaustive ~backend model g
+      ~lin:Wfc_dag.Linearize.Depth_first ~ckpt:Heuristics.Ckpt_weight
+  in
+  let naive = run Eval_engine.Naive () in
+  let engine = run Eval_engine.Incremental () in
+  assert (naive.Heuristics.makespan = engine.Heuristics.makespan);
+  {
+    name = "ckptw-exhaustive/Ligo/n=200";
+    naive_s = time ~repeats:3 (run Eval_engine.Naive);
+    engine_s = time ~repeats:3 (run Eval_engine.Incremental);
+    detail = Printf.sprintf "%d candidates" naive.Heuristics.evaluations;
+  }
+
+let bench_exact_audit () =
+  let g, order = instance P.Genome 20 in
+  let run backend () =
+    Exact_solver.optimal_checkpoints_within ~backend ~max_nodes:200_000 model g
+      ~order
+  in
+  let (naive, _) = run Eval_engine.Naive () in
+  let (engine, _) = run Eval_engine.Incremental () in
+  assert (naive.Exact_solver.makespan = engine.Exact_solver.makespan);
+  assert (naive.Exact_solver.nodes = engine.Exact_solver.nodes);
+  {
+    name = "exact-bnb/Genome/n=20";
+    naive_s = time ~repeats:3 (run Eval_engine.Naive);
+    engine_s = time ~repeats:3 (run Eval_engine.Incremental);
+    detail = Printf.sprintf "%d nodes" naive.Exact_solver.nodes;
+  }
+
+let bench_single_flip () =
+  let g, order = instance P.Ligo 200 in
+  let n = Array.length order in
+  let engine = Eval_engine.create model g ~order in
+  ignore (Eval_engine.makespan engine);
+  let flags = Array.make n false in
+  let i = ref 0 in
+  let flips = 1000 in
+  let engine_s =
+    time ~repeats:3 (fun () ->
+        for _ = 1 to flips do
+          ignore (Eval_engine.flip engine (!i mod n));
+          incr i
+        done)
+    /. float_of_int flips
+  in
+  let j = ref 0 in
+  let naive_s =
+    time ~repeats:3 (fun () ->
+        for _ = 1 to 20 do
+          flags.(!j mod n) <- not flags.(!j mod n);
+          incr j;
+          ignore
+            (Evaluator.expected_makespan model g
+               (Schedule.make g ~order ~checkpointed:flags))
+        done)
+    /. 20.
+  in
+  {
+    name = "single-flip/Ligo/n=200";
+    naive_s;
+    engine_s;
+    detail = "per-flip cost vs one full evaluation";
+  }
+
+let json_of_rows rows =
+  Wfc_io.Json.Assoc
+    [
+      ("benchmark", Wfc_io.Json.String "eval_engine");
+      ("model", Wfc_io.Json.String "lambda=1e-3, downtime=0, cost=0.1w");
+      ( "results",
+        Wfc_io.Json.List
+          (List.map
+             (fun r ->
+               Wfc_io.Json.Assoc
+                 [
+                   ("name", Wfc_io.Json.String r.name);
+                   ("naive_seconds", Wfc_io.Json.Number r.naive_s);
+                   ("engine_seconds", Wfc_io.Json.Number r.engine_s);
+                   ("speedup", Wfc_io.Json.Number (speedup r));
+                   ("detail", Wfc_io.Json.String r.detail);
+                 ])
+             rows) );
+    ]
+
+let run () =
+  print_endline "== incremental engine vs naive evaluation ==";
+  let rows =
+    [
+      bench_single_flip (); bench_ckptw_sweep (); bench_local_search ();
+      bench_exact_audit ();
+    ]
+  in
+  let table =
+    Wfc_reporting.Table.create
+      ~columns:[ "benchmark"; "naive"; "engine"; "speedup"; "detail" ]
+  in
+  List.iter
+    (fun r ->
+      Wfc_reporting.Table.add_row table
+        [
+          r.name;
+          Printf.sprintf "%.2f ms" (r.naive_s *. 1e3);
+          Printf.sprintf "%.2f ms" (r.engine_s *. 1e3);
+          Printf.sprintf "%.1fx" (speedup r);
+          r.detail;
+        ])
+    rows;
+  Wfc_reporting.Table.print table;
+  let path = "BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc (Wfc_io.Json.to_string (json_of_rows rows));
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path

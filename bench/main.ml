@@ -6,6 +6,7 @@
           FIG=ablation dune exec bench/main.exe  extension/ablation studies
           FIG=micro dune exec bench/main.exe     only the micro-benchmarks
           FIG=stress dune exec bench/main.exe    resilience stress micro-campaign
+          FIG=engine dune exec bench/main.exe    incremental engine vs naive timing
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -35,10 +36,13 @@ let () =
   | Some "micro" -> Micro.run ()
   | Some "ablation" -> Ablation.run cfg
   | Some "stress" -> Stress.run ()
+  | Some "engine" -> Engine_bench.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
-      | None -> Printf.eprintf "FIG must be 2..7, 'ablation', 'micro' or 'stress'\n")
+      | None ->
+          Printf.eprintf
+            "FIG must be 2..7, 'ablation', 'micro', 'stress' or 'engine'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

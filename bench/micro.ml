@@ -77,6 +77,22 @@ let heuristic_tests =
                 ~lin:Wfc_dag.Linearize.Depth_first ~ckpt:Heuristics.Ckpt_weight)));
   ]
 
+let engine_tests =
+  (* single-flag flip throughput of the incremental engine, against one full
+     cached-lost-work evaluation (the naive per-candidate cost) above *)
+  List.map
+    (fun n ->
+      let g, s = prepared P.Cybershake n in
+      let engine = Eval_engine.create model g ~order:s.Schedule.order in
+      ignore (Eval_engine.makespan engine);
+      let i = ref 0 in
+      Test.make
+        ~name:(Printf.sprintf "engine/flip/n=%d" n)
+        (Staged.stage (fun () ->
+             incr i;
+             ignore (Eval_engine.flip engine (!i mod n)))))
+    [ 50; 200 ]
+
 let generator_tests =
   List.map
     (fun fam ->
@@ -88,7 +104,7 @@ let generator_tests =
 let all_tests () =
   Test.make_grouped ~name:"wfc"
     (lost_work_tests @ lost_work_reference_tests @ evaluator_tests
-   @ simulator_tests @ heuristic_tests @ generator_tests)
+   @ engine_tests @ simulator_tests @ heuristic_tests @ generator_tests)
 
 let () = Bechamel_notty.Unit.add Instance.monotonic_clock "ns"
 

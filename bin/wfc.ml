@@ -118,6 +118,22 @@ let grid_t =
   Arg.(value & opt int 0
        & info [ "grid" ] ~doc:"Search the checkpoint count on a grid of at most this many values (0 = exhaustive).")
 
+let engine_conv =
+  let parse s =
+    match Wfc_core.Eval_engine.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown engine '%s' (naive or incremental)" s))
+  in
+  Arg.conv
+    (parse, fun ppf b -> Format.pp_print_string ppf (Wfc_core.Eval_engine.backend_name b))
+
+let engine_t =
+  Arg.(value & opt engine_conv Wfc_core.Eval_engine.Incremental
+       & info [ "engine" ]
+           ~doc:"Evaluation backend for checkpoint searches: incremental \
+                 (cached suffix re-evaluation) or naive (one full evaluator \
+                 call per candidate). Both report oracle makespans.")
+
 let load_t =
   Arg.(value & opt (some string) None
        & info [ "load" ] ~docv:"FILE"
@@ -202,10 +218,13 @@ let generate_cmd =
 let source_name ~load family =
   match load with Some path -> path | None -> P.family_name family
 
-let evaluate family n seed cost mtbf downtime lin ckpt grid load save =
+let evaluate family n seed cost mtbf downtime lin ckpt grid engine load save =
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
-  let o = Heuristics.run ~search:(search_of_grid grid) model g ~lin ~ckpt in
+  let o =
+    Heuristics.run ~search:(search_of_grid grid) ~backend:engine model g ~lin
+      ~ckpt
+  in
   (match save with
   | Some path ->
       Wfc_io.Workflow_format.save_schedule path o.Heuristics.schedule;
@@ -232,11 +251,11 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Expected makespan of one heuristic schedule")
     Term.(const evaluate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
-          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ load_t $ save_t)
+          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ save_t)
 
 (* ---- schedule (compare heuristics) ---- *)
 
-let schedule family n seed cost mtbf downtime grid load extended =
+let schedule family n seed cost mtbf downtime grid engine load extended =
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
   let tinf = Evaluator.fail_free_time g in
@@ -261,7 +280,10 @@ let schedule family n seed cost mtbf downtime grid load extended =
       in
       List.iter
         (fun lin ->
-          let o = Heuristics.run ~search:(search_of_grid grid) model g ~lin ~ckpt in
+          let o =
+            Heuristics.run ~search:(search_of_grid grid) ~backend:engine model
+              g ~lin ~ckpt
+          in
           Wfc_reporting.Table.add_row table
             [
               Heuristics.name lin ckpt;
@@ -283,15 +305,18 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Compare all 14 heuristics on one workflow")
     Term.(const schedule $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
-          $ downtime_t $ grid_t $ load_t $ extended_t)
+          $ downtime_t $ grid_t $ engine_t $ load_t $ extended_t)
 
 (* ---- simulate ---- *)
 
-let simulate family n seed cost mtbf downtime lin ckpt grid runs load
+let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
     weibull_shape overlap trace =
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
-  let o = Heuristics.run ~search:(search_of_grid grid) model g ~lin ~ckpt in
+  let o =
+    Heuristics.run ~search:(search_of_grid grid) ~backend:engine model g ~lin
+      ~ckpt
+  in
   (match trace with
   | Some limit ->
       let _, events =
@@ -375,12 +400,12 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte Carlo fault injection vs the analytic evaluator")
     Term.(const simulate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
-          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ runs_t $ load_t
+          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ runs_t $ load_t
           $ weibull_t $ overlap_t $ trace_t)
 
 (* ---- stress (misspecification campaign) ---- *)
 
-let stress family n seed cost mtbf downtime grid load runs domains csv
+let stress family n seed cost mtbf downtime grid engine load runs domains csv
     exact_budget deadline p_ckpt p_rec max_failures =
   let module Stress = Wfc_resilience.Stress in
   let module Driver = Wfc_resilience.Solver_driver in
@@ -413,7 +438,7 @@ let stress family n seed cost mtbf downtime grid load runs domains csv
   in
   let ranked =
     Stress.rank ~runs ?domains ~max_failures ~search:(search_of_grid grid)
-      ~seed ~nominal ~scenarios g heuristics
+      ~backend:engine ~seed ~nominal ~scenarios g heuristics
   in
   let rows =
     List.map
@@ -434,6 +459,7 @@ let stress family n seed cost mtbf downtime grid load runs domains csv
           Driver.max_nodes = exact_budget;
           deadline;
           search = search_of_grid grid;
+          backend = engine;
         }
       in
       let d = Driver.solve ~config nominal g ~order in
@@ -606,8 +632,8 @@ let stress_cmd =
        ~doc:"Misspecification campaign: rank schedules by tail behavior under \
              perturbed platforms")
     Term.(const stress $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
-          $ grid_t $ load_t $ runs_t $ domains_t $ csv_t $ exact_budget_t
-          $ deadline_t $ p_ckpt_t $ p_rec_t $ max_failures_t)
+          $ grid_t $ engine_t $ load_t $ runs_t $ domains_t $ csv_t
+          $ exact_budget_t $ deadline_t $ p_ckpt_t $ p_rec_t $ max_failures_t)
 
 (* ---- solve (special structures) ---- *)
 

@@ -76,4 +76,11 @@ let evaluate ?lost model g sched =
 
 let expected_makespan ?lost model g sched = (evaluate ?lost model g sched).makespan
 
-let ratio model g sched = expected_makespan model g sched /. fail_free_time g
+let ratio model g sched =
+  let m = expected_makespan model g sched in
+  let tinf = fail_free_time g in
+  (* zero-total-weight DAGs: T_inf = 0 and the naive quotient is NaN (0/0)
+     or spurious inf; a schedule doing no work in no time is a ratio-1
+     execution, anything slower (checkpoint or downtime costs) degrades
+     infinitely *)
+  if tinf > 0. then m /. tinf else if m = 0. then 1. else Float.infinity

@@ -51,4 +51,7 @@ val fail_free_time : Wfc_dag.Dag.t -> float
 val ratio :
   Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> Schedule.t -> float
 (** [ratio model g s] is [expected_makespan model g s /. fail_free_time g],
-    the quantity plotted by every figure of the paper. *)
+    the quantity plotted by every figure of the paper. Degenerate
+    zero-total-weight DAGs never produce NaN: when [fail_free_time g = 0.]
+    the ratio is [1.] if the expected makespan is also zero and [infinity]
+    otherwise (checkpoint or recovery overhead on zero work). *)

@@ -3,7 +3,8 @@ type solution = { schedule : Schedule.t; makespan : float; nodes : int }
 exception Node_budget_exceeded
 
 let optimal_checkpoints_within ?(max_nodes = 1_000_000)
-    ?(should_stop = fun () -> false) model g ~order =
+    ?(should_stop = fun () -> false)
+    ?(backend = Eval_engine.Incremental) model g ~order =
   if not (Wfc_dag.Dag.is_linearization g order) then
     invalid_arg "Exact_solver.optimal_checkpoints: invalid order";
   let n = Array.length order in
@@ -19,16 +20,34 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
   done;
   let flags = Array.make n false in
   (* E[X_j] for j < i only depends on flags at positions < i, so evaluating
-     with the suffix left untouched yields exact prefix costs *)
+     with the suffix left untouched yields exact prefix costs. The engine
+     backend keeps an incremental cursor over the search tree's flags: a
+     child evaluation at depth i then only re-runs position i instead of a
+     full evaluation, O(n) per node. *)
+  let engine =
+    match backend with
+    | Eval_engine.Naive -> None
+    | Eval_engine.Incremental -> Some (Eval_engine.create model g ~order)
+  in
+  let set_flag p b =
+    flags.(order.(p)) <- b;
+    match engine with
+    | None -> ()
+    | Some e -> Eval_engine.set_flag_at e ~pos:p b
+  in
   let prefix_cost upto =
-    let r =
-      Evaluator.evaluate model g (Schedule.make g ~order ~checkpointed:flags)
-    in
-    let acc = ref 0. in
-    for j = 0 to upto - 1 do
-      acc := !acc +. r.Evaluator.per_position.(j)
-    done;
-    !acc
+    match engine with
+    | Some e -> Eval_engine.prefix_makespan e ~upto
+    | None ->
+        let r =
+          Evaluator.evaluate model g
+            (Schedule.make g ~order ~checkpointed:flags)
+        in
+        let acc = ref 0. in
+        for j = 0 to upto - 1 do
+          acc := !acc +. r.Evaluator.per_position.(j)
+        done;
+        !acc
   in
   (* warm start: best searched heuristic as the incumbent *)
   let incumbent_flags = ref (Array.make n false) in
@@ -67,11 +86,10 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
       end
     end
     else begin
-      let v = order.(i) in
       (* evaluate both children, then explore the cheaper one first: good
          incumbents early tighten the pruning *)
       let child b =
-        flags.(v) <- b;
+        set_flag i b;
         prefix_cost (i + 1)
       in
       let cost_true = child true in
@@ -83,22 +101,25 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
       List.iter
         (fun (b, c) ->
           if c +. tail.(i + 1) < !incumbent -. 1e-12 then begin
-            flags.(v) <- b;
+            set_flag i b;
             go (i + 1) c
           end)
         ordered;
-      flags.(v) <- false
+      set_flag i false
     end
   in
   let status = match go 0 0. with () -> `Optimal | exception Stop -> `Budget_exhausted in
-  ( {
-      schedule = Schedule.make g ~order ~checkpointed:!incumbent_flags;
-      makespan = !incumbent;
-      nodes = !nodes;
-    },
-    status )
+  let schedule = Schedule.make g ~order ~checkpointed:!incumbent_flags in
+  let makespan =
+    (* engine leaf costs differ from the oracle by rearrangement ulps; the
+       reported value is always the oracle's *)
+    match engine with
+    | None -> !incumbent
+    | Some _ -> Evaluator.expected_makespan model g schedule
+  in
+  ({ schedule; makespan; nodes = !nodes }, status)
 
-let optimal_checkpoints ?max_nodes model g ~order =
-  match optimal_checkpoints_within ?max_nodes model g ~order with
+let optimal_checkpoints ?max_nodes ?backend model g ~order =
+  match optimal_checkpoints_within ?max_nodes ?backend model g ~order with
   | sol, `Optimal -> sol
   | _, `Budget_exhausted -> raise Node_budget_exceeded

@@ -26,6 +26,7 @@ exception Node_budget_exceeded
 val optimal_checkpoints_within :
   ?max_nodes:int ->
   ?should_stop:(unit -> bool) ->
+  ?backend:Eval_engine.backend ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->
@@ -38,10 +39,17 @@ val optimal_checkpoints_within :
     incumbent is never worse than the warm-start heuristics, hence always a
     finite, valid schedule. [`Optimal] certifies the search completed.
 
+    [backend] (default [Incremental]) selects how prefix costs are computed:
+    an {!Eval_engine} cursor tracking the tree's flag assignments
+    ({!Eval_engine.prefix_makespan} — [O(n)] per node) or a full
+    {!Evaluator.evaluate} per child. The reported makespan is an oracle value
+    in both cases.
+
     @raise Invalid_argument if [order] is not a linearization of [g]. *)
 
 val optimal_checkpoints :
   ?max_nodes:int ->
+  ?backend:Eval_engine.backend ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->

@@ -136,7 +136,8 @@ type outcome = {
   evaluations : int;
 }
 
-let run ?(search = Exhaustive) ?rand model g ~lin ~ckpt =
+let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand model
+    g ~lin ~ckpt =
   let order = Wfc_dag.Linearize.run ?rand lin g in
   let evaluate flags =
     let sched = Schedule.make g ~order ~checkpointed:flags in
@@ -156,23 +157,50 @@ let run ?(search = Exhaustive) ?rand model g ~lin ~ckpt =
       let n = Wfc_dag.Dag.n_tasks g in
       let counts = candidate_counts search ~n in
       let counts = if counts = [] then [ 0 ] else counts in
-      let best = ref None and evaluations = ref 0 in
-      List.iter
-        (fun n_ckpt ->
-          let flags = checkpoint_flags ckpt g ~order ~n_ckpt in
-          let schedule, makespan = evaluate flags in
-          incr evaluations;
-          match !best with
-          | Some (_, m, _) when m <= makespan -> ()
-          | _ -> best := Some (schedule, makespan, n_ckpt))
-        counts;
-      let schedule, makespan, n_ckpt = Option.get !best in
-      { schedule; makespan; n_ckpt; evaluations = !evaluations }
+      let evaluations = ref 0 in
+      let best_flags, best_n_ckpt =
+        match backend with
+        | Eval_engine.Naive ->
+            let best = ref None in
+            List.iter
+              (fun n_ckpt ->
+                let flags = checkpoint_flags ckpt g ~order ~n_ckpt in
+                let m = snd (evaluate flags) in
+                incr evaluations;
+                match !best with
+                | Some (_, bm, _) when bm <= m -> ()
+                | _ -> best := Some (flags, m, n_ckpt))
+              counts;
+            let flags, _, n_ckpt = Option.get !best in
+            (flags, n_ckpt)
+        | Eval_engine.Incremental ->
+            (* one engine across the sweep: consecutive candidate flag
+               vectors differ in a handful of tasks, so each step costs a
+               suffix re-evaluation instead of a full one *)
+            let engine = Eval_engine.create model g ~order in
+            let best = ref None in
+            List.iter
+              (fun n_ckpt ->
+                let flags = checkpoint_flags ckpt g ~order ~n_ckpt in
+                Eval_engine.set_flags engine flags;
+                let m = Eval_engine.makespan engine in
+                incr evaluations;
+                match !best with
+                | Some (_, bm, _) when bm <= m -> ()
+                | _ -> best := Some (flags, m, n_ckpt))
+              counts;
+            let flags, _, n_ckpt = Option.get !best in
+            (flags, n_ckpt)
+      in
+      (* the winner is re-evaluated through Evaluator so the reported
+         makespan is the oracle's, whichever backend searched *)
+      let schedule, makespan = evaluate best_flags in
+      { schedule; makespan; n_ckpt = best_n_ckpt; evaluations = !evaluations }
 
-let best_over_linearizations ?search ?rand model g ~ckpt =
+let best_over_linearizations ?search ?backend ?rand model g ~ckpt =
   let outcomes =
     List.map
-      (fun lin -> (lin, run ?search ?rand model g ~lin ~ckpt))
+      (fun lin -> (lin, run ?search ?backend ?rand model g ~lin ~ckpt))
       Wfc_dag.Linearize.all
   in
   List.fold_left

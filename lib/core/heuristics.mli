@@ -56,12 +56,16 @@ val checkpoint_flags :
 type outcome = {
   schedule : Schedule.t;
   makespan : float;
+      (** always an {!Evaluator.expected_makespan} value: when the engine
+          backend searched, the winner is re-evaluated once through the
+          oracle *)
   n_ckpt : int;  (** the best checkpoint budget found *)
-  evaluations : int;  (** number of evaluator calls performed *)
+  evaluations : int;  (** number of candidate evaluations performed *)
 }
 
 val run :
   ?search:search ->
+  ?backend:Eval_engine.backend ->
   ?rand:(int -> int) ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
@@ -70,10 +74,13 @@ val run :
   outcome
 (** [run model g ~lin ~ckpt] linearizes [g] with [lin] then optimizes the
     checkpoint placement with [ckpt]. [search] defaults to [Exhaustive];
+    [backend] (default [Incremental]) selects whether the [N]-sweep is
+    evaluated through {!Eval_engine} or one {!Evaluator} call per candidate;
     [rand] seeds the RF linearization. *)
 
 val best_over_linearizations :
   ?search:search ->
+  ?backend:Eval_engine.backend ->
   ?rand:(int -> int) ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->

@@ -6,41 +6,82 @@ type result = {
   flips : int;
 }
 
-let improve ?(max_evaluations = 4000) model g seed =
+let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
+    model g seed =
   let n = Schedule.n_tasks seed in
   let flags = Array.init n (Schedule.is_checkpointed seed) in
   let order = Array.init n (Schedule.task_at seed) in
   let evaluations = ref 0 in
-  let evaluate () =
-    incr evaluations;
-    Evaluator.expected_makespan model g
-      (Schedule.make g ~order ~checkpointed:flags)
-  in
-  let initial_makespan = evaluate () in
-  let best = ref initial_makespan in
   let flips = ref 0 in
-  let improved = ref true in
-  while !improved && !evaluations < max_evaluations do
-    improved := false;
-    (* sweep in execution order: early flags influence everything after *)
-    Array.iter
-      (fun v ->
-        if !evaluations < max_evaluations then begin
-          flags.(v) <- not flags.(v);
-          let m = evaluate () in
-          if m < !best -. (1e-12 *. Float.abs !best) then begin
-            best := m;
-            incr flips;
-            improved := true
-          end
-          else flags.(v) <- not flags.(v)
-        end)
-      order
-  done;
-  {
-    schedule = Schedule.make g ~order ~checkpointed:flags;
-    makespan = !best;
-    initial_makespan;
-    evaluations = !evaluations;
-    flips = !flips;
-  }
+  match backend with
+  | Eval_engine.Naive ->
+      let evaluate () =
+        incr evaluations;
+        Evaluator.expected_makespan model g
+          (Schedule.make g ~order ~checkpointed:flags)
+      in
+      let initial_makespan = evaluate () in
+      let best = ref initial_makespan in
+      let improved = ref true in
+      while !improved && !evaluations < max_evaluations do
+        improved := false;
+        (* sweep in execution order: early flags influence everything after *)
+        Array.iter
+          (fun v ->
+            if !evaluations < max_evaluations then begin
+              flags.(v) <- not flags.(v);
+              let m = evaluate () in
+              if m < !best -. (1e-12 *. Float.abs !best) then begin
+                best := m;
+                incr flips;
+                improved := true
+              end
+              else flags.(v) <- not flags.(v)
+            end)
+          order
+      done;
+      {
+        schedule = Schedule.make g ~order ~checkpointed:flags;
+        makespan = !best;
+        initial_makespan;
+        evaluations = !evaluations;
+        flips = !flips;
+      }
+  | Eval_engine.Incremental ->
+      let engine = Eval_engine.create ~flags model g ~order in
+      let initial_makespan =
+        Evaluator.expected_makespan model g
+          (Schedule.make g ~order ~checkpointed:flags)
+      in
+      incr evaluations;
+      (* decisions run on engine values throughout; only the reported
+         makespans go through the oracle *)
+      let best = ref (Eval_engine.makespan engine) in
+      let improved = ref true in
+      while !improved && !evaluations < max_evaluations do
+        improved := false;
+        Array.iter
+          (fun v ->
+            if !evaluations < max_evaluations then begin
+              let m = Eval_engine.flip engine v in
+              incr evaluations;
+              if m < !best -. (1e-12 *. Float.abs !best) then begin
+                best := m;
+                flags.(v) <- not flags.(v);
+                incr flips;
+                improved := true
+              end
+              else
+                (* lazy revert: marks the same suffix dirty again without
+                   forcing a re-evaluation *)
+                Eval_engine.set_flags engine flags
+            end)
+          order
+      done;
+      let schedule = Schedule.make g ~order ~checkpointed:flags in
+      let makespan =
+        if !flips = 0 then initial_makespan
+        else Evaluator.expected_makespan model g schedule
+      in
+      { schedule; makespan; initial_makespan; evaluations = !evaluations;
+        flips = !flips }

@@ -17,6 +17,7 @@ type result = {
 
 val improve :
   ?max_evaluations:int ->
+  ?backend:Eval_engine.backend ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Schedule.t ->
@@ -25,4 +26,9 @@ val improve :
     checkpoint flags of [s] (the linearization is kept): repeatedly sweep all
     tasks, flip any single flag that lowers the expected makespan, until a
     full sweep yields no improvement or [max_evaluations] (default [4000])
-    evaluator calls have been spent. The result never degrades the seed. *)
+    evaluator calls have been spent. The result never degrades the seed.
+
+    [backend] (default [Incremental]) selects how candidate flips are
+    evaluated: through {!Eval_engine.flip} — each flip then costs a suffix
+    re-evaluation instead of a full one — or through one {!Evaluator} call
+    per flip. Reported makespans are oracle values in both cases. *)

@@ -2,41 +2,51 @@ type t = { lost : float array array (* lost.(k).(i), 0 <= k <= i < n *) }
 
 let n_positions t = Array.length t.lost
 
+(* One row k of the replay matrix: row.(i - k) <- W^i_k + R^i_k for
+   i = k..n-1. [replayed] is scratch of length n, reset here: a task charged
+   at some position is in memory for all later positions (no further failure
+   until X_i ends). Shared with Eval_engine so incremental row refreshes are
+   bit-identical to a from-scratch {!compute}. *)
+let compute_row_into g ~order ~pos ~checkpointed ~weight ~recovery ~replayed ~k
+    row =
+  let n = Array.length order in
+  Array.fill replayed 0 n false;
+  for i = k to n - 1 do
+    let acc = ref 0. in
+    let rec visit v =
+      Array.iter
+        (fun u ->
+          (* predecessors at positions >= k ran after the last failure, so
+             their output is in memory *)
+          if pos.(u) < k && not replayed.(u) then begin
+            replayed.(u) <- true;
+            if checkpointed.(u) then acc := !acc +. recovery.(u)
+            else begin
+              acc := !acc +. weight.(u);
+              visit u
+            end
+          end)
+        (Wfc_dag.Dag.preds_array g v)
+    in
+    visit order.(i);
+    row.(i - k) <- !acc
+  done
+
 let compute g sched =
   let n = Schedule.n_tasks sched in
+  let order = sched.Schedule.order in
   let pos = Array.make n (-1) in
-  Array.iteri (fun p v -> pos.(v) <- p) sched.Schedule.order;
+  Array.iteri (fun p v -> pos.(v) <- p) order;
   let weight = Array.init n (fun v -> (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight) in
   let recovery =
     Array.init n (fun v -> (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost)
   in
+  let checkpointed = sched.Schedule.checkpointed in
   let lost = Array.init n (fun k -> Array.make (n - k) 0.) in
-  (* [replayed] is reset for each k: a task charged at some position is in
-     memory for all later positions (no further failure until X_i ends). *)
   let replayed = Array.make n false in
   for k = 0 to n - 1 do
-    Array.fill replayed 0 n false;
-    for i = k to n - 1 do
-      let acc = ref 0. in
-      let rec visit v =
-        Array.iter
-          (fun u ->
-            (* predecessors at positions >= k ran after the last failure, so
-               their output is in memory *)
-            if pos.(u) < k && not replayed.(u) then begin
-              replayed.(u) <- true;
-              if Schedule.is_checkpointed sched u then
-                acc := !acc +. recovery.(u)
-              else begin
-                acc := !acc +. weight.(u);
-                visit u
-              end
-            end)
-          (Wfc_dag.Dag.preds_array g v)
-      in
-      visit (Schedule.task_at sched i);
-      lost.(k).(i - k) <- !acc
-    done
+    compute_row_into g ~order ~pos ~checkpointed ~weight ~recovery ~replayed ~k
+      lost.(k)
   done;
   { lost }
 

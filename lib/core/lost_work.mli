@@ -31,3 +31,23 @@ val replay_time : t -> last_fault:int -> position:int -> float
     @raise Invalid_argument unless [-1 <= k <= i < n]. *)
 
 val n_positions : t -> int
+
+val compute_row_into :
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  pos:int array ->
+  checkpointed:bool array ->
+  weight:float array ->
+  recovery:float array ->
+  replayed:bool array ->
+  k:int ->
+  float array ->
+  unit
+(** [compute_row_into g ~order ~pos ~checkpointed ~weight ~recovery ~replayed
+    ~k row] fills [row.(i - k)] with [W^i_k + R^i_k] for [i = k..n-1].
+    [pos] is the inverse permutation of [order]; [checkpointed], [weight] and
+    [recovery] are indexed by task id; [replayed] is caller-provided scratch
+    of length [n] (clobbered). Row [k] only depends on the checkpoint flags
+    of tasks at positions [< k] — the locality {!Eval_engine} exploits to
+    refresh single rows after a flag flip, with values bit-identical to a
+    fresh {!compute}. *)

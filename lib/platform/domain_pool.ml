@@ -1,0 +1,23 @@
+let default_domains () = Int.max 1 (Domain.recommended_domain_count () - 1)
+
+let chunks ~total ~domains =
+  if total < 0 then invalid_arg "Domain_pool.chunks: negative total";
+  if domains <= 0 then invalid_arg "Domain_pool.chunks: domains <= 0";
+  let domains = Int.max 1 (Int.min domains total) in
+  let chunk = total / domains and rem = total mod domains in
+  Array.init domains (fun i ->
+      let len = chunk + if i < rem then 1 else 0 in
+      let start = (i * chunk) + Int.min i rem in
+      (start, len))
+
+let run ~domains worker =
+  if domains <= 0 then invalid_arg "Domain_pool.run: domains <= 0";
+  if domains = 1 then [ worker 0 ]
+  else
+    (* spawn helpers for 1..domains-1, keep slice 0 on the calling domain so
+       a single-domain split never pays a spawn *)
+    let handles =
+      List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    let first = worker 0 in
+    first :: List.map Domain.join handles

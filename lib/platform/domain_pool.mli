@@ -1,0 +1,26 @@
+(** Minimal fork-join helper over OCaml 5 domains.
+
+    Callers split deterministic work into per-domain slices (each slice
+    deriving its own RNG stream or engine state from the slice index), so
+    results are independent of the parallelism degree; this module only
+    owns the spawn/join choreography. Used by {!Wfc_simulator.Monte_carlo}
+    and by [Wfc_core.Eval_engine.batch_evaluate]. *)
+
+val default_domains : unit -> int
+(** [recommended_domain_count () - 1] (one domain is the caller), at
+    least 1. *)
+
+val chunks : total:int -> domains:int -> (int * int) array
+(** [chunks ~total ~domains] splits [0..total-1] into at most [domains]
+    contiguous [(start, length)] slices whose lengths differ by at most
+    one. Returns fewer slices when [total < domains]; slices are never
+    empty unless [total = 0].
+
+    @raise Invalid_argument if [total < 0] or [domains <= 0]. *)
+
+val run : domains:int -> (int -> 'a) -> 'a list
+(** [run ~domains worker] evaluates [worker i] for [i = 0..domains-1],
+    slice 0 on the calling domain and the rest on spawned domains, and
+    returns the results in slice order.
+
+    @raise Invalid_argument if [domains <= 0]. *)

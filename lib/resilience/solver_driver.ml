@@ -13,6 +13,7 @@ type config = {
   search : Heuristics.search;
   fallbacks : (Wfc_dag.Linearize.strategy * Heuristics.ckpt_strategy) list;
   ls_evaluations : int;
+  backend : Eval_engine.backend;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     max_nodes = 1_000_000;
     deadline = None;
     search = Heuristics.Exhaustive;
+    backend = Eval_engine.Incremental;
     fallbacks =
       List.map
         (fun ckpt -> (Wfc_dag.Linearize.Depth_first, ckpt))
@@ -50,7 +52,7 @@ let solve ?(config = default_config) model g ~order =
   in
   let sol, status =
     Exact_solver.optimal_checkpoints_within ~max_nodes:config.max_nodes
-      ~should_stop model g ~order
+      ~should_stop ~backend:config.backend model g ~order
   in
   let elapsed () = Unix.gettimeofday () -. t0 in
   match status with
@@ -68,14 +70,17 @@ let solve ?(config = default_config) model g ~order =
   | `Budget_exhausted ->
       (* tier 2: refine the incumbent the truncated search left behind *)
       let ls =
-        Local_search.improve ~max_evaluations:config.ls_evaluations model g
-          sol.Exact_solver.schedule
+        Local_search.improve ~max_evaluations:config.ls_evaluations
+          ~backend:config.backend model g sol.Exact_solver.schedule
       in
       (* tier 3: the configured heuristic chain, on their own linearizations *)
       let best_fallback =
         List.fold_left
           (fun best (lin, ckpt) ->
-            let o = Heuristics.run ~search:config.search model g ~lin ~ckpt in
+            let o =
+              Heuristics.run ~search:config.search ~backend:config.backend
+                model g ~lin ~ckpt
+            in
             match best with
             | Some (_, b) when b.Heuristics.makespan <= o.Heuristics.makespan ->
                 best

@@ -29,12 +29,14 @@ type config = {
       (** heuristic chain tried on budget exhaustion, in order *)
   ls_evaluations : int;
       (** evaluator budget for hill climbing the exact incumbent *)
+  backend : Wfc_core.Eval_engine.backend;
+      (** evaluation backend threaded through every tier *)
 }
 
 val default_config : config
 (** [max_nodes = 1_000_000], [deadline = None], exhaustive search, the
     paper's four searched strategies under DF as fallbacks,
-    [ls_evaluations = 2000]. *)
+    [ls_evaluations = 2000], incremental backend. *)
 
 type result = {
   schedule : Wfc_core.Schedule.t;

@@ -158,11 +158,11 @@ type ranked = {
   report : report;
 }
 
-let rank ?runs ?domains ?max_failures ?(search = Heuristics.Exhaustive) ~seed
-    ~nominal ~scenarios g heuristics =
+let rank ?runs ?domains ?max_failures ?(search = Heuristics.Exhaustive)
+    ?backend ~seed ~nominal ~scenarios g heuristics =
   List.map
     (fun (lin, ckpt) ->
-      let outcome = Heuristics.run ~search nominal g ~lin ~ckpt in
+      let outcome = Heuristics.run ~search ?backend nominal g ~lin ~ckpt in
       let report =
         evaluate ?runs ?domains ?max_failures ~seed ~nominal ~scenarios g
           outcome.Heuristics.schedule

@@ -90,6 +90,7 @@ val rank :
   ?domains:int ->
   ?max_failures:int ->
   ?search:Wfc_core.Heuristics.search ->
+  ?backend:Wfc_core.Eval_engine.backend ->
   seed:int ->
   nominal:Wfc_platform.Failure_model.t ->
   scenarios:scenario list ->

@@ -67,22 +67,17 @@ let estimate_parallel ?(runs = 1000) ?domains ~seed model g sched =
     | Some d ->
         if d <= 0 then invalid_arg "Monte_carlo.estimate_parallel: domains <= 0";
         d
-    | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+    | None -> Wfc_platform.Domain_pool.default_domains ()
   in
   if runs <= 0 then invalid_arg "Monte_carlo.estimate_parallel: runs <= 0";
-  let domains = Int.min domains runs in
-  let chunk = runs / domains and rem = runs mod domains in
-  let worker i =
-    let runs = chunk + if i < rem then 1 else 0 in
-    (* distinct deterministic stream per domain *)
-    aggregate ~runs ~seed:(seed + (i * 0x9E3779B9)) (fun rng ->
-        Sim.run ~rng model g sched)
+  let slices = Wfc_platform.Domain_pool.chunks ~total:runs ~domains in
+  let parts =
+    Wfc_platform.Domain_pool.run ~domains:(Array.length slices) (fun i ->
+        let _, runs = slices.(i) in
+        (* distinct deterministic stream per domain *)
+        aggregate ~runs ~seed:(seed + (i * 0x9E3779B9)) (fun rng ->
+            Sim.run ~rng model g sched))
   in
-  let handles =
-    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
-  in
-  let first = worker 0 in
-  let parts = first :: List.map Domain.join handles in
   List.fold_left
     (fun acc e ->
       {

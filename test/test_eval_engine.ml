@@ -1,0 +1,376 @@
+(* Differential test harness for the incremental evaluation engine: after any
+   interleaving of flips, batch assignments, rollbacks and commits, the
+   engine's makespan must agree with Evaluator.expected_makespan on the
+   materialized schedule. The oracle stays the single source of truth; the
+   engine earns its keep purely on speed. *)
+
+open Wfc_core
+module Builders = Wfc_dag.Builders
+module FM = Wfc_platform.Failure_model
+
+let rel_close a b =
+  (* 1e-9 relative: the engine's expm1 rearrangement costs a few ulps, not
+     more *)
+  Wfc_test_util.close ~eps:1e-9 a b
+
+let oracle model g ~order flags =
+  Evaluator.expected_makespan model g
+    (Schedule.make g ~order:(Array.copy order) ~checkpointed:(Array.copy flags))
+
+let check_against_oracle ?(msg = "engine = oracle") model g ~order engine =
+  let m = Eval_engine.makespan engine in
+  let m' = oracle model g ~order (Eval_engine.flags engine) in
+  if not (rel_close m m') then
+    Alcotest.failf "%s: engine %.17g oracle %.17g" msg m m'
+
+(* ---- differential qcheck suite ---- *)
+
+type op =
+  | Flip of int
+  | Set_all of bool array
+  | Rollback
+  | Commit
+  | Prefix of int
+
+let gen_scenario =
+  let open QCheck2.Gen in
+  let* g = Wfc_test_util.gen_dag ~max_n:9 () in
+  let n = Wfc_dag.Dag.n_tasks g in
+  let* model_idx = int_range 0 (List.length Wfc_test_util.models - 1) in
+  let* ops =
+    list_size (int_range 1 25)
+      (frequency
+         [
+           (6, map (fun v -> Flip v) (int_range 0 (n - 1)));
+           (2, map (fun f -> Set_all f) (array_repeat n bool));
+           (1, return Rollback);
+           (1, return Commit);
+           (2, map (fun i -> Prefix i) (int_range 0 n));
+         ])
+  in
+  return (g, model_idx, ops)
+
+let print_scenario (g, model_idx, ops) =
+  Format.asprintf "%a model#%d ops[%s]" Wfc_dag.Dag.pp_stats g model_idx
+    (String.concat "; "
+       (List.map
+          (function
+            | Flip v -> Printf.sprintf "flip %d" v
+            | Set_all f ->
+                Printf.sprintf "set %s"
+                  (String.concat ""
+                     (List.map (fun b -> if b then "1" else "0")
+                        (Array.to_list f)))
+            | Rollback -> "rollback"
+            | Commit -> "commit"
+            | Prefix i -> Printf.sprintf "prefix %d" i)
+          ops))
+
+let run_scenario (g, model_idx, ops) =
+  let model = List.nth Wfc_test_util.models model_idx in
+  let order = Wfc_dag.Dag.topological_order g in
+  let engine = Eval_engine.create model g ~order in
+  let committed = ref (Array.make (Wfc_dag.Dag.n_tasks g) false) in
+  List.iter
+    (fun op ->
+      (match op with
+      | Flip v -> ignore (Eval_engine.flip engine v)
+      | Set_all f -> Eval_engine.set_flags engine f
+      | Rollback -> Eval_engine.rollback engine
+      | Commit ->
+          Eval_engine.commit engine;
+          committed := Eval_engine.flags engine
+      | Prefix upto ->
+          (* the partial-evaluation cursor must not corrupt later full
+             queries; also pin its value against the oracle's prefix sums *)
+          let p = Eval_engine.prefix_makespan engine ~upto in
+          let r =
+            Evaluator.evaluate model g
+              (Schedule.make g ~order:(Array.copy order)
+                 ~checkpointed:(Eval_engine.flags engine))
+          in
+          let acc = ref 0. in
+          for j = 0 to upto - 1 do
+            acc := !acc +. r.Evaluator.per_position.(j)
+          done;
+          if not (rel_close p !acc) then
+            Alcotest.failf "prefix %d: engine %.17g oracle %.17g" upto p !acc);
+      (match op with
+      | Rollback ->
+          if Eval_engine.flags engine <> !committed then
+            Alcotest.fail "rollback did not restore committed flags"
+      | _ -> ());
+      check_against_oracle model g ~order engine)
+    ops;
+  true
+
+let differential =
+  Wfc_test_util.qtest ~count:500 "any flip/set/rollback interleaving = oracle"
+    gen_scenario print_scenario run_scenario
+
+(* per-position and fault-probability vectors must agree with the oracle's
+   too, not just their sum *)
+let vectors_against_oracle =
+  Wfc_test_util.qtest ~count:200 "per-position and fault vectors = oracle"
+    gen_scenario print_scenario (fun (g, model_idx, ops) ->
+      let model = List.nth Wfc_test_util.models model_idx in
+      let order = Wfc_dag.Dag.topological_order g in
+      let engine = Eval_engine.create model g ~order in
+      List.iter
+        (function
+          | Flip v -> ignore (Eval_engine.flip engine v)
+          | Set_all f -> Eval_engine.set_flags engine f
+          | Rollback -> Eval_engine.rollback engine
+          | Commit -> Eval_engine.commit engine
+          | Prefix _ -> ())
+        ops;
+      let r =
+        Evaluator.evaluate model g
+          (Schedule.make g ~order:(Array.copy order)
+             ~checkpointed:(Eval_engine.flags engine))
+      in
+      let pp = Eval_engine.per_position engine in
+      let fp = Eval_engine.fault_probability engine in
+      Array.iteri
+        (fun i e ->
+          if not (Wfc_test_util.close ~eps:1e-9 e r.Evaluator.per_position.(i))
+          then
+            Alcotest.failf "per_position.(%d): %.17g <> %.17g" i e
+              r.Evaluator.per_position.(i))
+        pp;
+      Array.iteri
+        (fun i p ->
+          if
+            not
+              (Wfc_test_util.close ~eps:1e-9 p r.Evaluator.fault_probability.(i))
+          then
+            Alcotest.failf "fault_probability.(%d): %.17g <> %.17g" i p
+              r.Evaluator.fault_probability.(i))
+        fp;
+      true)
+
+(* ---- structured fixed cases ---- *)
+
+let flip_walk model g =
+  let order = Wfc_dag.Dag.topological_order g in
+  let n = Wfc_dag.Dag.n_tasks g in
+  let engine = Eval_engine.create model g ~order in
+  check_against_oracle ~msg:"initial" model g ~order engine;
+  (* walk every single flip on and off, then a rolling wave *)
+  for v = 0 to n - 1 do
+    ignore (Eval_engine.flip engine v);
+    check_against_oracle ~msg:(Printf.sprintf "flip on %d" v) model g ~order
+      engine
+  done;
+  for v = n - 1 downto 0 do
+    ignore (Eval_engine.flip engine v);
+    check_against_oracle ~msg:(Printf.sprintf "flip off %d" v) model g ~order
+      engine
+  done
+
+let test_chain () =
+  let g =
+    Builders.chain
+      ~weights:[| 6.; 2.; 8.; 4.; 5.; 3. |]
+      ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+      ~recovery_cost:(fun _ w -> 0.15 *. w)
+      ()
+  in
+  List.iter (fun model -> flip_walk model g) Wfc_test_util.models
+
+let test_fork_and_join () =
+  let fork =
+    Builders.fork ~source_weight:5. ~sink_weights:[| 1.; 2.; 3.; 4. |]
+      ~checkpoint_cost:(fun _ w -> 0.3 *. w)
+      ~recovery_cost:(fun _ w -> 0.3 *. w)
+      ()
+  in
+  let join =
+    Builders.join
+      ~source_weights:[| 4.; 3.; 2.; 1. |]
+      ~sink_weight:6.
+      ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+      ~recovery_cost:(fun _ w -> 0.1 *. w)
+      ()
+  in
+  List.iter
+    (fun model ->
+      flip_walk model fork;
+      flip_walk model join)
+    Wfc_test_util.models
+
+let test_single_task () =
+  let g = Builders.chain ~weights:[| 7. |] ~checkpoint_cost:(fun _ _ -> 1.5) () in
+  List.iter (fun model -> flip_walk model g) Wfc_test_util.models
+
+let test_lambda_zero () =
+  (* failure-free platform: makespan is exactly the flagged work sum *)
+  let g =
+    Builders.chain
+      ~weights:[| 2.; 3.; 4. |]
+      ~checkpoint_cost:(fun _ _ -> 0.5)
+      ()
+  in
+  let model = FM.make ~lambda:0. () in
+  let order = [| 0; 1; 2 |] in
+  let engine = Eval_engine.create model g ~order in
+  Alcotest.(check (float 1e-12)) "no flags" 9. (Eval_engine.makespan engine);
+  ignore (Eval_engine.flip engine 1);
+  Alcotest.(check (float 1e-12)) "one flag" 9.5 (Eval_engine.makespan engine);
+  Eval_engine.set_flags engine [| true; true; true |];
+  Alcotest.(check (float 1e-12)) "all flags" 10.5 (Eval_engine.makespan engine)
+
+let test_rollback_is_bitwise () =
+  (* same flags reached by different paths give bit-identical makespans *)
+  let g =
+    Builders.fork_join ~source_weight:4. ~middle_weights:[| 2.; 6. |]
+      ~sink_weight:3.
+      ~checkpoint_cost:(fun _ w -> 0.25 *. w)
+      ()
+  in
+  let model = FM.make ~lambda:0.05 ~downtime:0.3 () in
+  let order = Wfc_dag.Dag.topological_order g in
+  let engine = Eval_engine.create model g ~order in
+  let m0 = Eval_engine.makespan engine in
+  Eval_engine.commit engine;
+  ignore (Eval_engine.flip engine 0);
+  ignore (Eval_engine.flip engine 2);
+  Eval_engine.rollback engine;
+  Alcotest.(check (float 0.)) "rollback restores bitwise" m0
+    (Eval_engine.makespan engine);
+  let fresh = Eval_engine.create model g ~order in
+  ignore (Eval_engine.flip fresh 3);
+  ignore (Eval_engine.flip engine 3);
+  Alcotest.(check (float 0.)) "path-independent" (Eval_engine.makespan fresh)
+    (Eval_engine.makespan engine)
+
+let test_prefix_cursor () =
+  (* mimic the branch-and-bound access pattern: assign flags left to right,
+     asking only for prefix costs, with backtracking *)
+  let g =
+    let rng = Wfc_platform.Rng.create 11 in
+    Builders.layered
+      ~rand:(fun b -> Wfc_platform.Rng.int rng b)
+      ~n_layers:3
+      ~layer_width:(fun l -> if l = 1 then 3 else 2)
+      ~weight:(fun i -> 2. +. float_of_int (i mod 3))
+      ~checkpoint_cost:(fun _ _ -> 0.7)
+      ~recovery_cost:(fun _ _ -> 0.4)
+      ()
+  in
+  let model = FM.make ~lambda:0.08 ~downtime:0.1 () in
+  let order = Wfc_dag.Dag.topological_order g in
+  let n = Array.length order in
+  let engine = Eval_engine.create model g ~order in
+  let flags = Array.make n false in
+  let oracle_prefix upto =
+    let r =
+      Evaluator.evaluate model g
+        (Schedule.make g ~order:(Array.copy order)
+           ~checkpointed:(Array.copy flags))
+    in
+    let acc = ref 0. in
+    for j = 0 to upto - 1 do
+      acc := !acc +. r.Evaluator.per_position.(j)
+    done;
+    !acc
+  in
+  let check_prefix upto =
+    let p = Eval_engine.prefix_makespan engine ~upto in
+    if not (rel_close p (oracle_prefix upto)) then
+      Alcotest.failf "prefix %d: engine %.17g oracle %.17g" upto p
+        (oracle_prefix upto)
+  in
+  (* depth-first walk over a few branches, as the solver would *)
+  let rec walk i =
+    if i < n then begin
+      List.iter
+        (fun b ->
+          flags.(order.(i)) <- b;
+          Eval_engine.set_flag_at engine ~pos:i b;
+          check_prefix (i + 1);
+          if i < 3 then walk (i + 1))
+        [ true; false ]
+    end
+  in
+  walk 0;
+  check_prefix n
+
+(* ---- batch evaluation ---- *)
+
+let test_batch_matches_oracle_and_split () =
+  let g =
+    Builders.fork_join ~source_weight:2. ~middle_weights:[| 3.; 1.; 4. |]
+      ~sink_weight:2.
+      ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+      ()
+  in
+  let model = FM.make ~lambda:0.06 ~downtime:0.2 () in
+  let order = Wfc_dag.Dag.topological_order g in
+  let n = Array.length order in
+  let rng = Wfc_platform.Rng.create 7 in
+  let candidates =
+    List.init 23 (fun _ ->
+        Array.init n (fun _ -> Wfc_platform.Rng.int rng 2 = 0))
+  in
+  let results = Eval_engine.batch_evaluate ~domains:1 model g ~order candidates in
+  List.iter2
+    (fun flags m ->
+      let m' = oracle model g ~order flags in
+      if not (rel_close m m') then
+        Alcotest.failf "batch vs oracle: %.17g <> %.17g" m m')
+    candidates results;
+  (* bit-identical whatever the parallelism degree *)
+  List.iter
+    (fun domains ->
+      let r = Eval_engine.batch_evaluate ~domains model g ~order candidates in
+      if not (List.for_all2 (fun a b -> a = b) results r) then
+        Alcotest.failf "batch not deterministic at %d domains" domains)
+    [ 2; 3; 5; 64 ]
+
+(* ---- validation ---- *)
+
+let test_validation () =
+  let g = Builders.chain ~weights:[| 1.; 2. |] () in
+  let model = FM.make ~lambda:0.1 () in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Eval_engine.create model g ~order:[| 1; 0 |]);
+  expect_invalid (fun () ->
+      Eval_engine.create ~flags:[| true |] model g ~order:[| 0; 1 |]);
+  let engine = Eval_engine.create model g ~order:[| 0; 1 |] in
+  expect_invalid (fun () -> Eval_engine.flip engine 2);
+  expect_invalid (fun () -> Eval_engine.prefix_makespan engine ~upto:3);
+  expect_invalid (fun () -> Eval_engine.set_flag_at engine ~pos:(-1) false);
+  expect_invalid (fun () -> Eval_engine.set_flags engine [| true |]);
+  expect_invalid (fun () ->
+      Eval_engine.batch_evaluate ~domains:0 model g ~order:[| 0; 1 |]
+        [ [| false; false |] ])
+
+let () =
+  Alcotest.run "eval_engine"
+    [
+      ( "differential",
+        [ differential; vectors_against_oracle ] );
+      ( "structures",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "fork and join" `Quick test_fork_and_join;
+          Alcotest.test_case "single task" `Quick test_single_task;
+          Alcotest.test_case "lambda = 0" `Quick test_lambda_zero;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "rollback bitwise" `Quick test_rollback_is_bitwise;
+          Alcotest.test_case "prefix cursor" `Quick test_prefix_cursor;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "oracle + split invariance" `Quick
+            test_batch_matches_oracle_and_split;
+        ] );
+      ("validation", [ Alcotest.test_case "arguments" `Quick test_validation ]);
+    ]

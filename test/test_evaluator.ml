@@ -252,6 +252,36 @@ let prop_probabilities_valid =
             r.Evaluator.fault_probability)
         Wfc_test_util.models)
 
+(* a zero-total-weight DAG used to make ratio return NaN (0/0); pin the
+   repaired behavior instead *)
+let test_ratio_zero_weight () =
+  let g_free =
+    Wfc_dag.Builders.chain ~weights:[| 0.; 0.; 0. |] ()
+  in
+  let order = [| 0; 1; 2 |] in
+  let m = Wfc_platform.Failure_model.make ~lambda:0.1 ~downtime:1. () in
+  Alcotest.(check (float 0.)) "no work, no overhead: ratio 1" 1.
+    (Evaluator.ratio m g_free (Schedule.no_checkpoints g_free ~order));
+  let g_ckpt =
+    Wfc_dag.Builders.chain ~weights:[| 0.; 0.; 0. |]
+      ~checkpoint_cost:(fun _ _ -> 2.)
+      ~recovery_cost:(fun _ _ -> 1.)
+      ()
+  in
+  let all = Schedule.make g_ckpt ~order ~checkpointed:[| true; true; true |] in
+  Alcotest.(check bool) "overhead on zero work: infinite ratio" true
+    (Evaluator.ratio m g_ckpt all = Float.infinity);
+  (* and never NaN in either case *)
+  Alcotest.(check bool) "never NaN" false
+    (Float.is_nan (Evaluator.ratio m g_free (Schedule.no_checkpoints g_free ~order))
+    || Float.is_nan (Evaluator.ratio m g_ckpt all));
+  (* the ordinary positive-weight path is untouched *)
+  let g = Wfc_dag.Builders.chain ~weights:[| 2.; 3. |] () in
+  let s = Schedule.no_checkpoints g ~order:[| 0; 1 |] in
+  Wfc_test_util.check_close "positive weights unchanged"
+    (Evaluator.expected_makespan m g s /. 5.)
+    (Evaluator.ratio m g s)
+
 let () =
   Alcotest.run "evaluator"
     [
@@ -277,6 +307,8 @@ let () =
           Alcotest.test_case "Figure 1 sanity" `Quick test_figure1_example_sanity;
           Alcotest.test_case "cached lost work" `Quick
             test_reuses_precomputed_lost_work;
+          Alcotest.test_case "ratio on zero weight" `Quick
+            test_ratio_zero_weight;
           prop_at_least_fail_free;
           prop_fail_free_exact;
           prop_probabilities_valid;

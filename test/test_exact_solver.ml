@@ -150,6 +150,35 @@ let test_bnb_fail_free () =
     (Schedule.checkpoint_count sol.Exact_solver.schedule);
   Wfc_test_util.check_close "T_inf" 6. sol.Exact_solver.makespan
 
+(* cursor-backed branch and bound must visit the same tree and land on the
+   same optimum as the naive prefix evaluation *)
+let test_backend_invariance () =
+  let module P = Wfc_workflows.Pegasus in
+  let module CM = Wfc_workflows.Cost_model in
+  let model = FM.make ~lambda:5e-3 ~downtime:0.5 () in
+  List.iter
+    (fun (family, n, seed) ->
+      let g = CM.apply (CM.Proportional 0.1) (P.generate family ~n ~seed) in
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let naive, st_n =
+        Exact_solver.optimal_checkpoints_within ~backend:Eval_engine.Naive
+          model g ~order
+      in
+      let engine, st_e =
+        Exact_solver.optimal_checkpoints_within
+          ~backend:Eval_engine.Incremental model g ~order
+      in
+      Alcotest.(check bool) "both optimal" true
+        (st_n = `Optimal && st_e = `Optimal);
+      Alcotest.(check bool) "same flags" true
+        (naive.Exact_solver.schedule.Schedule.checkpointed
+        = engine.Exact_solver.schedule.Schedule.checkpointed);
+      Alcotest.(check (float 0.)) "same makespan" naive.Exact_solver.makespan
+        engine.Exact_solver.makespan;
+      Alcotest.(check int) "same nodes" naive.Exact_solver.nodes
+        engine.Exact_solver.nodes)
+    [ (P.Montage, 14, 5); (P.Ligo, 12, 9); (P.Genome, 16, 3) ]
+
 let () =
   Alcotest.run "exact_solver"
     [
@@ -167,5 +196,7 @@ let () =
           Alcotest.test_case "within budget" `Slow test_bnb_within_budget;
           Alcotest.test_case "order validation" `Quick test_bnb_validates_order;
           Alcotest.test_case "fail-free" `Quick test_bnb_fail_free;
+          Alcotest.test_case "backend invariance" `Quick
+            test_backend_invariance;
         ] );
     ]

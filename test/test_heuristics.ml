@@ -213,6 +213,90 @@ let test_heuristics_near_brute_force () =
   Alcotest.(check bool) "heuristics not better than optimal" true
     (best >= opt -. 1e-9)
 
+(* ---- candidate_counts edge cases ---- *)
+
+let test_candidate_counts_edges () =
+  (* n = 1: no positive count below n exists *)
+  List.iter
+    (fun search ->
+      Alcotest.(check (list int)) "n=1 empty" []
+        (Heuristics.candidate_counts search ~n:1))
+    [ Heuristics.Exhaustive; Heuristics.Grid 2; Heuristics.Grid 100 ];
+  (* n = 2: the only candidate is N = 1, whatever the search *)
+  List.iter
+    (fun search ->
+      Alcotest.(check (list int)) "n=2 singleton" [ 1 ]
+        (Heuristics.candidate_counts search ~n:2))
+    [ Heuristics.Exhaustive; Heuristics.Grid 2; Heuristics.Grid 100 ];
+  (* Grid 2 is the smallest accepted budget: endpoints only *)
+  Alcotest.(check (list int)) "Grid 2 endpoints" [ 1; 99 ]
+    (Heuristics.candidate_counts (Heuristics.Grid 2) ~n:100);
+  (match Heuristics.candidate_counts (Heuristics.Grid 1) ~n:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Grid 1 on large n must raise");
+  (* budget >= n - 1 degenerates to the exhaustive scan *)
+  List.iter
+    (fun budget ->
+      Alcotest.(check (list int)) "budget covers all"
+        (Heuristics.candidate_counts Heuristics.Exhaustive ~n:12)
+        (Heuristics.candidate_counts (Heuristics.Grid budget) ~n:12))
+    [ 11; 12; 1000 ];
+  (* emitted counts are unique, sorted, within [1, n-1] for many shapes *)
+  List.iter
+    (fun (budget, n) ->
+      let counts = Heuristics.candidate_counts (Heuristics.Grid budget) ~n in
+      Alcotest.(check bool) "sorted unique" true
+        (List.sort_uniq compare counts = counts);
+      Alcotest.(check bool) "in range" true
+        (List.for_all (fun c -> 1 <= c && c <= n - 1) counts))
+    [ (2, 3); (2, 1000); (3, 7); (5, 50); (16, 200); (16, 10000); (7, 9) ]
+
+(* ---- backend invariance ---- *)
+
+(* The incremental engine must not change what the search finds: same order,
+   same flags, same reported makespan (bitwise), same bookkeeping, on a
+   realistic 50-task instance. *)
+let test_backend_invariance () =
+  let module P = Wfc_workflows.Pegasus in
+  let module CM = Wfc_workflows.Cost_model in
+  let model = FM.make ~lambda:1e-3 ~downtime:1. () in
+  List.iter
+    (fun (family, seed) ->
+      let g = CM.apply (CM.Proportional 0.1) (P.generate family ~n:50 ~seed) in
+      List.iter
+        (fun ckpt ->
+          List.iter
+            (fun search ->
+              let naive =
+                Heuristics.run ~search ~backend:Eval_engine.Naive model g
+                  ~lin:Linearize.Depth_first ~ckpt
+              in
+              let engine =
+                Heuristics.run ~search ~backend:Eval_engine.Incremental model g
+                  ~lin:Linearize.Depth_first ~ckpt
+              in
+              let name = Heuristics.ckpt_strategy_name ckpt in
+              Alcotest.(check bool)
+                (name ^ " same order") true
+                (naive.Heuristics.schedule.Schedule.order
+                = engine.Heuristics.schedule.Schedule.order);
+              Alcotest.(check bool)
+                (name ^ " same flags") true
+                (naive.Heuristics.schedule.Schedule.checkpointed
+                = engine.Heuristics.schedule.Schedule.checkpointed);
+              Alcotest.(check (float 0.))
+                (name ^ " same makespan") naive.Heuristics.makespan
+                engine.Heuristics.makespan;
+              Alcotest.(check int)
+                (name ^ " same n_ckpt") naive.Heuristics.n_ckpt
+                engine.Heuristics.n_ckpt;
+              Alcotest.(check int)
+                (name ^ " same evaluations") naive.Heuristics.evaluations
+                engine.Heuristics.evaluations)
+            [ Heuristics.Exhaustive; Heuristics.Grid 8 ])
+        Heuristics.all_ckpt_strategies)
+    [ (P.Montage, 5); (P.Ligo, 9) ]
+
 let () =
   Alcotest.run "heuristics"
     [
@@ -222,6 +306,9 @@ let () =
           Alcotest.test_case "counts exhaustive" `Quick
             test_candidate_counts_exhaustive;
           Alcotest.test_case "counts grid" `Quick test_candidate_counts_grid;
+          Alcotest.test_case "counts edges" `Quick test_candidate_counts_edges;
+          Alcotest.test_case "backend invariance" `Quick
+            test_backend_invariance;
           Alcotest.test_case "flags by weight" `Quick test_flags_by_weight;
           Alcotest.test_case "flags by cost" `Quick test_flags_by_cost;
           Alcotest.test_case "flags by outweight" `Quick test_flags_by_outweight;

@@ -87,6 +87,44 @@ let test_keeps_linearization () =
       (Schedule.task_at r.Local_search.schedule p)
   done
 
+(* the engine backend must retrace the naive hill-climb exactly: same flip
+   decisions, same final schedule, same reported numbers, on realistic
+   50-task instances *)
+let test_backend_invariance () =
+  let module P = Wfc_workflows.Pegasus in
+  let module CM = Wfc_workflows.Cost_model in
+  let model = FM.make ~lambda:1e-3 ~downtime:1. () in
+  List.iter
+    (fun (family, seed, ckpt) ->
+      let g = CM.apply (CM.Proportional 0.1) (P.generate family ~n:50 ~seed) in
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let flags = Heuristics.checkpoint_flags ckpt g ~order ~n_ckpt:10 in
+      let seed_sched = Schedule.make g ~order ~checkpointed:flags in
+      let naive =
+        Local_search.improve ~backend:Eval_engine.Naive model g seed_sched
+      in
+      let engine =
+        Local_search.improve ~backend:Eval_engine.Incremental model g
+          seed_sched
+      in
+      Alcotest.(check bool) "same flags" true
+        (naive.Local_search.schedule.Schedule.checkpointed
+        = engine.Local_search.schedule.Schedule.checkpointed);
+      Alcotest.(check (float 0.)) "same makespan" naive.Local_search.makespan
+        engine.Local_search.makespan;
+      Alcotest.(check (float 0.)) "same initial"
+        naive.Local_search.initial_makespan
+        engine.Local_search.initial_makespan;
+      Alcotest.(check int) "same flips" naive.Local_search.flips
+        engine.Local_search.flips;
+      Alcotest.(check int) "same evaluations" naive.Local_search.evaluations
+        engine.Local_search.evaluations)
+    [
+      (P.Montage, 5, Heuristics.Ckpt_weight);
+      (P.Ligo, 9, Heuristics.Ckpt_never);
+      (P.Cybershake, 3, Heuristics.Ckpt_always);
+    ]
+
 let () =
   Alcotest.run "local_search"
     [
@@ -99,5 +137,7 @@ let () =
           Alcotest.test_case "improves bad seed" `Quick
             test_improves_bad_seed_on_workflow;
           Alcotest.test_case "keeps linearization" `Quick test_keeps_linearization;
+          Alcotest.test_case "backend invariance" `Quick
+            test_backend_invariance;
         ] );
     ]
