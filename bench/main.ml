@@ -7,6 +7,7 @@
           FIG=micro dune exec bench/main.exe     only the micro-benchmarks
           FIG=stress dune exec bench/main.exe    resilience stress micro-campaign
           FIG=engine dune exec bench/main.exe    incremental engine vs naive timing
+          FIG=obs dune exec bench/main.exe       observability overhead guard
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -37,12 +38,14 @@ let () =
   | Some "ablation" -> Ablation.run cfg
   | Some "stress" -> Stress.run ()
   | Some "engine" -> Engine_bench.run ()
+  | Some "obs" -> Obs_bench.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
       | None ->
           Printf.eprintf
-            "FIG must be 2..7, 'ablation', 'micro', 'stress' or 'engine'\n")
+            "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine' or \
+             'obs'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

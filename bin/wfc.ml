@@ -6,7 +6,12 @@
      schedule   compare all heuristics on one workflow
      simulate   Monte Carlo fault injection vs the analytic evaluator
      solve      optimal solvers on special structures (chain / fork / join)
-     stress     misspecification campaign ranking heuristics by tail behavior *)
+     stress     misspecification campaign ranking heuristics by tail behavior
+     profile    instrumented end-to-end workload reporting internal metrics
+
+   Every analysis subcommand also takes --metrics (print internal counters
+   after the normal output) and --trace FILE (write solver/simulator spans
+   as Chrome trace JSON, or JSONL for .jsonl paths). *)
 
 open Cmdliner
 open Wfc_core
@@ -165,6 +170,77 @@ let model mtbf downtime = FM.of_mtbf ~mtbf ~downtime ()
 let search_of_grid grid =
   if grid <= 0 then Heuristics.Exhaustive else Heuristics.Grid grid
 
+(* ---- observability (--metrics / --trace) ---- *)
+
+module Obs_metrics = Wfc_obs.Metrics
+module Obs_trace = Wfc_obs.Trace
+
+let metrics_t =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Record internal counters (engine cache hits, B&B nodes, \
+                 simulator replicas, ...) and print them after the command's \
+                 normal output.")
+
+let obs_trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record solver and simulator spans and write them to $(docv) \
+                 on exit: Chrome trace-event JSON (load in about://tracing or \
+                 Perfetto), or flat JSONL when $(docv) ends in .jsonl.")
+
+let hist_row name (h : Obs_metrics.hist_snapshot) =
+  let mean =
+    if h.Obs_metrics.hcount = 0 then 0.
+    else h.Obs_metrics.hsum /. float_of_int h.Obs_metrics.hcount
+  in
+  [ name; "histogram";
+    Printf.sprintf "n=%d mean=%.4g p50<=%.4g p99<=%.4g" h.Obs_metrics.hcount
+      mean
+      (Obs_metrics.hist_quantile h 0.5)
+      (Obs_metrics.hist_quantile h 0.99) ]
+
+(* Zero counters and empty histograms are skipped, so the table only shows
+   the machinery the command actually exercised and its rows are stable
+   enough to pin in cram tests. *)
+let metrics_rows () =
+  let s = Obs_metrics.snapshot () in
+  List.filter_map
+    (fun (name, v) ->
+      if v = 0 then None else Some [ name; "counter"; string_of_int v ])
+    s.Obs_metrics.counters
+  @ List.map
+      (fun (name, v) -> [ name; "gauge"; Printf.sprintf "%.4g" v ])
+      s.Obs_metrics.gauges
+  @ List.filter_map
+      (fun (name, h) ->
+        if h.Obs_metrics.hcount = 0 then None else Some (hist_row name h))
+      s.Obs_metrics.histograms
+
+let print_metrics () =
+  let table =
+    Wfc_reporting.Table.create ~columns:[ "metric"; "kind"; "value" ]
+  in
+  List.iter (Wfc_reporting.Table.add_row table) (metrics_rows ());
+  Wfc_reporting.Table.print table
+
+let write_trace path =
+  if Filename.check_suffix path ".jsonl" then Obs_trace.write_jsonl path
+  else Obs_trace.write_chrome path;
+  Format.printf "trace written to %s (%d events)@." path
+    (Obs_trace.event_count ())
+
+let with_obs ~metrics ~trace f =
+  Obs_metrics.set_enabled metrics;
+  if trace <> None then Obs_trace.set_enabled true;
+  let r = f () in
+  (match trace with Some path -> write_trace path | None -> ());
+  if metrics then begin
+    Format.printf "@.-- metrics --@.";
+    print_metrics ()
+  end;
+  r
+
 (* ---- generate ---- *)
 
 let generate family n seed cost dot json dax =
@@ -218,7 +294,9 @@ let generate_cmd =
 let source_name ~load family =
   match load with Some path -> path | None -> P.family_name family
 
-let evaluate family n seed cost mtbf downtime lin ckpt grid engine load save =
+let evaluate family n seed cost mtbf downtime lin ckpt grid engine load save
+    metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
   let o =
@@ -251,11 +329,14 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Expected makespan of one heuristic schedule")
     Term.(const evaluate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
-          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ save_t)
+          $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ save_t
+          $ metrics_t $ obs_trace_t)
 
 (* ---- schedule (compare heuristics) ---- *)
 
-let schedule family n seed cost mtbf downtime grid engine load extended =
+let schedule family n seed cost mtbf downtime grid engine load extended
+    metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
   let tinf = Evaluator.fail_free_time g in
@@ -305,19 +386,21 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Compare all 14 heuristics on one workflow")
     Term.(const schedule $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
-          $ downtime_t $ grid_t $ engine_t $ load_t $ extended_t)
+          $ downtime_t $ grid_t $ engine_t $ load_t $ extended_t $ metrics_t
+          $ obs_trace_t)
 
 (* ---- simulate ---- *)
 
 let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
-    weibull_shape overlap trace =
+    weibull_shape overlap events metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
   let o =
     Heuristics.run ~search:(search_of_grid grid) ~backend:engine model g ~lin
       ~ckpt
   in
-  (match trace with
+  (match events with
   | Some limit ->
       let _, events =
         Wfc_simulator.Sim_trace.run ~rng:(Wfc_platform.Rng.create seed) model g
@@ -376,7 +459,8 @@ let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
 
 let simulate_cmd =
   let runs_t =
-    Arg.(value & opt int 10_000 & info [ "runs" ] ~doc:"Number of Monte Carlo runs.")
+    Arg.(value & opt (positive_int "run count") 10_000
+         & info [ "runs" ] ~doc:"Number of Monte Carlo runs.")
   in
   let weibull_t =
     Arg.(value & opt (some float) None
@@ -391,9 +475,9 @@ let simulate_cmd =
                    background while computation slows down by $(docv) in \
                    [0,1].")
   in
-  let trace_t =
+  let events_t =
     Arg.(value & opt (some int) None
-         & info [ "trace" ] ~docv:"EVENTS"
+         & info [ "events" ] ~docv:"EVENTS"
              ~doc:"Print the first $(docv) events of one traced run before \
                    the Monte Carlo summary.")
   in
@@ -401,12 +485,13 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Monte Carlo fault injection vs the analytic evaluator")
     Term.(const simulate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
           $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ runs_t $ load_t
-          $ weibull_t $ overlap_t $ trace_t)
+          $ weibull_t $ overlap_t $ events_t $ metrics_t $ obs_trace_t)
 
 (* ---- stress (misspecification campaign) ---- *)
 
 let stress family n seed cost mtbf downtime grid engine load runs domains csv
-    exact_budget deadline p_ckpt p_rec max_failures =
+    exact_budget deadline p_ckpt p_rec max_failures metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let module Stress = Wfc_resilience.Stress in
   let module Driver = Wfc_resilience.Solver_driver in
   let g = workflow ~load family n seed cost in
@@ -633,11 +718,13 @@ let stress_cmd =
              perturbed platforms")
     Term.(const stress $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
           $ grid_t $ engine_t $ load_t $ runs_t $ domains_t $ csv_t
-          $ exact_budget_t $ deadline_t $ p_ckpt_t $ p_rec_t $ max_failures_t)
+          $ exact_budget_t $ deadline_t $ p_ckpt_t $ p_rec_t $ max_failures_t
+          $ metrics_t $ obs_trace_t)
 
 (* ---- solve (special structures) ---- *)
 
-let solve kind n seed mtbf downtime =
+let solve kind n seed mtbf downtime metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let model = model mtbf downtime in
   let rng = Wfc_platform.Rng.create seed in
   let rand b = Wfc_platform.Rng.float rng b in
@@ -690,21 +777,109 @@ let solve kind n seed mtbf downtime =
         "random join (%d + 1 tasks): optimal E[makespan] = %.2f s@.checkpointed sources: %s@."
         k sol.Join_solver.makespan
         (if chosen = [] then "(none)" else String.concat " " chosen)
-  | other -> Format.eprintf "unknown structure %S (chain, fork or join)@." other
+  | other ->
+      (* unreachable: the converter only lets the three structures through *)
+      invalid_arg ("Wfc.solve: " ^ other)
 
 let solve_cmd =
+  let structure_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | ("chain" | "fork" | "join") as k -> Ok k
+      | _ ->
+          Error
+            (`Msg (Printf.sprintf "unknown structure %S (chain, fork or join)" s))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
   let kind_t =
-    Arg.(value & pos 0 string "chain" & info [] ~docv:"STRUCTURE" ~doc:"chain, fork or join.")
+    Arg.(value & pos 0 structure_conv "chain"
+         & info [] ~docv:"STRUCTURE" ~doc:"chain, fork or join.")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Optimal solvers on special structures")
-    Term.(const solve $ kind_t $ n_t $ seed_t $ mtbf_t $ downtime_t)
+    Term.(const solve $ kind_t $ n_t $ seed_t $ mtbf_t $ downtime_t $ metrics_t
+          $ obs_trace_t)
+
+(* ---- profile (instrumented end-to-end workload) ---- *)
+
+let profile family n seed cost mtbf downtime grid engine runs budget csv trace =
+  let module Driver = Wfc_resilience.Solver_driver in
+  let g = workflow ~load:None family n seed cost in
+  let model = model mtbf downtime in
+  Obs_metrics.set_enabled true;
+  if trace <> None then Obs_trace.set_enabled true;
+  let search = search_of_grid grid in
+  (* stage 1: heuristic sweep, every checkpoint strategy on the DF order *)
+  List.iter
+    (fun ckpt ->
+      ignore
+        (Heuristics.run ~search ~backend:engine model g
+           ~lin:Linearize.Depth_first ~ckpt))
+    Heuristics.all_ckpt_strategies;
+  (* stage 2: exact tier (branch and bound), degrading gracefully when the
+     node budget runs out *)
+  let order = Linearize.run Linearize.Depth_first g in
+  let config =
+    { Driver.default_config with Driver.max_nodes = budget; search;
+      backend = engine }
+  in
+  let d = Driver.solve ~config model g ~order in
+  (* stage 3: refine the winner, then fault-inject it *)
+  let ls =
+    Local_search.improve ~max_evaluations:500 ~backend:engine model g
+      d.Driver.schedule
+  in
+  let est =
+    Wfc_simulator.Monte_carlo.estimate ~runs ~seed model g
+      ls.Local_search.schedule
+  in
+  Format.printf "profile: %s (%d tasks), %a@." (P.family_name family)
+    (Wfc_dag.Dag.n_tasks g) FM.pp model;
+  Format.printf "  driver tier %s (%s)@."
+    (Driver.tier_name d.Driver.tier) d.Driver.reason;
+  Format.printf "  E[makespan] %.2f s, simulated mean %.2f s (%d runs)@.@."
+    ls.Local_search.makespan
+    (Wfc_platform.Stats.mean est.Wfc_simulator.Monte_carlo.makespan)
+    runs;
+  (match csv with
+  | Some path ->
+      Wfc_reporting.Csv.write_file path ~header:[ "metric"; "kind"; "value" ]
+        ~rows:(metrics_rows ());
+      Format.printf "wrote %s@." path
+  | None -> print_metrics ());
+  match trace with Some path -> write_trace path | None -> ()
+
+let profile_cmd =
+  let runs_t =
+    Arg.(value & opt (positive_int "run count") 1000
+         & info [ "runs" ] ~doc:"Monte Carlo runs for the simulation stage.")
+  in
+  let budget_t =
+    Arg.(value & opt (positive_int "node budget") 200_000
+         & info [ "exact-budget" ] ~docv:"NODES"
+             ~doc:"Branch-and-bound node budget for the exact tier (the \
+                   default covers Genome n=20 to optimality).")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write the metric table as CSV to $(docv) instead of \
+                   printing it.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run an instrumented end-to-end workload (heuristics, exact \
+             search, local search, simulation) and report internal metrics")
+    Term.(const profile $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
+          $ downtime_t $ grid_t $ engine_t $ runs_t $ budget_t $ csv_t
+          $ obs_trace_t)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "wfc" ~version:"1.0.0"
        ~doc:"Scheduling computational workflows on failure-prone platforms")
     [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd;
-      stress_cmd ]
+      stress_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -30,6 +30,7 @@ let segment model g ~last_ckpt:k ~until:m ~ckpt_end =
     ~recovery
 
 let solve model g =
+  Wfc_obs.Trace.with_span "chain_solver.solve" @@ fun () ->
   check_chain g "solve";
   let n = Wfc_dag.Dag.n_tasks g in
   (* dp.(m+1): best expected time to finish tasks 0..m with m checkpointed;

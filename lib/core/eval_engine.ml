@@ -1,4 +1,19 @@
 module FM = Wfc_platform.Failure_model
+module Metrics = Wfc_obs.Metrics
+
+(* Engine observability. Counters are recorded per [ensure] call (never per
+   row or per inner-loop iteration), so a disabled layer costs one atomic
+   load and branch on the query path. "Hits" and "misses" count cached
+   lost-work rows served vs recomputed; a query hit is an [ensure] whose
+   whole prefix was already valid. *)
+let m_queries = Metrics.counter "engine.queries"
+let m_query_hits = Metrics.counter "engine.query_hits"
+let m_row_hits = Metrics.counter "engine.row_hits"
+let m_rows_recomputed = Metrics.counter "engine.rows_recomputed"
+let m_steps = Metrics.counter "engine.steps"
+let m_restores = Metrics.counter "engine.snapshot_restores"
+let m_flips = Metrics.counter "engine.flips"
+let m_batch = Metrics.counter "engine.batch_candidates"
 
 type backend = Naive | Incremental
 
@@ -229,20 +244,35 @@ let step t i =
 let ensure t upto =
   if t.eval_valid < upto then begin
     let limit = upto - 1 in
+    let recomputed = ref 0 in
     for k = 0 to limit do
       if t.row_dirty.(k) then begin
         Lost_work.compute_row_into t.g ~order:t.order ~pos:t.pos
           ~checkpointed:t.flags ~weight:t.weight ~recovery:t.recovery
           ~replayed:t.replayed ~k t.lost.(k);
-        t.row_dirty.(k) <- false
+        t.row_dirty.(k) <- false;
+        incr recomputed
       end
     done;
-    if t.eval_valid < t.cursor then restore t t.eval_valid;
+    let rewound = t.eval_valid < t.cursor in
+    if rewound then restore t t.eval_valid;
+    let steps = upto - t.eval_valid in
     for i = t.eval_valid to limit do
       step t i
     done;
     t.eval_valid <- upto;
-    t.cursor <- upto
+    t.cursor <- upto;
+    if Metrics.enabled () then begin
+      Metrics.incr m_queries;
+      Metrics.add m_rows_recomputed !recomputed;
+      Metrics.add m_row_hits (upto - !recomputed);
+      Metrics.add m_steps steps;
+      if rewound then Metrics.incr m_restores
+    end
+  end
+  else begin
+    Metrics.incr m_queries;
+    Metrics.incr m_query_hits
   end
 
 (* ---- queries ---------------------------------------------------------- *)
@@ -284,6 +314,7 @@ let apply_flip t v =
 
 let flip t v =
   if v < 0 || v >= t.n then invalid_arg "Eval_engine.flip: no such task";
+  Metrics.incr m_flips;
   apply_flip t v;
   makespan t
 
@@ -358,6 +389,7 @@ let batch_evaluate ?domains model g ~order candidates =
       Wfc_platform.Domain_pool.run ~domains:(Array.length slices) (fun s ->
           let start, len = slices.(s) in
           let e = create model g ~order in
+          Metrics.add m_batch len;
           Array.init len (fun j ->
               set_flags e cands.(start + j);
               makespan e))

@@ -2,12 +2,28 @@ type solution = { schedule : Schedule.t; makespan : float; nodes : int }
 
 exception Node_budget_exceeded
 
+module Metrics = Wfc_obs.Metrics
+module Trace = Wfc_obs.Trace
+
+(* B&B observability: search-local plain ints flushed once per solve, so
+   the node loop carries no instrumentation cost at all. *)
+let m_nodes = Metrics.counter "bnb.nodes"
+let m_pruned = Metrics.counter "bnb.pruned"
+let m_incumbents = Metrics.counter "bnb.incumbent_updates"
+let m_completed = Metrics.counter "bnb.completed"
+let m_exhausted = Metrics.counter "bnb.budget_exhausted"
+
 let optimal_checkpoints_within ?(max_nodes = 1_000_000)
     ?(should_stop = fun () -> false)
     ?(backend = Eval_engine.Incremental) model g ~order =
   if not (Wfc_dag.Dag.is_linearization g order) then
     invalid_arg "Exact_solver.optimal_checkpoints: invalid order";
   let n = Array.length order in
+  Trace.with_span "exact.bnb"
+    ~args:
+      [ ("n", string_of_int n);
+        ("backend", Eval_engine.backend_name backend) ]
+  @@ fun () ->
   (* admissible tail bound: each remaining interval costs at least its own
      failure-free-retry expectation *)
   let tail = Array.make (n + 1) 0. in
@@ -72,6 +88,8 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
         (Heuristics.candidate_counts (Heuristics.Grid 16) ~n))
     [ Heuristics.Ckpt_weight; Heuristics.Ckpt_cost ];
   let nodes = ref 0 in
+  let pruned = ref 0 in
+  let incumbent_updates = ref 0 in
   let exception Stop in
   (* the deadline predicate is polled every 1024 expansions: cheap enough to
      leave in the hot path, frequent enough for sub-second deadlines *)
@@ -82,7 +100,8 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
     if i = n then begin
       if cost < !incumbent then begin
         incumbent := cost;
-        incumbent_flags := Array.copy flags
+        incumbent_flags := Array.copy flags;
+        incr incumbent_updates
       end
     end
     else begin
@@ -103,12 +122,20 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
           if c +. tail.(i + 1) < !incumbent -. 1e-12 then begin
             set_flag i b;
             go (i + 1) c
-          end)
+          end
+          else incr pruned)
         ordered;
       set_flag i false
     end
   in
   let status = match go 0 0. with () -> `Optimal | exception Stop -> `Budget_exhausted in
+  if Metrics.enabled () then begin
+    Metrics.add m_nodes !nodes;
+    Metrics.add m_pruned !pruned;
+    Metrics.add m_incumbents !incumbent_updates;
+    Metrics.incr
+      (match status with `Optimal -> m_completed | `Budget_exhausted -> m_exhausted)
+  end;
   let schedule = Schedule.make g ~order ~checkpointed:!incumbent_flags in
   let makespan =
     (* engine leaf costs differ from the oracle by rearrangement ulps; the

@@ -21,6 +21,7 @@ let is_fork g =
   | _ -> None
 
 let solve model g =
+  Wfc_obs.Trace.with_span "fork_solver.solve" @@ fun () ->
   match is_fork g with
   | None -> invalid_arg "Fork_solver.solve: not a fork DAG"
   | Some src ->

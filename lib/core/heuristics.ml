@@ -136,8 +136,32 @@ type outcome = {
   evaluations : int;
 }
 
+let name lin ckpt =
+  Wfc_dag.Linearize.strategy_name lin ^ "-" ^ ckpt_strategy_name ckpt
+
+module Metrics = Wfc_obs.Metrics
+
+let m_search_runs = Metrics.counter "search.runs"
+let m_candidates = Metrics.counter "search.candidates"
+
+(* One registry lookup per run call (not per candidate); the per-strategy
+   counter is created on first use. *)
+let record_outcome ckpt (o : outcome) =
+  if Metrics.enabled () then begin
+    Metrics.incr m_search_runs;
+    Metrics.add m_candidates o.evaluations;
+    Metrics.add
+      (Metrics.counter ("search.candidates." ^ ckpt_strategy_name ckpt))
+      o.evaluations
+  end;
+  o
+
 let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand model
     g ~lin ~ckpt =
+  Wfc_obs.Trace.with_span "heuristics.run" ~args:[ ("heuristic", name lin ckpt) ]
+  @@ fun () ->
+  record_outcome ckpt
+  @@
   let order = Wfc_dag.Linearize.run ?rand lin g in
   let evaluate flags =
     let sched = Schedule.make g ~order ~checkpointed:flags in
@@ -207,6 +231,3 @@ let best_over_linearizations ?search ?backend ?rand model g ~ckpt =
     (fun ((_, acc) as best) ((_, o) as cand) ->
       if o.makespan < acc.makespan then cand else best)
     (List.hd outcomes) (List.tl outcomes)
-
-let name lin ckpt =
-  Wfc_dag.Linearize.strategy_name lin ^ "-" ^ ckpt_strategy_name ckpt

@@ -196,6 +196,7 @@ let solve_uniform_costs model g =
   Option.get !best
 
 let solve_exact model g =
+  Wfc_obs.Trace.with_span "join_solver.solve_exact" @@ fun () ->
   let sink = the_sink g in
   let sources = Array.of_list (sources_of g sink) in
   let k = Array.length sources in

@@ -6,8 +6,28 @@ type result = {
   flips : int;
 }
 
+module Metrics = Wfc_obs.Metrics
+
+let m_runs = Metrics.counter "ls.runs"
+let m_sweeps = Metrics.counter "ls.sweeps"
+let m_moves_tried = Metrics.counter "ls.moves_tried"
+let m_moves_accepted = Metrics.counter "ls.moves_accepted"
+
+(* Flushed once per improve call, after the search loop. *)
+let record_metrics ~sweeps r =
+  if Metrics.enabled () then begin
+    Metrics.incr m_runs;
+    Metrics.add m_sweeps sweeps;
+    Metrics.add m_moves_tried r.evaluations;
+    Metrics.add m_moves_accepted r.flips
+  end;
+  r
+
 let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
     model g seed =
+  Wfc_obs.Trace.with_span "local_search.improve"
+    ~args:[ ("backend", Eval_engine.backend_name backend) ]
+  @@ fun () ->
   let n = Schedule.n_tasks seed in
   let flags = Array.init n (Schedule.is_checkpointed seed) in
   let order = Array.init n (Schedule.task_at seed) in
@@ -23,8 +43,10 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
       let initial_makespan = evaluate () in
       let best = ref initial_makespan in
       let improved = ref true in
+      let sweeps = ref 0 in
       while !improved && !evaluations < max_evaluations do
         improved := false;
+        incr sweeps;
         (* sweep in execution order: early flags influence everything after *)
         Array.iter
           (fun v ->
@@ -40,13 +62,14 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
             end)
           order
       done;
-      {
-        schedule = Schedule.make g ~order ~checkpointed:flags;
-        makespan = !best;
-        initial_makespan;
-        evaluations = !evaluations;
-        flips = !flips;
-      }
+      record_metrics ~sweeps:!sweeps
+        {
+          schedule = Schedule.make g ~order ~checkpointed:flags;
+          makespan = !best;
+          initial_makespan;
+          evaluations = !evaluations;
+          flips = !flips;
+        }
   | Eval_engine.Incremental ->
       let engine = Eval_engine.create ~flags model g ~order in
       let initial_makespan =
@@ -58,8 +81,10 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
          makespans go through the oracle *)
       let best = ref (Eval_engine.makespan engine) in
       let improved = ref true in
+      let sweeps = ref 0 in
       while !improved && !evaluations < max_evaluations do
         improved := false;
+        incr sweeps;
         Array.iter
           (fun v ->
             if !evaluations < max_evaluations then begin
@@ -83,5 +108,6 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
         if !flips = 0 then initial_makespan
         else Evaluator.expected_makespan model g schedule
       in
-      { schedule; makespan; initial_makespan; evaluations = !evaluations;
-        flips = !flips }
+      record_metrics ~sweeps:!sweeps
+        { schedule; makespan; initial_makespan; evaluations = !evaluations;
+          flips = !flips }

@@ -1,0 +1,176 @@
+type event = {
+  name : string;
+  ts : float;
+  dur : float;
+  kind : [ `Span | `Instant ];
+  tid : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let clock = Atomic.make (fun () -> Unix.gettimeofday ())
+let set_clock f = Atomic.set clock f
+let epoch = Atomic.make 0.
+
+(* Per-domain buffer: events are appended by the owning domain only, so the
+   mutable fields need no synchronization; the global list below (mutated
+   under a mutex, read at export after workers join) is how exporters find
+   every buffer. *)
+type dbuf = {
+  tid : int;
+  mutable rev_events : event list;
+  mutable depth : int;
+  mutable last : float; (* monotonic clamp, seconds since epoch *)
+}
+
+let buffers : dbuf list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { tid = (Domain.self () :> int); rev_events = []; depth = 0; last = 0. }
+      in
+      Mutex.protect buffers_mutex (fun () -> buffers := b :: !buffers);
+      b)
+
+let now b =
+  let t = (Atomic.get clock) () -. Atomic.get epoch in
+  if t < b.last then b.last else (b.last <- t; t)
+
+let set_enabled on =
+  if on && not (Atomic.get enabled_flag) then
+    Atomic.set epoch ((Atomic.get clock) ());
+  Atomic.set enabled_flag on
+
+let enabled () = Atomic.get enabled_flag
+
+let reset () =
+  Atomic.set epoch ((Atomic.get clock) ());
+  Mutex.protect buffers_mutex (fun () ->
+      List.iter
+        (fun b ->
+          b.rev_events <- [];
+          b.depth <- 0;
+          b.last <- 0.)
+        !buffers)
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = Domain.DLS.get key in
+    let t0 = now b in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        b.depth <- depth;
+        let t1 = now b in
+        b.rev_events <-
+          { name; ts = t0; dur = t1 -. t0; kind = `Span; tid = b.tid; depth;
+            args }
+          :: b.rev_events)
+      f
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get enabled_flag then begin
+    let b = Domain.DLS.get key in
+    let ts = now b in
+    b.rev_events <-
+      { name; ts; dur = 0.; kind = `Instant; tid = b.tid; depth = b.depth;
+        args }
+      :: b.rev_events
+  end
+
+let events () =
+  let all =
+    Mutex.protect buffers_mutex (fun () ->
+        List.concat_map (fun b -> b.rev_events) !buffers)
+  in
+  List.sort
+    (fun (x : event) (y : event) ->
+      match Int.compare x.tid y.tid with
+      | 0 -> (
+          match Float.compare x.ts y.ts with
+          | 0 -> Int.compare x.depth y.depth
+          | c -> c)
+      | c -> c)
+    all
+
+let event_count () =
+  Mutex.protect buffers_mutex (fun () ->
+      List.fold_left (fun acc b -> acc + List.length b.rev_events) 0 !buffers)
+
+(* ---- JSON emission ---------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+         args)
+  ^ "}"
+
+let chrome_event e =
+  match e.kind with
+  | `Span ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"wfc\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
+        (escape e.name) e.tid (e.ts *. 1e6) (e.dur *. 1e6)
+        (args_json (("depth", string_of_int e.depth) :: e.args))
+  | `Instant ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"wfc\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":%s}"
+        (escape e.name) e.tid (e.ts *. 1e6)
+        (args_json (("depth", string_of_int e.depth) :: e.args))
+
+let to_chrome () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (chrome_event e))
+    (events ());
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let jsonl_event e =
+  let base =
+    Printf.sprintf "{\"type\":\"%s\",\"name\":\"%s\",\"ts\":%.17g,\"dur\":%.17g,\"tid\":%d,\"depth\":%d"
+      (match e.kind with `Span -> "span" | `Instant -> "instant")
+      (escape e.name) e.ts e.dur e.tid e.depth
+  in
+  base
+  ^ (if e.args = [] then "" else ",\"args\":" ^ args_json e.args)
+  ^ "}"
+
+let to_jsonl () =
+  String.concat "" (List.map (fun e -> jsonl_event e ^ "\n") (events ()))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome path = write_file path (to_chrome ())
+let write_jsonl path = write_file path (to_jsonl ())

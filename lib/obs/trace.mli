@@ -1,0 +1,64 @@
+(** Span tracing on a per-domain monotonic clock.
+
+    Spans nest: {!with_span} records the wall interval of its thunk together
+    with the nesting depth at entry, per domain. Events accumulate in
+    per-domain buffers (registered on a domain's first span, appended
+    without synchronization) and are merged at export time into either
+    Chrome trace-event JSON ([chrome://tracing] / Perfetto) or a flat JSONL
+    event log, one object per line.
+
+    Timestamps are seconds since the trace epoch (the moment tracing was
+    enabled or last {!reset}). The clock is clamped per domain so exported
+    timestamps never decrease within a [tid], even if the underlying wall
+    clock steps backwards.
+
+    Like metrics, tracing is off by default; a disabled {!with_span} is a
+    single atomic load and a tail call of the thunk.
+
+    Export functions read the buffers of every domain that ever traced;
+    call them only after worker domains have been joined. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded events and restart the epoch. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall clock (seconds). For deterministic tests. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span. The span is recorded when the thunk
+    returns or raises. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Record a zero-duration point event at the current depth. *)
+
+type event = {
+  name : string;
+  ts : float;  (** seconds since epoch, non-decreasing per [tid] *)
+  dur : float;  (** seconds; 0 for instants *)
+  kind : [ `Span | `Instant ];
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth at entry *)
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** All recorded events, sorted by [(tid, ts, depth)] — parents before
+    their children. *)
+
+val event_count : unit -> int
+
+val to_chrome : unit -> string
+(** Chrome trace-event JSON: an object with a [traceEvents] array of
+    complete ("ph":"X", microsecond ts/dur) and instant ("ph":"i")
+    events. *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line mirroring {!event} verbatim ([ts]/[dur] in
+    seconds, full float precision, so parsing the lines back recovers the
+    events exactly). *)
+
+val write_chrome : string -> unit
+val write_jsonl : string -> unit

@@ -1,4 +1,6 @@
 open Wfc_core
+module Metrics = Wfc_obs.Metrics
+module Trace = Wfc_obs.Trace
 
 type tier = Exact | Local_search | Heuristic
 
@@ -6,6 +8,15 @@ let tier_name = function
   | Exact -> "exact"
   | Local_search -> "local-search"
   | Heuristic -> "heuristic"
+
+(* Every solve records which tier it landed on, and why, as both a counter
+   (driver.tier.<name>) and a trace instant carrying the human-readable
+   reason. *)
+let record_tier tier reason =
+  if Metrics.enabled () then
+    Metrics.incr (Metrics.counter ("driver.tier." ^ tier_name tier));
+  Trace.instant "driver.tier"
+    ~args:[ ("tier", tier_name tier); ("reason", reason) ]
 
 type config = {
   max_nodes : int;
@@ -44,6 +55,8 @@ type result = {
 }
 
 let solve ?(config = default_config) model g ~order =
+  Trace.with_span "driver.solve" @@ fun () ->
+  let finish r = record_tier r.tier r.reason; r in
   let t0 = Unix.gettimeofday () in
   let should_stop =
     match config.deadline with
@@ -51,13 +64,14 @@ let solve ?(config = default_config) model g ~order =
     | Some limit -> fun () -> Unix.gettimeofday () -. t0 > limit
   in
   let sol, status =
-    Exact_solver.optimal_checkpoints_within ~max_nodes:config.max_nodes
-      ~should_stop ~backend:config.backend model g ~order
+    Trace.with_span "driver.exact" (fun () ->
+        Exact_solver.optimal_checkpoints_within ~max_nodes:config.max_nodes
+          ~should_stop ~backend:config.backend model g ~order)
   in
   let elapsed () = Unix.gettimeofday () -. t0 in
   match status with
   | `Optimal ->
-      {
+      finish {
         schedule = sol.Exact_solver.schedule;
         makespan = sol.Exact_solver.makespan;
         tier = Exact;
@@ -70,11 +84,13 @@ let solve ?(config = default_config) model g ~order =
   | `Budget_exhausted ->
       (* tier 2: refine the incumbent the truncated search left behind *)
       let ls =
-        Local_search.improve ~max_evaluations:config.ls_evaluations
-          ~backend:config.backend model g sol.Exact_solver.schedule
+        Trace.with_span "driver.local_search" (fun () ->
+            Local_search.improve ~max_evaluations:config.ls_evaluations
+              ~backend:config.backend model g sol.Exact_solver.schedule)
       in
       (* tier 3: the configured heuristic chain, on their own linearizations *)
       let best_fallback =
+        Trace.with_span "driver.fallbacks" @@ fun () ->
         List.fold_left
           (fun best (lin, ckpt) ->
             let o =
@@ -95,7 +111,7 @@ let solve ?(config = default_config) model g ~order =
           config.max_nodes
       in
       let from_local_search reason_tail =
-        {
+        finish {
           schedule = ls.Local_search.schedule;
           makespan = ls.Local_search.makespan;
           tier = Local_search;
@@ -106,7 +122,7 @@ let solve ?(config = default_config) model g ~order =
       in
       (match best_fallback with
       | Some (name, o) when o.Heuristics.makespan < ls.Local_search.makespan ->
-          {
+          finish {
             schedule = o.Heuristics.schedule;
             makespan = o.Heuristics.makespan;
             tier = Heuristic;

@@ -6,6 +6,9 @@ type estimate = {
 
 let aggregate ~runs ~seed run_once =
   if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
+  Wfc_obs.Trace.with_span "monte_carlo.aggregate"
+    ~args:[ ("runs", string_of_int runs) ]
+  @@ fun () ->
   let rng = Wfc_platform.Rng.create seed in
   let makespan = Wfc_platform.Stats.create () in
   let failures = Wfc_platform.Stats.create () in
@@ -37,6 +40,9 @@ type faults_estimate = {
 
 let estimate_faults ?(runs = 1000) ~seed params g sched =
   if runs <= 0 then invalid_arg "Monte_carlo.estimate_faults: runs <= 0";
+  Wfc_obs.Trace.with_span "monte_carlo.estimate_faults"
+    ~args:[ ("runs", string_of_int runs) ]
+  @@ fun () ->
   let rng = Wfc_platform.Rng.create seed in
   let makespan = Wfc_platform.Stats.create () in
   let failures = Wfc_platform.Stats.create () in

@@ -1,5 +1,24 @@
 type run = { makespan : float; failures : int; wasted : float }
 
+module Metrics = Wfc_obs.Metrics
+
+(* One flush per simulated replica, whichever engine ran it: Sim.run,
+   Sim.run_renewal or the fault-injecting Sim_faults.run (which shares these
+   counters and adds its own). *)
+let m_replicas = Metrics.counter "sim.replicas"
+let m_failures = Metrics.counter "sim.failures_injected"
+let m_recoveries = Metrics.counter "sim.recoveries"
+let h_lost_work = Metrics.histogram "sim.lost_work"
+
+let record_run r ~recoveries =
+  if Metrics.enabled () then begin
+    Metrics.incr m_replicas;
+    Metrics.add m_failures r.failures;
+    Metrics.add m_recoveries recoveries;
+    Metrics.observe h_lost_work r.wasted
+  end;
+  r
+
 (* Shared state and replay-closure computation for all execution engines. *)
 type state = {
   g : Wfc_dag.Dag.t;
@@ -8,6 +27,7 @@ type state = {
   on_disk : bool array;
   seen : bool array;  (* scratch for the closure walk *)
   mutable restored : int list;  (* outputs the current segment brings back *)
+  mutable recoveries : int;  (* checkpoint reads performed during replays *)
 }
 
 let make_state g sched =
@@ -19,6 +39,7 @@ let make_state g sched =
     on_disk = Array.make n false;
     seen = Array.make n false;
     restored = [];
+    recoveries = 0;
   }
 
 let weight st v = (Wfc_dag.Dag.task st.g v).Wfc_dag.Task.weight
@@ -38,7 +59,10 @@ let replay_cost st v =
         if (not st.in_memory.(u)) && not st.seen.(u) then begin
           st.seen.(u) <- true;
           st.restored <- u :: st.restored;
-          if st.on_disk.(u) then cost := !cost +. rec_cost st u
+          if st.on_disk.(u) then begin
+            st.recoveries <- st.recoveries + 1;
+            cost := !cost +. rec_cost st u
+          end
           else begin
             cost := !cost +. weight st u;
             visit u
@@ -90,7 +114,9 @@ let run_engine ~time_to_failure ~consume ~after_failure ~downtime g sched =
       end
     done
   done;
-  { makespan = !time; failures = !failures; wasted = !wasted }
+  record_run
+    { makespan = !time; failures = !failures; wasted = !wasted }
+    ~recoveries:st.recoveries
 
 let run ~rng model g sched =
   let lambda = model.Wfc_platform.Failure_model.lambda in

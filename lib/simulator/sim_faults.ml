@@ -1,5 +1,17 @@
 module Distribution = Wfc_platform.Distribution
 module Rng = Wfc_platform.Rng
+module Metrics = Wfc_obs.Metrics
+
+(* The registry hands back Sim's counters for the shared names, so replica
+   and failure totals aggregate across fault-free and fault-injecting
+   engines; the remaining counters are specific to injected faults. *)
+let m_replicas = Metrics.counter "sim.replicas"
+let m_failures = Metrics.counter "sim.failures_injected"
+let m_recoveries = Metrics.counter "sim.recoveries"
+let h_lost_work = Metrics.histogram "sim.lost_work"
+let m_corrupt = Metrics.counter "sim.faults.corrupt_ckpt_detected"
+let m_failed_rec = Metrics.counter "sim.faults.failed_recoveries"
+let m_truncated = Metrics.counter "sim.faults.truncated_runs"
 
 type params = {
   failures : Distribution.t;
@@ -48,6 +60,7 @@ let run ~rng params g sched =
   let seen = Array.make n false in
   let restored = ref [] in
   let corrupt_reads = ref 0 and failed_recoveries = ref 0 in
+  let recoveries = ref 0 in
   let weight v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight in
   let ckpt_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost in
   let rec_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost in
@@ -85,6 +98,7 @@ let run ~rng params g sched =
                 incr failed_recoveries;
                 cost := !cost +. rc
               done;
+              incr recoveries;
               cost := !cost +. rc;
               if corrupt.(u) then begin
                 incr corrupt_reads;
@@ -143,6 +157,15 @@ let run ~rng params g sched =
        done
      done
    with Capped -> truncated := true);
+  if Metrics.enabled () then begin
+    Metrics.incr m_replicas;
+    Metrics.add m_failures !failures;
+    Metrics.add m_recoveries !recoveries;
+    Metrics.observe h_lost_work !wasted;
+    Metrics.add m_corrupt !corrupt_reads;
+    Metrics.add m_failed_rec !failed_recoveries;
+    if !truncated then Metrics.incr m_truncated
+  end;
   {
     makespan = !time;
     failures = !failures;

@@ -88,3 +88,109 @@ The same campaign with a different --domains split is bit-identical:
   $ ../bin/wfc.exe stress -w montage -n 12 --mtbf 300 --runs 100 --seed 3 --domains 1 --exact-budget 5000 > split1.out
   $ cmp split1.out split2.out && echo bit-identical
   bit-identical
+
+Workflow JSON round-trip: a generated file reloads to the same instance, so
+the loaded evaluation matches the generated one:
+
+  $ ../bin/wfc.exe generate -w cybershake -n 30 --seed 42 --json wf.json
+  wrote wf.json
+  $ ../bin/wfc.exe evaluate --load wf.json --mtbf 500 -s CkptW --grid 8
+  DF-CkptW on wf.json (30 tasks), platform: lambda=0.002 (MTBF 500 s), downtime 0 s
+    E[makespan] = 1106.27 s
+    T_inf       = 889.73 s (ratio 1.2434)
+    checkpoints = 29 (evaluator calls: 6)
+
+Optimal fork and join solvers:
+
+  $ ../bin/wfc.exe solve fork -n 5 --seed 2 --mtbf 300
+  random fork (1 + 4 tasks): checkpoint source? true
+    with ckpt 240.28 s, without 267.20 s
+  $ ../bin/wfc.exe solve join -n 5 --seed 2 --mtbf 300
+  random join (4 + 1 tasks): optimal E[makespan] = 174.00 s
+  checkpointed sources: T1 T2 T3
+
+Unknown structures are a usage error, not a silent default:
+
+  $ ../bin/wfc.exe solve pyramid 2>&1 | head -1
+  wfc: STRUCTURE argument: unknown structure "pyramid" (chain, fork or join)
+  $ ../bin/wfc.exe solve pyramid 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+Invalid run counts on the Monte Carlo surfaces die the same way:
+
+  $ ../bin/wfc.exe simulate -w montage -n 12 --runs 0 2>&1 | head -1
+  wfc: option '--runs': run count must be at least 1 (got '0')
+  $ ../bin/wfc.exe simulate -w montage -n 12 --runs 0 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe profile -w montage -n 12 --runs -3 2>&1 | head -1
+  wfc: unknown option '-3'.
+  $ ../bin/wfc.exe profile -w montage -n 12 --runs -3 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+--metrics appends the internal-counter table after the normal output; the
+analytic evaluate path is deterministic, so the counts are pinned:
+
+  $ ../bin/wfc.exe evaluate -w cybershake -n 30 --mtbf 500 -s CkptW --grid 8 --metrics
+  DF-CkptW on CyberShake (30 tasks), platform: lambda=0.002 (MTBF 500 s), downtime 0 s
+    E[makespan] = 1106.27 s
+    T_inf       = 889.73 s (ratio 1.2434)
+    checkpoints = 29 (evaluator calls: 6)
+  
+  -- metrics --
+  metric                    kind     value
+  ------------------------  -------  -----
+  engine.queries            counter  6
+  engine.row_hits           counter  40
+  engine.rows_recomputed    counter  140
+  engine.snapshot_restores  counter  5
+  engine.steps              counter  145
+  search.candidates         counter  6
+  search.candidates.CkptW   counter  6
+  search.runs               counter  1
+
+A first few simulated events of one run (--events), deterministic in the seed:
+
+  $ ../bin/wfc.exe simulate -w montage -n 12 --runs 10 --seed 3 --events 3 | head -4
+  -- trace of one run (3 of 24 events) --
+  [     0.0s] ATTEMPT T0 (pos 0): 11.4s segment (0.0s replay)
+  [    11.4s] DONE    T0 (pos 0)
+  [    11.4s] ATTEMPT T1 (pos 1): 13.6s segment (0.0s replay)
+
+Simulator metric counts are a property of the schedule and the seed, not of
+the search backend: both engines must inject exactly the same faults.
+
+  $ ../bin/wfc.exe simulate -w genome -n 14 --runs 200 --seed 5 --engine naive --metrics | grep '^sim\.' | tr -s ' ' > naive.metrics
+  $ ../bin/wfc.exe simulate -w genome -n 14 --runs 200 --seed 5 --engine incremental --metrics | grep '^sim\.' | tr -s ' ' > incr.metrics
+  $ cmp naive.metrics incr.metrics && echo engines-agree
+  engines-agree
+  $ grep -c '^sim\.replicas' naive.metrics
+  1
+
+--trace writes Chrome trace-event JSON (or JSONL for .jsonl paths):
+
+  $ ../bin/wfc.exe schedule -w ligo -n 20 --trace trace.json > /dev/null
+  $ head -c 16 trace.json; echo
+  {"traceEvents":[
+  $ grep -c '"ph":"X"' trace.json
+  14
+  $ ../bin/wfc.exe schedule -w ligo -n 20 --trace trace.jsonl > /dev/null
+  $ wc -l < trace.jsonl
+  14
+  $ grep -c '"type":"span"' trace.jsonl
+  14
+
+wfc profile runs an instrumented end-to-end workload; the search counters it
+reports must be live (nonzero B&B nodes, nonzero engine cache hits):
+
+  $ ../bin/wfc.exe profile -w genome -n 20 --runs 50 --seed 7 > profile.out
+  $ grep -q 'driver tier exact' profile.out && echo exact-tier
+  exact-tier
+  $ awk '$1 == "bnb.nodes" && $3 > 0 { print "bnb.nodes live" }' profile.out
+  bnb.nodes live
+  $ awk '$1 == "engine.row_hits" && $3 > 0 { print "cache hits live" }' profile.out
+  cache hits live
+  $ ../bin/wfc.exe profile -w montage -n 12 --runs 20 --seed 1 --csv metrics.csv > /dev/null
+  $ head -1 metrics.csv
+  metric,kind,value
+  $ grep -c '^bnb.nodes,counter,' metrics.csv
+  1
