@@ -8,6 +8,7 @@
           FIG=stress dune exec bench/main.exe    resilience stress micro-campaign
           FIG=engine dune exec bench/main.exe    incremental engine vs naive timing
           FIG=obs dune exec bench/main.exe       observability overhead guard
+          FIG=adaptive dune exec bench/main.exe  adaptive vs static, misspecified lambda
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -39,13 +40,14 @@ let () =
   | Some "stress" -> Stress.run ()
   | Some "engine" -> Engine_bench.run ()
   | Some "obs" -> Obs_bench.run ()
+  | Some "adaptive" -> Adaptive_bench.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
       | None ->
           Printf.eprintf
-            "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine' or \
-             'obs'\n")
+            "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine', \
+             'obs' or 'adaptive'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

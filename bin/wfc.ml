@@ -7,6 +7,8 @@
      simulate   Monte Carlo fault injection vs the analytic evaluator
      solve      optimal solvers on special structures (chain / fork / join)
      stress     misspecification campaign ranking heuristics by tail behavior
+     adapt      static vs adaptive execution on shared failure traces
+     replay     record / replay deterministic failure traces
      profile    instrumented end-to-end workload reporting internal metrics
 
    Every analysis subcommand also takes --metrics (print internal counters
@@ -89,6 +91,54 @@ let positive_int what =
     | None -> Error (`Msg (Printf.sprintf "invalid %s '%s'" what s))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+(* --failures LAW: one validated inter-arrival law grammar shared by
+   simulate, stress, adapt and replay. Nonsense dies as a usage error
+   (exit 124), including out-of-range parameters the Distribution smart
+   constructors would reject. *)
+
+module Dist = Wfc_platform.Distribution
+
+let failures_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid failure law %S: expected exp:RATE, weibull:SHAPE,SCALE, \
+              hyper:P,RATE1,RATE2 or const:VALUE"
+             s))
+    in
+    match String.index_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let kind = String.lowercase_ascii (String.sub s 0 i) in
+        let args =
+          String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1))
+          |> List.map float_of_string_opt
+        in
+        let guard make = try Ok (make ()) with Invalid_argument m -> Error (`Msg m) in
+        match (kind, args) with
+        | "exp", [ Some rate ] -> guard (fun () -> Dist.exponential ~rate)
+        | "weibull", [ Some shape; Some scale ] ->
+            guard (fun () -> Dist.weibull ~shape ~scale)
+        | "hyper", [ Some p; Some rate1; Some rate2 ] ->
+            guard (fun () -> Dist.hyperexponential ~p ~rate1 ~rate2)
+        | "const", [ Some v ] ->
+            if v > 0. && Float.is_finite v then Ok (Dist.constant v)
+            else Error (`Msg "const: inter-arrival time must be positive")
+        | _ -> fail ())
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Dist.name d))
+
+let failures_t =
+  Arg.(value & opt (some failures_conv) None
+       & info [ "failures" ] ~docv:"LAW"
+           ~doc:"Failure inter-arrival law for renewal simulation: \
+                 $(b,exp:RATE), $(b,weibull:SHAPE,SCALE), \
+                 $(b,hyper:P,RATE1,RATE2) or $(b,const:VALUE) (seconds). \
+                 Failures arrive as a renewal process of this law instead of \
+                 memoryless exponential ones.")
 
 let family_t =
   Arg.(value & opt family_conv P.Montage & info [ "w"; "workflow" ] ~doc:"Workflow family: Montage, Ligo, CyberShake or Genome.")
@@ -392,7 +442,7 @@ let schedule_cmd =
 (* ---- simulate ---- *)
 
 let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
-    weibull_shape overlap events metrics trace =
+    failures_opt weibull_shape overlap events metrics trace =
   with_obs ~metrics ~trace @@ fun () ->
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
@@ -417,25 +467,29 @@ let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
       if Wfc_dag.Dag.n_tasks g <= 40 then
         Format.printf "%s" (Wfc_simulator.Sim_trace.render_timeline events)
   | None -> ());
+  (* --failures names the renewal law directly and wins over the
+     --weibull-shape shorthand; with neither, failures are memoryless
+     exponential at the model's rate *)
   let failures =
-    match weibull_shape with
-    | None -> Wfc_platform.Distribution.exponential ~rate:model.FM.lambda
-    | Some shape -> Wfc_platform.Distribution.weibull_of_mean ~shape ~mean:mtbf
+    match (failures_opt, weibull_shape) with
+    | Some d, _ -> d
+    | None, Some shape -> Dist.weibull_of_mean ~shape ~mean:mtbf
+    | None, None -> Dist.exponential ~rate:model.FM.lambda
   in
+  let renewal = failures_opt <> None || weibull_shape <> None in
   let est =
     match overlap with
     | Some interference ->
         Wfc_simulator.Monte_carlo.estimate_overlap ~runs ~seed
           { Wfc_simulator.Sim_overlap.interference; failures; downtime }
           g o.Heuristics.schedule
-    | None -> (
-        match weibull_shape with
-        | None ->
-            Wfc_simulator.Monte_carlo.estimate ~runs ~seed model g
-              o.Heuristics.schedule
-        | Some _ ->
-            Wfc_simulator.Monte_carlo.estimate_renewal ~runs ~seed ~failures
-              ~downtime g o.Heuristics.schedule)
+    | None ->
+        if renewal then
+          Wfc_simulator.Monte_carlo.estimate_renewal ~runs ~seed ~failures
+            ~downtime g o.Heuristics.schedule
+        else
+          Wfc_simulator.Monte_carlo.estimate ~runs ~seed model g
+            o.Heuristics.schedule
   in
   let module Stats = Wfc_platform.Stats in
   let mc = est.Wfc_simulator.Monte_carlo.makespan in
@@ -485,12 +539,13 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Monte Carlo fault injection vs the analytic evaluator")
     Term.(const simulate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
           $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ runs_t $ load_t
-          $ weibull_t $ overlap_t $ events_t $ metrics_t $ obs_trace_t)
+          $ failures_t $ weibull_t $ overlap_t $ events_t $ metrics_t
+          $ obs_trace_t)
 
 (* ---- stress (misspecification campaign) ---- *)
 
 let stress family n seed cost mtbf downtime grid engine load runs domains csv
-    exact_budget deadline p_ckpt p_rec max_failures metrics trace =
+    exact_budget deadline failures_opt p_ckpt p_rec max_failures metrics trace =
   with_obs ~metrics ~trace @@ fun () ->
   let module Stress = Wfc_resilience.Stress in
   let module Driver = Wfc_resilience.Solver_driver in
@@ -498,6 +553,19 @@ let stress family n seed cost mtbf downtime grid engine load runs domains csv
   let nominal = model mtbf downtime in
   let scenarios =
     Stress.default_grid nominal
+    @ (match failures_opt with
+      | Some d ->
+          [
+            {
+              Stress.name = Printf.sprintf "custom(%s)" (Dist.name d);
+              params =
+                {
+                  (Wfc_simulator.Sim_faults.nominal nominal) with
+                  Wfc_simulator.Sim_faults.failures = d;
+                };
+            };
+          ]
+      | None -> [])
     @
     if p_ckpt > 0. || p_rec > 0. then
       [
@@ -718,8 +786,8 @@ let stress_cmd =
              perturbed platforms")
     Term.(const stress $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
           $ grid_t $ engine_t $ load_t $ runs_t $ domains_t $ csv_t
-          $ exact_budget_t $ deadline_t $ p_ckpt_t $ p_rec_t $ max_failures_t
-          $ metrics_t $ obs_trace_t)
+          $ exact_budget_t $ deadline_t $ failures_t $ p_ckpt_t $ p_rec_t
+          $ max_failures_t $ metrics_t $ obs_trace_t)
 
 (* ---- solve (special structures) ---- *)
 
@@ -801,6 +869,348 @@ let solve_cmd =
     Term.(const solve $ kind_t $ n_t $ seed_t $ mtbf_t $ downtime_t $ metrics_t
           $ obs_trace_t)
 
+(* ---- adapt (risk-aware adaptive-vs-static selection) ---- *)
+
+module Robust = Wfc_resilience.Robust
+module SA = Wfc_simulator.Sim_adaptive
+module Trace_io = Wfc_simulator.Trace_io
+
+let trigger_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid trigger %S: expected every, k:N (N >= 1) or drift:F \
+              (F > 1)"
+             s))
+    in
+    match String.lowercase_ascii s with
+    | "every" -> Ok SA.Every_failure
+    | s -> (
+        match String.index_opt s ':' with
+        | None -> fail ()
+        | Some i -> (
+            let tail = String.sub s (i + 1) (String.length s - i - 1) in
+            match String.sub s 0 i with
+            | "k" -> (
+                match int_of_string_opt tail with
+                | Some k when k >= 1 -> Ok (SA.Every_k k)
+                | _ -> fail ())
+            | "drift" -> (
+                match float_of_string_opt tail with
+                | Some f when f > 1. && Float.is_finite f -> Ok (SA.On_drift f)
+                | _ -> fail ())
+            | _ -> fail ()))
+  in
+  let print ppf = function
+    | SA.Every_failure -> Format.pp_print_string ppf "every"
+    | SA.Every_k k -> Format.fprintf ppf "k:%d" k
+    | SA.On_drift f -> Format.fprintf ppf "drift:%g" f
+  in
+  Arg.conv (parse, print)
+
+let criterion_conv =
+  let parse s =
+    match Robust.criterion_of_string s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown criterion %S: expected mean, worst, cvar or cvar:Q \
+                with Q in [0, 1]"
+               s))
+  in
+  Arg.conv
+    (parse, fun ppf c -> Format.pp_print_string ppf (Robust.criterion_name c))
+
+let adapt family n seed cost mtbf downtime lin ckpt grid engine load true_mtbf
+    failures_opt trigger budget traces criterion horizon relinearize csv
+    metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
+  let module Driver = Wfc_resilience.Solver_driver in
+  let g = workflow ~load family n seed cost in
+  let planning = model mtbf downtime in
+  let o =
+    Heuristics.run ~search:(search_of_grid grid) ~backend:engine planning g
+      ~lin ~ckpt
+  in
+  let true_mtbf = Option.value true_mtbf ~default:mtbf in
+  let truth = FM.of_mtbf ~mtbf:true_mtbf ~downtime () in
+  let scenarios =
+    match failures_opt with
+    | Some d ->
+        [ { Robust.name = Dist.name d; failures = d;
+            downtime = Dist.constant downtime } ]
+    | None -> Robust.default_scenarios truth
+  in
+  let replanner =
+    Driver.replanner ~budget ~backend:engine
+      ?relinearize:(if relinearize then Some lin else None)
+      g
+  in
+  let config =
+    { (SA.default_config planning) with SA.trigger; replan = Some replanner }
+  in
+  let static_name = Heuristics.name lin ckpt in
+  let candidates =
+    [
+      Robust.static ~name:static_name g o.Heuristics.schedule;
+      Robust.adaptive ~name:"adaptive" config g o.Heuristics.schedule;
+    ]
+  in
+  let min_uptime = horizon *. Wfc_dag.Dag.total_weight g in
+  let r =
+    Robust.evaluate ~traces_per_scenario:traces ~seed ~min_uptime ~criterion
+      ~scenarios candidates
+  in
+  Format.printf
+    "adaptive selection: %s (%d tasks), planning %a, true MTBF %g s@.criterion \
+     %s, %d scenarios x %d traces, seed %d@.@."
+    (source_name ~load family) (Wfc_dag.Dag.n_tasks g) FM.pp planning true_mtbf
+    (Robust.criterion_name criterion)
+    (List.length scenarios) traces seed;
+  let summary =
+    Wfc_reporting.Table.create
+      ~columns:
+        [ "policy"; "mean"; Printf.sprintf "cvar@%g" r.Robust.alpha; "worst";
+          "max regret"; "exhausted" ]
+  in
+  List.iter
+    (fun s ->
+      Wfc_reporting.Table.add_row summary
+        [
+          s.Robust.candidate;
+          Printf.sprintf "%.1f" s.Robust.mean;
+          Printf.sprintf "%.1f" s.Robust.cvar;
+          Printf.sprintf "%.1f" s.Robust.worst;
+          Printf.sprintf "%.1f" s.Robust.max_regret;
+          string_of_int s.Robust.exhausted;
+        ])
+    r.Robust.scores;
+  Wfc_reporting.Table.print summary;
+  Format.printf "@.per-scenario mean makespan and regret:@.@.";
+  let detail =
+    Wfc_reporting.Table.create
+      ~columns:[ "policy"; "scenario"; "mean"; "regret" ]
+  in
+  List.iter
+    (fun s ->
+      List.iter2
+        (fun (scenario, mean) (_, regret) ->
+          Wfc_reporting.Table.add_row detail
+            [
+              s.Robust.candidate; scenario;
+              Printf.sprintf "%.1f" mean;
+              Printf.sprintf "%.1f" regret;
+            ])
+        s.Robust.per_scenario s.Robust.regret)
+    r.Robust.scores;
+  Wfc_reporting.Table.print detail;
+  let exhausted =
+    List.fold_left (fun acc s -> acc + s.Robust.exhausted) 0 r.Robust.scores
+  in
+  if exhausted > 0 then
+    Format.printf
+      "@.warning: %d runs consumed past the recorded horizon (raise \
+       --horizon)@."
+      exhausted;
+  Format.printf "@.selected: %s by %s@." r.Robust.winner.Robust.candidate
+    (Robust.criterion_name criterion);
+  match csv with
+  | None -> ()
+  | Some path ->
+      let rows =
+        List.concat_map
+          (fun s ->
+            List.map2
+              (fun (scenario, mean) (_, regret) ->
+                [
+                  s.Robust.candidate; scenario;
+                  Printf.sprintf "%.6g" mean;
+                  Printf.sprintf "%.6g" regret;
+                  Printf.sprintf "%.6g" s.Robust.mean;
+                  Printf.sprintf "%.6g" s.Robust.cvar;
+                  Printf.sprintf "%.6g" s.Robust.worst;
+                ])
+              s.Robust.per_scenario s.Robust.regret)
+          r.Robust.scores
+      in
+      Wfc_reporting.Csv.write_file path
+        ~header:
+          [
+            "policy"; "scenario"; "scenario_mean"; "regret"; "pooled_mean";
+            "pooled_cvar"; "pooled_worst";
+          ]
+        ~rows;
+      Format.printf "@.wrote %s@." path
+
+let adapt_cmd =
+  let true_mtbf_t =
+    Arg.(value & opt (some (positive_float "true MTBF")) None
+         & info [ "true-mtbf" ] ~docv:"SECONDS"
+             ~doc:"The platform's actual MTBF, when the planning $(b,--mtbf) \
+                   is misspecified (default: equal to $(b,--mtbf)).")
+  in
+  let trigger_t =
+    Arg.(value & opt trigger_conv SA.Every_failure
+         & info [ "trigger" ] ~docv:"TRIGGER"
+             ~doc:"When the adaptive policy replans: $(b,every) failure, \
+                   $(b,k:N) (every N-th failure) or $(b,drift:F) (estimated \
+                   rate drifted by factor F from the planned one).")
+  in
+  let budget_t =
+    Arg.(value & opt (positive_int "replan budget") 256
+         & info [ "replan-budget" ]
+             ~doc:"Candidate evaluations each replan may spend.")
+  in
+  let traces_t =
+    Arg.(value & opt (positive_int "trace count") 50
+         & info [ "traces" ] ~doc:"Recorded failure traces per scenario.")
+  in
+  let criterion_t =
+    Arg.(value & opt criterion_conv (Robust.CVaR 0.95)
+         & info [ "criterion" ] ~docv:"CRITERION"
+             ~doc:"Selection criterion: $(b,mean), $(b,worst), $(b,cvar) \
+                   (alpha 0.95) or $(b,cvar:Q).")
+  in
+  let horizon_t =
+    Arg.(value & opt (positive_float "horizon multiplier") 200.
+         & info [ "horizon" ] ~docv:"MULT"
+             ~doc:"Record traces covering $(docv) times the workflow's total \
+                   weight of uptime.")
+  in
+  let relinearize_t =
+    Arg.(value & flag
+         & info [ "relinearize" ]
+             ~doc:"Let each replan also reorder the remaining tasks with the \
+                   $(b,--linearization) strategy, keeping the better suffix.")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Also dump every (policy, scenario) row as CSV to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:"Score static vs adaptive execution on shared failure traces and \
+             pick by risk-aware criterion")
+    Term.(const adapt $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
+          $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ true_mtbf_t
+          $ failures_t $ trigger_t $ budget_t $ traces_t $ criterion_t
+          $ horizon_t $ relinearize_t $ csv_t $ metrics_t $ obs_trace_t)
+
+(* ---- replay (record / replay failure traces) ---- *)
+
+let kind_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "attempts" -> Ok `Attempts
+    | "renewal" -> Ok `Renewal
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown trace kind %S (attempts or renewal)" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with `Attempts -> "attempts" | `Renewal -> "renewal")
+  in
+  Arg.conv (parse, print)
+
+let replay family n seed cost mtbf downtime lin ckpt grid engine load
+    failures_opt record input kind metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
+  let module Sim = Wfc_simulator.Sim in
+  let g = workflow ~load family n seed cost in
+  let m = model mtbf downtime in
+  let o =
+    Heuristics.run ~search:(search_of_grid grid) ~backend:engine m g ~lin ~ckpt
+  in
+  let sched = o.Heuristics.schedule in
+  let describe verb t =
+    Format.printf "%s %s trace: %d events, %d failures@." verb
+      (Trace_io.kind_name t) (Trace_io.n_events t) (Trace_io.n_failures t)
+  in
+  let summary (run : Sim.run) =
+    Format.printf "  makespan %.2f s, %d failures, %.2f s wasted@."
+      run.Sim.makespan run.Sim.failures run.Sim.wasted
+  in
+  match (record, input) with
+  | Some _, Some _ | None, None ->
+      Printf.eprintf
+        "wfc replay: exactly one of --record or --input is required\n";
+      exit 124
+  | Some path, None ->
+      let rng = Wfc_platform.Rng.create seed in
+      let run, t =
+        match kind with
+        | `Renewal ->
+            let failures =
+              Option.value failures_opt
+                ~default:(Dist.exponential ~rate:m.FM.lambda)
+            in
+            Trace_io.record_renewal ~rng ~failures
+              ~downtime:(Dist.constant downtime) g sched
+        | `Attempts -> (
+            match failures_opt with
+            | None -> Trace_io.record_run ~rng m g sched
+            | Some failures ->
+                let rec_ = Trace_io.recorder () in
+                let source =
+                  Trace_io.recording_source rec_
+                    (Sim.renewal_source ~rng ~failures
+                       ~downtime:(Dist.constant downtime))
+                in
+                (Sim.run_with_source source g sched, Trace_io.recorded rec_))
+      in
+      Trace_io.save path t;
+      describe "recorded" t;
+      summary run;
+      Format.printf "wrote %s@." path
+  | None, Some path -> (
+      match Trace_io.load path with
+      | Error msg ->
+          Printf.eprintf "cannot load %s: %s\n" path msg;
+          exit 1
+      | Ok t -> (
+          describe "loaded" t;
+          match Trace_io.replay t g sched with
+          | run -> summary run
+          | exception Trace_io.Divergence msg ->
+              Printf.eprintf
+                "replay diverged (schedule differs from the recorded one): %s\n"
+                msg;
+              exit 1))
+
+let replay_cmd =
+  let record_t =
+    Arg.(value & opt (some string) None
+         & info [ "record" ] ~docv:"FILE"
+             ~doc:"Execute once and write the failure trace to $(docv) \
+                   (JSONL, bit-exact hex floats).")
+  in
+  let input_t =
+    Arg.(value & opt (some string) None
+         & info [ "input" ] ~docv:"FILE"
+             ~doc:"Replay the trace in $(docv) against the schedule instead \
+                   of drawing fresh failures.")
+  in
+  let kind_t =
+    Arg.(value & opt kind_conv `Renewal
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Trace kind to record: $(b,renewal) (raw uptime/downtime \
+                   draws, replayable under any policy) or $(b,attempts) \
+                   (per-attempt draws, bit-exact for the same schedule).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Record a failure trace to disk, or replay one deterministically")
+    Term.(const replay $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
+          $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ failures_t
+          $ record_t $ input_t $ kind_t $ metrics_t $ obs_trace_t)
+
 (* ---- profile (instrumented end-to-end workload) ---- *)
 
 let profile family n seed cost mtbf downtime grid engine runs budget csv trace =
@@ -880,6 +1290,6 @@ let main_cmd =
     (Cmd.info "wfc" ~version:"1.0.0"
        ~doc:"Scheduling computational workflows on failure-prone platforms")
     [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd;
-      stress_cmd; profile_cmd ]
+      stress_cmd; adapt_cmd; replay_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -26,7 +26,7 @@ let backend_of_string s =
   | _ -> None
 
 type t = {
-  model : FM.t;
+  mutable model : FM.t;
   g : Wfc_dag.Dag.t;
   n : int;
   order : int array; (* position -> task *)
@@ -110,6 +110,16 @@ let create ?flags model g ~order =
 let n_tasks t = t.n
 let order t = Array.copy t.order
 let flags t = Array.copy t.flags
+let model t = t.model
+
+(* The lost-work matrix depends only on the DAG, order and flags — never on
+   the model — so rebinding lambda/downtime keeps every cached row and only
+   invalidates the evaluator recurrence. *)
+let set_model t model =
+  if model <> t.model then begin
+    t.model <- model;
+    t.eval_valid <- 0
+  end
 
 (* ---- visit-row bound -------------------------------------------------- *)
 
@@ -286,6 +296,12 @@ let prefix_makespan t ~upto =
     invalid_arg "Eval_engine.prefix_makespan: position out of range";
   ensure t upto;
   t.ms.(upto)
+
+let suffix_makespan t ~from =
+  if from < 0 || from > t.n then
+    invalid_arg "Eval_engine.suffix_makespan: position out of range";
+  ensure t t.n;
+  t.ms.(t.n) -. t.ms.(from)
 
 let per_position t =
   ensure t t.n;

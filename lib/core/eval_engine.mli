@@ -58,6 +58,15 @@ val order : t -> int array
 val flags : t -> bool array
 (** Copies of the bound order and the current flag vector. *)
 
+val model : t -> Wfc_platform.Failure_model.t
+(** The currently bound failure model. *)
+
+val set_model : t -> Wfc_platform.Failure_model.t -> unit
+(** Rebinds the failure model, e.g. to a re-estimated lambda during adaptive
+    replanning. Cheap: the lost-work matrix is model-independent, so every
+    cached row survives and only the evaluator recurrence is invalidated
+    (the next query pays [O(n)] steps, no row recomputation). *)
+
 val makespan : t -> float
 (** Expected makespan under the current flags. Lazy: cost is proportional to
     the dirty suffix, [O(1)] when nothing changed since the last query. *)
@@ -69,6 +78,15 @@ val prefix_makespan : t -> upto:int -> float
     instead of a full evaluation.
 
     @raise Invalid_argument unless [0 <= upto <= n]. *)
+
+val suffix_makespan : t -> from:int -> float
+(** [suffix_makespan t ~from] is the sum of [E(X_i)] for positions
+    [i >= from] — the expected time to finish the schedule from position
+    [from] given the checkpoints recorded by the prefix flags. This is the
+    objective of a suffix replan: candidates sharing the prefix flags differ
+    only in these terms, so comparing suffixes is comparing makespans.
+
+    @raise Invalid_argument unless [0 <= from <= n]. *)
 
 val per_position : t -> float array
 (** [E(X_i)] by position, as {!Evaluator.per_position}. Fresh copy. *)

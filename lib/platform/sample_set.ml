@@ -51,6 +51,31 @@ let quantile t q =
 
 let median t = quantile t 0.5
 
+(* Exact integral of the type-7 piecewise-linear quantile function over
+   [q, 1], divided by the tail mass. In index space (h = q * (n - 1)) the
+   interpolant is linear between consecutive order statistics, so the
+   integral is a partial trapezoid from h to the next knot plus full
+   trapezoids to the top; consistency with [quantile] is by construction
+   (cvar t q >= quantile t q, equality on one-point tails). *)
+let cvar t q =
+  if t.size = 0 then invalid_arg "Sample_set.cvar: empty";
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Sample_set.cvar: q outside [0, 1]";
+  ensure_sorted t;
+  if q = 1. || t.size = 1 then t.data.(t.size - 1)
+  else begin
+    let n1 = float_of_int (t.size - 1) in
+    let h = q *. n1 in
+    let lo = int_of_float (Float.floor h) in
+    let frac = h -. float_of_int lo in
+    let qv = ((1. -. frac) *. t.data.(lo)) +. (frac *. t.data.(lo + 1)) in
+    let integral = ref ((float_of_int (lo + 1) -. h) *. (qv +. t.data.(lo + 1)) /. 2.) in
+    for i = lo + 1 to t.size - 2 do
+      integral := !integral +. ((t.data.(i) +. t.data.(i + 1)) /. 2.)
+    done;
+    !integral /. (n1 -. h)
+  end
+
 let to_stats t =
   let s = Stats.create () in
   for i = 0 to t.size - 1 do

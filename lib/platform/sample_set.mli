@@ -17,6 +17,19 @@ val quantile : t -> float -> float
     @raise Invalid_argument on an empty set or [q] outside [\[0, 1\]]. *)
 
 val median : t -> float
+
+val cvar : t -> float -> float
+(** [cvar t q] is the conditional value-at-risk at level [q]: the expected
+    value of the tail above the [q]-quantile, computed as the exact integral
+    of the same type-7 piecewise-linear quantile function {!quantile}
+    interpolates — so [cvar t q >= quantile t q] always, with equality at
+    [q = 1] (the sample maximum). [cvar t 0.] is the mean of the
+    interpolated distribution (close to, but not identical with, the sample
+    {!mean}). For makespans this reads "the expected severity of the worst
+    [(1 - q)] fraction of runs".
+
+    @raise Invalid_argument on an empty set or [q] outside [\[0, 1\]]. *)
+
 val sorted : t -> float array
 
 val to_stats : t -> Stats.t

@@ -1,0 +1,206 @@
+module D = Wfc_platform.Distribution
+module FM = Wfc_platform.Failure_model
+module Rng = Wfc_platform.Rng
+module Sample_set = Wfc_platform.Sample_set
+module Sim = Wfc_simulator.Sim
+module SA = Wfc_simulator.Sim_adaptive
+module T = Wfc_simulator.Trace_io
+module Metrics = Wfc_obs.Metrics
+module Trace = Wfc_obs.Trace
+
+let m_evaluations = Metrics.counter "robust.evaluations"
+let m_replays = Metrics.counter "robust.replays"
+
+type criterion = Mean | CVaR of float | Worst
+
+let criterion_name = function
+  | Mean -> "mean"
+  | CVaR alpha -> Printf.sprintf "cvar@%g" alpha
+  | Worst -> "worst"
+
+let criterion_of_string s =
+  match String.lowercase_ascii s with
+  | "mean" -> Some Mean
+  | "worst" -> Some Worst
+  | "cvar" -> Some (CVaR 0.95)
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "cvar" -> (
+          let q = String.sub s (i + 1) (String.length s - i - 1) in
+          match float_of_string_opt q with
+          | Some q when q >= 0. && q <= 1. -> Some (CVaR q)
+          | _ -> None)
+      | _ -> None)
+
+type scenario = { name : string; failures : D.t; downtime : D.t }
+
+let default_scenarios nominal =
+  let lambda = nominal.FM.lambda in
+  if lambda = 0. then invalid_arg "Robust.default_scenarios: fail-free nominal";
+  let mtbf = 1. /. lambda in
+  let downtime = D.constant nominal.FM.downtime in
+  (* same mean-preserving burst mix as Stress: 90% of gaps at MTBF/3,
+     10% at 7 MTBF *)
+  let bursty =
+    D.hyperexponential ~p:0.9 ~rate1:(3. /. mtbf) ~rate2:(1. /. (7. *. mtbf))
+  in
+  [
+    { name = "exponential"; failures = D.exponential ~rate:lambda; downtime };
+    {
+      name = "weibull k=0.7";
+      failures = D.weibull_of_mean ~shape:0.7 ~mean:mtbf;
+      downtime;
+    };
+    {
+      name = "weibull k=1.5";
+      failures = D.weibull_of_mean ~shape:1.5 ~mean:mtbf;
+      downtime;
+    };
+    { name = "bursty"; failures = bursty; downtime };
+  ]
+
+type candidate = { name : string; execute : T.replay_state -> Sim.run }
+
+let static ~name g sched =
+  { name; execute = (fun state -> Sim.run_with_source state.T.source g sched) }
+
+let adaptive ~name config g sched =
+  {
+    name;
+    execute =
+      (fun state -> (SA.run config ~source:state.T.source g sched).SA.run);
+  }
+
+type score = {
+  candidate : string;
+  mean : float;
+  cvar : float;
+  worst : float;
+  per_scenario : (string * float) list;
+  regret : (string * float) list;
+  max_regret : float;
+  exhausted : int;
+}
+
+type report = {
+  criterion : criterion;
+  alpha : float;
+  traces_per_scenario : int;
+  scores : score list;
+  winner : score;
+}
+
+(* One private stream per (seed, scenario, trace), mirroring Stress: the
+   ensemble depends only on the seed and the scenario list, never on the
+   candidates scored against it. *)
+let trace_rng ~seed ~scenario ~trace =
+  Rng.create (seed + (scenario * 0x5851F42D) + (trace * 0x9E3779B9))
+
+let key_of criterion score =
+  match criterion with
+  | Mean -> score.mean
+  | CVaR _ -> score.cvar
+  | Worst -> score.worst
+
+let evaluate ?(traces_per_scenario = 50) ?(alpha = 0.95) ~seed ~min_uptime
+    ~criterion ~scenarios candidates =
+  Trace.with_span "robust.evaluate"
+    ~args:
+      [
+        ("criterion", criterion_name criterion);
+        ("candidates", string_of_int (List.length candidates));
+      ]
+  @@ fun () ->
+  if candidates = [] then invalid_arg "Robust.evaluate: no candidates";
+  if scenarios = [] then invalid_arg "Robust.evaluate: no scenarios";
+  if traces_per_scenario < 1 then
+    invalid_arg "Robust.evaluate: traces_per_scenario < 1";
+  if not (alpha >= 0. && alpha <= 1.) then
+    invalid_arg "Robust.evaluate: alpha outside [0, 1]";
+  (match criterion with
+  | CVaR a when not (a >= 0. && a <= 1.) ->
+      invalid_arg "Robust.evaluate: CVaR level outside [0, 1]"
+  | _ -> ());
+  if Metrics.enabled () then Metrics.incr m_evaluations;
+  (* the shared ensemble: drawn once, replayed for every candidate *)
+  let ensemble =
+    List.mapi
+      (fun si sc ->
+        ( sc,
+          Array.init traces_per_scenario (fun ti ->
+              T.draw_renewal
+                ~rng:(trace_rng ~seed ~scenario:si ~trace:ti)
+                ~failures:sc.failures ~downtime:sc.downtime ~min_uptime) ))
+      scenarios
+  in
+  let cvar_level = match criterion with CVaR a -> a | _ -> alpha in
+  let scores =
+    List.map
+      (fun cand ->
+        let pooled = Sample_set.create () in
+        let exhausted = ref 0 in
+        let per_scenario =
+          List.map
+            (fun ((sc : scenario), traces) ->
+              let sum = ref 0. in
+              Array.iter
+                (fun trace ->
+                  let state = T.replay_source trace in
+                  let run = cand.execute state in
+                  if Metrics.enabled () then Metrics.incr m_replays;
+                  if state.T.exhausted () then incr exhausted;
+                  Sample_set.add pooled run.Sim.makespan;
+                  sum := !sum +. run.Sim.makespan)
+                traces;
+              (sc.name, !sum /. float_of_int traces_per_scenario))
+            ensemble
+        in
+        {
+          candidate = cand.name;
+          mean = Sample_set.mean pooled;
+          cvar = Sample_set.cvar pooled cvar_level;
+          worst = Sample_set.quantile pooled 1.;
+          per_scenario;
+          regret = [];
+          max_regret = 0.;
+          exhausted = !exhausted;
+        })
+      candidates
+  in
+  (* regret vs the per-scenario best candidate *)
+  let best_per_scenario =
+    List.map
+      (fun ((sc : scenario), _) ->
+        ( sc.name,
+          List.fold_left
+            (fun acc s -> Float.min acc (List.assoc sc.name s.per_scenario))
+            Float.infinity scores ))
+      ensemble
+  in
+  let scores =
+    List.map
+      (fun s ->
+        let regret =
+          List.map
+            (fun (name, m) -> (name, m -. List.assoc name best_per_scenario))
+            s.per_scenario
+        in
+        let max_regret =
+          List.fold_left (fun acc (_, r) -> Float.max acc r) 0. regret
+        in
+        { s with regret; max_regret })
+      scores
+  in
+  let winner =
+    List.fold_left
+      (fun best s -> if key_of criterion s < key_of criterion best then s else best)
+      (List.hd scores) (List.tl scores)
+  in
+  Trace.instant "robust.selected"
+    ~args:
+      [
+        ("winner", winner.candidate);
+        ("criterion", criterion_name criterion);
+        ("key", Printf.sprintf "%.6g" (key_of criterion winner));
+      ];
+  { criterion; alpha = cvar_level; traces_per_scenario; scores; winner }

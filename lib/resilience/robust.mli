@@ -1,0 +1,103 @@
+(** Risk-aware schedule selection over shared failure-trace ensembles.
+
+    Expectation under the nominal model ranks schedules by average luck;
+    a risk-averse operator cares about the tail, and a misspecification-wary
+    one about how much is lost when the platform's law is not the planned
+    one. This module scores {e candidates} — static schedules and adaptive
+    policies alike — on a {e shared} ensemble of recorded renewal traces
+    ({!Wfc_simulator.Trace_io}): every candidate faces byte-identical
+    failure sequences, so differences are pure policy, not sampling noise.
+    The ensemble spans several failure laws at equal MTBF (exponential,
+    Weibull bracketing shape 1, bursty hyperexponential), and the winner is
+    picked by mean, CVaR{_ α} or worst-case makespan, with a per-scenario
+    regret table against the per-scenario best candidate. *)
+
+type criterion =
+  | Mean  (** lowest mean makespan over the pooled ensemble *)
+  | CVaR of float
+      (** lowest expected makespan of the worst [(1 - alpha)] tail
+          ({!Wfc_platform.Sample_set.cvar}); [alpha] in [\[0, 1\]] *)
+  | Worst  (** lowest maximum makespan over the ensemble *)
+
+val criterion_name : criterion -> string
+(** ["mean"], ["cvar@0.95"] or ["worst"]. *)
+
+val criterion_of_string : string -> criterion option
+(** Parses ["mean"], ["worst"], ["cvar"] (alpha 0.95) and ["cvar:Q"] with
+    [Q] in [\[0, 1\]]. *)
+
+type scenario = {
+  name : string;
+  failures : Wfc_platform.Distribution.t;  (** inter-failure law *)
+  downtime : Wfc_platform.Distribution.t;  (** per-failure repair law *)
+}
+
+val default_scenarios : Wfc_platform.Failure_model.t -> scenario list
+(** Failure laws at the nominal model's MTBF — exponential, Weibull shapes
+    0.7 and 1.5, and a mean-preserving bursty hyperexponential mix — all
+    with the nominal constant downtime. Equal MTBF isolates the effect of
+    the law's shape from its scale.
+
+    @raise Invalid_argument if the model is fail-free ([lambda = 0]). *)
+
+type candidate = {
+  name : string;
+  execute : Wfc_simulator.Trace_io.replay_state -> Wfc_simulator.Sim.run;
+      (** run the policy against one replayed trace *)
+}
+
+val static : name:string -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> candidate
+(** The fixed schedule, executed by {!Wfc_simulator.Sim.run_with_source}. *)
+
+val adaptive :
+  name:string ->
+  Wfc_simulator.Sim_adaptive.config ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  candidate
+(** The adaptive executor starting from the given initial schedule. *)
+
+type score = {
+  candidate : string;
+  mean : float;  (** over the pooled ensemble (all scenarios) *)
+  cvar : float;  (** at the report's [alpha] *)
+  worst : float;
+  per_scenario : (string * float) list;  (** mean makespan per scenario *)
+  regret : (string * float) list;
+      (** per scenario: mean makespan minus the best candidate's mean on
+          that scenario (0 for the per-scenario winner) *)
+  max_regret : float;
+  exhausted : int;
+      (** runs that consumed past the recorded horizon; their makespans are
+          optimistic lower bounds — enlarge [min_uptime] if non-zero *)
+}
+
+type report = {
+  criterion : criterion;
+  alpha : float;  (** the CVaR level used in every [score.cvar] *)
+  traces_per_scenario : int;
+  scores : score list;  (** input candidate order *)
+  winner : score;  (** best by [criterion]; ties to the earliest candidate *)
+}
+
+val evaluate :
+  ?traces_per_scenario:int ->
+  ?alpha:float ->
+  seed:int ->
+  min_uptime:float ->
+  criterion:criterion ->
+  scenarios:scenario list ->
+  candidate list ->
+  report
+(** [evaluate ~seed ~min_uptime ~criterion ~scenarios candidates] draws
+    [traces_per_scenario] (default 50) renewal traces per scenario —
+    deterministic in [(seed, scenario index, trace index)], each covering at
+    least [min_uptime] seconds of uptime — and replays {e every} candidate
+    on {e every} trace. [alpha] (default 0.95) sets the CVaR level.
+
+    Pick [min_uptime] well above any plausible makespan (a generous multiple
+    of the DAG's total weight) and check [exhausted].
+
+    @raise Invalid_argument if [candidates] or [scenarios] is empty,
+      [traces_per_scenario < 1], [alpha] or a [CVaR] level is outside
+      [\[0, 1\]], or [min_uptime] is not positive and finite. *)

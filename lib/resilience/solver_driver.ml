@@ -134,3 +134,174 @@ let solve ?(config = default_config) model g ~order =
           from_local_search
             (Printf.sprintf "hill-climbed incumbent beat fallback %s" name)
       | None -> from_local_search "no fallback heuristics configured")
+
+(* ---- suffix replanning ------------------------------------------------- *)
+
+let m_replans = Metrics.counter "driver.suffix_replans"
+let m_replan_evals = Metrics.counter "driver.suffix_evaluations"
+
+type suffix_result = {
+  flags : bool array;
+  expected_remaining : float;
+  evaluations : int;
+}
+
+let default_suffix_budget = 256
+
+(* Candidate order is deterministic and identical for every backend:
+   incumbent, suffix-all-off, suffix-all-on, then best-improvement single
+   flips scanned in position order. Scores from a reused engine, a fresh
+   engine and the oracle agree (bit-identically for engines — the makespan
+   is a pure function of the flag vector — and at ~1e-12 for the oracle),
+   so the search path and the returned flags are backend-independent. *)
+let solve_suffix ?(budget = default_suffix_budget) ?engine
+    ?(backend = Eval_engine.Incremental) model g ~order ~flags ~from =
+  Trace.with_span "driver.solve_suffix" @@ fun () ->
+  let n = Array.length order in
+  if budget < 1 then invalid_arg "Solver_driver.solve_suffix: budget < 1";
+  if Array.length flags <> n then
+    invalid_arg "Solver_driver.solve_suffix: flags have the wrong size";
+  if from < 0 || from > n then
+    invalid_arg "Solver_driver.solve_suffix: position out of range";
+  let score =
+    match backend with
+    | Eval_engine.Naive ->
+        fun cand ->
+          let s = Schedule.make g ~order ~checkpointed:cand in
+          let r = Evaluator.evaluate model g s in
+          let sum = ref 0. in
+          for i = from to n - 1 do
+            sum := !sum +. r.Evaluator.per_position.(i)
+          done;
+          !sum
+    | Eval_engine.Incremental ->
+        let e =
+          match engine with
+          | None -> Eval_engine.create model g ~order
+          | Some e ->
+              if Eval_engine.order e <> order then
+                invalid_arg
+                  "Solver_driver.solve_suffix: engine bound to another order";
+              Eval_engine.set_model e model;
+              e
+        in
+        fun cand ->
+          Eval_engine.set_flags e cand;
+          Eval_engine.suffix_makespan e ~from
+  in
+  let evals = ref 0 in
+  let eval cand = incr evals; score cand in
+  let best_flags = Array.copy flags in
+  let best = ref (eval best_flags) in
+  let consider cand =
+    if !evals < budget && cand <> best_flags then begin
+      let v = eval cand in
+      if v < !best then begin
+        best := v;
+        Array.blit cand 0 best_flags 0 n
+      end
+    end
+  in
+  let suffix_tasks = Array.sub order from (n - from) in
+  let with_suffix b =
+    let c = Array.copy flags in
+    Array.iter (fun v -> c.(v) <- b) suffix_tasks;
+    c
+  in
+  consider (with_suffix false);
+  consider (with_suffix true);
+  let improved = ref true in
+  while !improved && !evals < budget do
+    improved := false;
+    let round_best = ref !best and round_task = ref (-1) in
+    let p = ref from in
+    while !p < n && !evals < budget do
+      let v = order.(!p) in
+      best_flags.(v) <- not best_flags.(v);
+      let sc = eval best_flags in
+      best_flags.(v) <- not best_flags.(v);
+      (* strict improvement, first position wins ties: deterministic *)
+      if sc < !round_best then begin
+        round_best := sc;
+        round_task := v
+      end;
+      incr p
+    done;
+    if !round_task >= 0 then begin
+      best_flags.(!round_task) <- not best_flags.(!round_task);
+      best := !round_best;
+      improved := true
+    end
+  done;
+  (* leave a reused engine holding the chosen flags *)
+  (match (backend, engine) with
+  | Eval_engine.Incremental, Some e -> Eval_engine.set_flags e best_flags
+  | _ -> ());
+  if Metrics.enabled () then begin
+    Metrics.incr m_replans;
+    Metrics.add m_replan_evals !evals
+  end;
+  { flags = best_flags; expected_remaining = !best; evaluations = !evals }
+
+(* Adapter wiring [solve_suffix] into the adaptive executor's callback slot
+   (a callback because wfc_simulator must not depend back on this library).
+   Engines are cached per order: an adaptive run keeps one order — two
+   lineages with relinearization — so a tiny LRU covers every replan after
+   the first, and [set_model] inside [solve_suffix] rebinds the estimated
+   rate without losing the cached lost-work rows. *)
+let replanner ?(budget = default_suffix_budget)
+    ?(backend = Eval_engine.Incremental) ?relinearize g =
+  let cache = ref [] in
+  let max_cached = 4 in
+  let engine_for model order =
+    match backend with
+    | Eval_engine.Naive -> None
+    | Eval_engine.Incremental -> (
+        match List.find_opt (fun (o, _) -> o = order) !cache with
+        | Some (_, e) -> Some e
+        | None ->
+            let e = Eval_engine.create model g ~order in
+            cache :=
+              (Array.copy order, e)
+              :: (if List.length !cache >= max_cached then
+                    List.filteri (fun i _ -> i < max_cached - 1) !cache
+                  else !cache);
+            Some e)
+  in
+  fun ~model ~order ~flags ~from ->
+    let solve ~budget order flags =
+      let engine = engine_for model order in
+      solve_suffix ~budget ?engine ~backend model g ~order ~flags ~from
+    in
+    match relinearize with
+    | None ->
+        let r = solve ~budget order flags in
+        Some { Wfc_simulator.Sim_adaptive.order; flags = r.flags }
+    | Some strategy ->
+        let n = Array.length order in
+        let in_prefix = Array.make n false in
+        for p = 0 to from - 1 do
+          in_prefix.(order.(p)) <- true
+        done;
+        (* prefix ++ (full relinearization filtered to remaining tasks):
+           the prefix is ancestor-closed, so the result is a linearization *)
+        let relin = Array.copy order in
+        let q = ref from in
+        Array.iter
+          (fun v ->
+            if not in_prefix.(v) then begin
+              relin.(!q) <- v;
+              incr q
+            end)
+          (Wfc_dag.Linearize.run strategy g);
+        if relin = order then
+          let r = solve ~budget order flags in
+          Some { Wfc_simulator.Sim_adaptive.order; flags = r.flags }
+        else begin
+          let half = Int.max 1 (budget / 2) in
+          let r0 = solve ~budget:half order flags in
+          let r1 = solve ~budget:half relin flags in
+          if r1.expected_remaining < r0.expected_remaining then
+            Some { Wfc_simulator.Sim_adaptive.order = relin; flags = r1.flags }
+          else Some { Wfc_simulator.Sim_adaptive.order; flags = r0.flags }
+        end

@@ -58,3 +58,71 @@ val solve :
     is never worse than the best configured fallback heuristic's.
 
     @raise Invalid_argument if [order] is not a linearization of [g]. *)
+
+type suffix_result = {
+  flags : bool array;
+      (** full flag vector by task id; entries of tasks at positions
+          [< from] are exactly the input's (the prefix is pinned) *)
+  expected_remaining : float;
+      (** sum of [E(X_i)] over positions [>= from] under [flags] *)
+  evaluations : int;  (** candidate evaluations spent (at most [budget]) *)
+}
+
+val solve_suffix :
+  ?budget:int ->
+  ?engine:Wfc_core.Eval_engine.t ->
+  ?backend:Wfc_core.Eval_engine.backend ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  flags:bool array ->
+  from:int ->
+  suffix_result
+(** [solve_suffix model g ~order ~flags ~from] re-optimizes the checkpoint
+    flags of the tasks at positions [>= from] — the not-yet-completed
+    suffix of a running schedule — leaving the prefix flags pinned.
+    Candidates share the prefix, so comparing suffix expectations is
+    comparing full makespans; the objective is the unconditional Theorem 3
+    suffix under [model] (exact for the memoryless platform the adaptive
+    executor re-estimates).
+
+    The search is deterministic (incumbent, suffix-all-off, suffix-all-on,
+    then best-improvement single flips in position order, ties to the
+    earliest position) and spends at most [budget] (default 256) candidate
+    evaluations — the per-replan budget of the adaptive executor.
+
+    With the [Incremental] backend (default), [engine] supplies an
+    {!Wfc_core.Eval_engine.t} already bound to [(g, order)] to reuse across
+    replans: the model is rebound with
+    {!Wfc_core.Eval_engine.set_model} (cached lost-work rows survive) and
+    each candidate costs only the suffix it dirties; on return the engine
+    holds the chosen flags. Without [engine] a fresh one is built. The
+    candidate sequence is backend-independent, so a reused engine, a fresh
+    engine and the [Naive] oracle return the same flags and agree on
+    [expected_remaining] to the usual 1e-9.
+
+    @raise Invalid_argument if [budget < 1], [flags] has the wrong size,
+      [from] is outside [\[0, n\]], [order] is not a linearization, or
+      [engine] is bound to a different order. *)
+
+val default_suffix_budget : int
+(** Default per-replan candidate budget (256). *)
+
+val replanner :
+  ?budget:int ->
+  ?backend:Wfc_core.Eval_engine.backend ->
+  ?relinearize:Wfc_dag.Linearize.strategy ->
+  Wfc_dag.Dag.t ->
+  Wfc_simulator.Sim_adaptive.replan
+(** [replanner g] wires {!solve_suffix} into
+    {!Wfc_simulator.Sim_adaptive}'s callback slot, caching evaluation
+    engines per order so successive replans reuse their lost-work rows
+    (the re-estimated model is rebound with
+    {!Wfc_core.Eval_engine.set_model}).
+
+    With [relinearize], each replan also builds a second candidate order —
+    the executed prefix followed by the given strategy's linearization
+    filtered to the remaining tasks (always a valid linearization, because
+    the prefix is ancestor-closed) — spends half the budget on each, and
+    keeps whichever expected remaining time is lower (ties keep the
+    current order). *)

@@ -102,6 +102,29 @@ let makespan_samples ?(runs = 1000) ~seed model g sched =
   done;
   samples
 
+type tails = {
+  mean : float;
+  p95 : float;
+  p99 : float;
+  cvar95 : float;
+  cvar99 : float;
+  worst : float;
+}
+
+let tails_of_samples samples =
+  let module SS = Wfc_platform.Sample_set in
+  {
+    mean = SS.mean samples;
+    p95 = SS.quantile samples 0.95;
+    p99 = SS.quantile samples 0.99;
+    cvar95 = SS.cvar samples 0.95;
+    cvar99 = SS.cvar samples 0.99;
+    worst = SS.quantile samples 1.;
+  }
+
+let estimate_tails ?runs ~seed model g sched =
+  tails_of_samples (makespan_samples ?runs ~seed model g sched)
+
 let agrees_with e ~expected ~sigmas =
   let mean = Wfc_platform.Stats.mean e.makespan in
   let err = Wfc_platform.Stats.std_error e.makespan in

@@ -89,6 +89,32 @@ val makespan_samples :
 (** Like {!estimate} but keeping every makespan sample, for quantile and
     tail analysis ({!Wfc_platform.Sample_set.quantile}). *)
 
+type tails = {
+  mean : float;
+  p95 : float;  (** 95th-percentile makespan *)
+  p99 : float;
+  cvar95 : float;  (** expected makespan of the worst 5% of runs *)
+  cvar99 : float;
+  worst : float;  (** largest sampled makespan *)
+}
+(** Tail risk of a makespan distribution: the numbers a risk-averse
+    selection ({!Wfc_resilience.Robust}) ranks schedules by. *)
+
+val tails_of_samples : Wfc_platform.Sample_set.t -> tails
+(** Quantiles via {!Wfc_platform.Sample_set.quantile}, CVaR via
+    {!Wfc_platform.Sample_set.cvar}.
+
+    @raise Invalid_argument on an empty sample set. *)
+
+val estimate_tails :
+  ?runs:int ->
+  seed:int ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  tails
+(** [tails_of_samples] of {!makespan_samples}. *)
+
 val agrees_with :
   estimate -> expected:float -> sigmas:float -> bool
 (** [agrees_with e ~expected ~sigmas] tells whether [expected] lies within

@@ -22,7 +22,6 @@ let record_run r ~recoveries =
 (* Shared state and replay-closure computation for all execution engines. *)
 type state = {
   g : Wfc_dag.Dag.t;
-  sched : Wfc_core.Schedule.t;
   in_memory : bool array;
   on_disk : bool array;
   seen : bool array;  (* scratch for the closure walk *)
@@ -30,11 +29,9 @@ type state = {
   mutable recoveries : int;  (* checkpoint reads performed during replays *)
 }
 
-let make_state g sched =
-  let n = Wfc_core.Schedule.n_tasks sched in
+let make_state g ~n =
   {
     g;
-    sched;
     in_memory = Array.make n false;
     on_disk = Array.make n false;
     seen = Array.make n false;
@@ -79,14 +76,51 @@ let commit st v ~checkpointing =
   if checkpointing then st.on_disk.(v) <- true
 
 let wipe_memory st = Array.fill st.in_memory 0 (Array.length st.in_memory) false
+let recoveries st = st.recoveries
 
-(* Generic blocking-checkpoint engine. [time_to_failure] returns the time
-   until the next failure measured from now; [consume dt] tells the failure
-   process that [dt] seconds elapsed without failure; [after_failure] is
-   called once per failure so renewal processes can redraw. *)
-let run_engine ~time_to_failure ~consume ~after_failure ~downtime g sched =
-  let st = make_state g sched in
+(* A failure environment as seen by the blocking engine. [time_to_failure]
+   returns the time until the next failure measured from now; [consume dt]
+   tells the process that [dt] seconds elapsed without failure;
+   [next_downtime] is drawn once per failure, before [after_failure] lets
+   renewal processes redraw — the call order every engine (and every
+   recording wrapper) relies on. *)
+type source = {
+  time_to_failure : unit -> float;
+  consume : float -> unit;
+  next_downtime : unit -> float;
+  after_failure : unit -> unit;
+}
+
+let source_of_model ~rng model =
+  let lambda = model.Wfc_platform.Failure_model.lambda in
+  let downtime = model.Wfc_platform.Failure_model.downtime in
+  {
+    (* memoryless: a fresh draw per attempt is exact for exponential *)
+    time_to_failure =
+      (fun () ->
+        if lambda = 0. then infinity
+        else Wfc_platform.Rng.exponential rng ~rate:lambda);
+    consume = (fun _ -> ());
+    next_downtime = (fun () -> downtime);
+    after_failure = (fun () -> ());
+  }
+
+let renewal_source ~rng ~failures ~downtime =
+  (* countdown to the next failure: consumed by successful segments, redrawn
+     after each repair (the repair renews the process) *)
+  let remaining = ref (Wfc_platform.Distribution.sample failures rng) in
+  {
+    time_to_failure = (fun () -> !remaining);
+    consume = (fun dt -> remaining := !remaining -. dt);
+    next_downtime = (fun () -> Wfc_platform.Distribution.sample downtime rng);
+    after_failure =
+      (fun () -> remaining := Wfc_platform.Distribution.sample failures rng);
+  }
+
+(* Generic blocking-checkpoint engine, parametric in the failure source. *)
+let run_with_source source g sched =
   let n = Wfc_core.Schedule.n_tasks sched in
+  let st = make_state g ~n in
   let time = ref 0. and failures = ref 0 and wasted = ref 0. in
   for p = 0 to n - 1 do
     let v = Wfc_core.Schedule.task_at sched p in
@@ -97,20 +131,21 @@ let run_engine ~time_to_failure ~consume ~after_failure ~downtime g sched =
       let segment =
         replay +. weight st v +. (if checkpointing then ckpt_cost st v else 0.)
       in
-      let fail_after = time_to_failure () in
+      let fail_after = source.time_to_failure () in
       if fail_after >= segment then begin
         time := !time +. segment;
         wasted := !wasted +. replay;
-        consume segment;
+        source.consume segment;
         commit st v ~checkpointing;
         finished := true
       end
       else begin
+        let downtime = source.next_downtime () in
         time := !time +. fail_after +. downtime;
         wasted := !wasted +. fail_after +. downtime;
         incr failures;
         wipe_memory st;
-        after_failure ()
+        source.after_failure ()
       end
     done
   done;
@@ -118,26 +153,11 @@ let run_engine ~time_to_failure ~consume ~after_failure ~downtime g sched =
     { makespan = !time; failures = !failures; wasted = !wasted }
     ~recoveries:st.recoveries
 
-let run ~rng model g sched =
-  let lambda = model.Wfc_platform.Failure_model.lambda in
-  (* memoryless: a fresh draw per attempt is exact for exponential *)
-  let time_to_failure () =
-    if lambda = 0. then infinity
-    else Wfc_platform.Rng.exponential rng ~rate:lambda
-  in
-  run_engine ~time_to_failure
-    ~consume:(fun _ -> ())
-    ~after_failure:(fun () -> ())
-    ~downtime:model.Wfc_platform.Failure_model.downtime g sched
+let run ~rng model g sched = run_with_source (source_of_model ~rng model) g sched
 
 let run_renewal ~rng ~failures ~downtime g sched =
   if downtime < 0. then invalid_arg "Sim.run_renewal: negative downtime";
-  (* countdown to the next failure: consumed by successful segments, redrawn
-     after each repair (the repair renews the process) *)
-  let remaining = ref (Wfc_platform.Distribution.sample failures rng) in
-  run_engine
-    ~time_to_failure:(fun () -> !remaining)
-    ~consume:(fun dt -> remaining := !remaining -. dt)
-    ~after_failure:(fun () ->
-      remaining := Wfc_platform.Distribution.sample failures rng)
-    ~downtime g sched
+  run_with_source
+    (renewal_source ~rng ~failures
+       ~downtime:(Wfc_platform.Distribution.Constant downtime))
+    g sched

@@ -20,6 +20,71 @@ type run = {
   wasted : float;  (** time spent on lost attempts, downtime and replays *)
 }
 
+(** {1 Execution machinery}
+
+    The pieces every blocking engine shares, exported so variants (the
+    adaptive executor, fault injectors) reuse the exact replay semantics
+    instead of reimplementing them. *)
+
+type state
+(** Platform memory/disk state: which task outputs are live in memory (all
+    lost on failure) and which checkpoints sit on stable storage. *)
+
+val make_state : Wfc_dag.Dag.t -> n:int -> state
+(** Fresh state for an [n]-task DAG: nothing in memory, nothing on disk. *)
+
+val replay_cost : state -> int -> float
+(** Replay cost for executing task [v] now: recover lost checkpointed
+    ancestors (at recovery cost), recompute lost plain ones (recursively,
+    at their weight). Also notes which outputs the segment will bring back
+    to memory, applied by the next {!commit}. *)
+
+val commit : state -> int -> checkpointing:bool -> unit
+(** The segment of task [v] completed: its output (and everything the last
+    {!replay_cost} restored) is in memory; with [checkpointing] its
+    checkpoint is on disk. *)
+
+val wipe_memory : state -> unit
+(** A failure: every in-memory output is lost; disk survives. *)
+
+val recoveries : state -> int
+(** Checkpoint reads performed by replays so far. *)
+
+val record_run : run -> recoveries:int -> run
+(** Flush one replica's counters to the metrics layer (a no-op when
+    disabled) and return the run unchanged. *)
+
+type source = {
+  time_to_failure : unit -> float;
+      (** time until the next failure, measured from now; [infinity] means
+          the current segment cannot fail *)
+  consume : float -> unit;
+      (** [consume dt]: [dt] seconds elapsed without a failure (lets renewal
+          processes age their countdown; memoryless sources ignore it) *)
+  next_downtime : unit -> float;  (** drawn once per failure *)
+  after_failure : unit -> unit;
+      (** the repair renews the process; called {e after} [next_downtime] —
+          every engine and recording wrapper relies on that call order *)
+}
+(** A failure environment as seen by the blocking engine. *)
+
+val source_of_model : rng:Wfc_platform.Rng.t -> Wfc_platform.Failure_model.t -> source
+(** Memoryless exponential failures with constant downtime: a fresh
+    inter-arrival draw per attempt, which is exact for the exponential law. *)
+
+val renewal_source :
+  rng:Wfc_platform.Rng.t ->
+  failures:Wfc_platform.Distribution.t ->
+  downtime:Wfc_platform.Distribution.t ->
+  source
+(** Renewal failures: one countdown drawn at start and after every repair,
+    consumed by successful segments in between. *)
+
+val run_with_source : source -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> run
+(** The generic blocking-checkpoint engine, parametric in the failure
+    source. {!run} and {!run_renewal} are thin wrappers; {!Trace_io} wraps a
+    [source] to record or replay the exact draws. *)
+
 val run :
   rng:Wfc_platform.Rng.t ->
   Wfc_platform.Failure_model.t ->

@@ -1,0 +1,170 @@
+module FM = Wfc_platform.Failure_model
+module Metrics = Wfc_obs.Metrics
+module Trace = Wfc_obs.Trace
+
+let m_runs = Metrics.counter "adaptive.runs"
+let m_replans = Metrics.counter "adaptive.replans"
+let m_reestimates = Metrics.counter "adaptive.reestimates"
+let m_rejected = Metrics.counter "adaptive.plans_kept"
+let h_lambda = Metrics.histogram "adaptive.lambda_hat"
+
+type trigger = Every_failure | Every_k of int | On_drift of float
+
+type plan = { order : int array; flags : bool array }
+
+type replan =
+  model:FM.t -> order:int array -> flags:bool array -> from:int -> plan option
+
+type config = {
+  planning : FM.t;
+  trigger : trigger;
+  min_observations : int;
+  replan : replan option;
+}
+
+let default_config planning =
+  { planning; trigger = Every_failure; min_observations = 3; replan = None }
+
+type result = {
+  run : Sim.run;
+  replans : int;
+  reestimates : int;
+  estimated : FM.t;
+  final_order : int array;
+  final_flags : bool array;
+}
+
+let validate_config c =
+  (match c.trigger with
+  | Every_failure -> ()
+  | Every_k k ->
+      if k < 1 then invalid_arg "Sim_adaptive: Every_k needs k >= 1"
+  | On_drift f ->
+      if not (f > 1.) then invalid_arg "Sim_adaptive: On_drift needs f > 1");
+  if c.min_observations < 1 then
+    invalid_arg "Sim_adaptive: min_observations must be at least 1"
+
+(* A plan may only touch the not-yet-completed suffix: the executed prefix
+   determines what is already on disk, so moving or re-flagging it would
+   desynchronize the planner's view from the platform state. *)
+let validate_plan g ~order ~flags ~from plan =
+  let n = Array.length order in
+  if Array.length plan.order <> n || Array.length plan.flags <> n then
+    invalid_arg "Sim_adaptive: plan has the wrong size";
+  for p = 0 to from - 1 do
+    if plan.order.(p) <> order.(p) then
+      invalid_arg "Sim_adaptive: plan moves a completed position";
+    if plan.flags.(order.(p)) <> flags.(order.(p)) then
+      invalid_arg "Sim_adaptive: plan re-flags a completed task"
+  done;
+  if not (Wfc_dag.Dag.is_linearization g plan.order) then
+    invalid_arg "Sim_adaptive: plan order is not a linearization"
+
+let run config ~source g sched =
+  Trace.with_span "adaptive.run" @@ fun () ->
+  validate_config config;
+  let n = Wfc_core.Schedule.n_tasks sched in
+  let order = Array.init n (Wfc_core.Schedule.task_at sched) in
+  let flags = Array.init n (Wfc_core.Schedule.is_checkpointed sched) in
+  let weight v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight in
+  let ckpt_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost in
+  let st = Sim.make_state g ~n in
+  let time = ref 0. and failures = ref 0 and wasted = ref 0. in
+  (* observations feeding the MLE *)
+  let exposure = ref 0. and downtime_sum = ref 0. in
+  let replans = ref 0 and reestimates = ref 0 in
+  let estimated = ref config.planning in
+  (* the rate the current schedule was (re)planned for, for On_drift *)
+  let plan_lambda = ref config.planning.FM.lambda in
+  let estimate () =
+    if !exposure > 0. then begin
+      let lambda_hat = float_of_int !failures /. !exposure in
+      let downtime_hat = !downtime_sum /. float_of_int !failures in
+      incr reestimates;
+      if Metrics.enabled () then begin
+        Metrics.incr m_reestimates;
+        Metrics.observe h_lambda lambda_hat
+      end;
+      estimated := FM.make ~lambda:lambda_hat ~downtime:downtime_hat ();
+      true
+    end
+    else false
+  in
+  let should_replan () =
+    match config.trigger with
+    | Every_failure -> true
+    | Every_k k -> !failures mod k = 0
+    | On_drift f ->
+        let lh = (!estimated).FM.lambda in
+        if !plan_lambda = 0. then lh > 0.
+        else Float.max (lh /. !plan_lambda) (!plan_lambda /. lh) >= f
+  in
+  let p = ref 0 in
+  while !p < n do
+    (* re-read after every attempt: a replan may have changed both *)
+    let v = order.(!p) in
+    let checkpointing = flags.(v) in
+    let replay = Sim.replay_cost st v in
+    let segment =
+      replay +. weight v +. (if checkpointing then ckpt_cost v else 0.)
+    in
+    let fail_after = source.Sim.time_to_failure () in
+    if fail_after >= segment then begin
+      time := !time +. segment;
+      wasted := !wasted +. replay;
+      source.Sim.consume segment;
+      exposure := !exposure +. segment;
+      Sim.commit st v ~checkpointing;
+      incr p
+    end
+    else begin
+      let downtime = source.Sim.next_downtime () in
+      time := !time +. fail_after +. downtime;
+      wasted := !wasted +. fail_after +. downtime;
+      incr failures;
+      exposure := !exposure +. fail_after;
+      downtime_sum := !downtime_sum +. downtime;
+      Sim.wipe_memory st;
+      source.Sim.after_failure ();
+      if !failures >= config.min_observations && estimate () then
+        match config.replan with
+        | None -> ()
+        | Some _ when not (should_replan ()) -> ()
+        | Some cb -> (
+            match
+              Trace.with_span "adaptive.replan" (fun () ->
+                  cb ~model:!estimated ~order:(Array.copy order)
+                    ~flags:(Array.copy flags) ~from:!p)
+            with
+            | None -> Metrics.incr m_rejected
+            | Some plan ->
+                validate_plan g ~order ~flags ~from:!p plan;
+                Array.blit plan.order 0 order 0 n;
+                Array.blit plan.flags 0 flags 0 n;
+                plan_lambda := (!estimated).FM.lambda;
+                incr replans;
+                if Metrics.enabled () then Metrics.incr m_replans;
+                Trace.instant "adaptive.replanned"
+                  ~args:
+                    [
+                      ("from", string_of_int !p);
+                      ("failures", string_of_int !failures);
+                      ( "lambda_hat",
+                        Printf.sprintf "%.6g" (!estimated).FM.lambda );
+                    ])
+    end
+  done;
+  if Metrics.enabled () then Metrics.incr m_runs;
+  let run =
+    Sim.record_run
+      { Sim.makespan = !time; failures = !failures; wasted = !wasted }
+      ~recoveries:(Sim.recoveries st)
+  in
+  {
+    run;
+    replans = !replans;
+    reestimates = !reestimates;
+    estimated = !estimated;
+    final_order = order;
+    final_flags = flags;
+  }

@@ -45,10 +45,25 @@ let check_probability what ~strict p =
   if not (p >= 0. && (if strict then p < 1. else p <= 1.)) then
     invalid_arg (Printf.sprintf "Sim_faults: %s out of range" what)
 
-(* Mirrors Sim.run_engine draw for draw so that the zero-fault configuration
-   is bit-identical to Sim.run on the same RNG stream: fault bernoullis and
+(* Mirrors Sim.run draw for draw so that the zero-fault configuration is
+   bit-identical to Sim.run on the same RNG stream: fault bernoullis and
    degenerate downtimes consume no randomness at all. *)
-let run ~rng params g sched =
+let source_of_params ~rng (params : params) =
+  match params.failures with
+  | Distribution.Exponential rate ->
+      (* memoryless: a fresh draw per attempt is exact, as in Sim.run *)
+      {
+        Sim.time_to_failure = (fun () -> Rng.exponential rng ~rate);
+        consume = (fun _ -> ());
+        next_downtime = (fun () -> Distribution.sample params.downtime rng);
+        after_failure = (fun () -> ());
+      }
+  | d ->
+      (* renewal: countdown consumed by successful segments, redrawn after
+         each repair, as in Sim.run_renewal *)
+      Sim.renewal_source ~rng ~failures:d ~downtime:params.downtime
+
+let run ?source ~rng params g sched =
   check_probability "p_ckpt_fail" ~strict:false params.p_ckpt_fail;
   check_probability "p_rec_fail" ~strict:true params.p_rec_fail;
   if params.max_failures < 0 then
@@ -65,18 +80,8 @@ let run ~rng params g sched =
   let ckpt_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost in
   let rec_cost v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost in
   let bernoulli p = p > 0. && Rng.uniform rng < p in
-  let time_to_failure, consume, after_failure =
-    match params.failures with
-    | Distribution.Exponential rate ->
-        (* memoryless: a fresh draw per attempt is exact, as in Sim.run *)
-        ((fun () -> Rng.exponential rng ~rate), (fun _ -> ()), fun () -> ())
-    | d ->
-        (* renewal: countdown consumed by successful segments, redrawn after
-           each repair, as in Sim.run_renewal *)
-        let remaining = ref (Distribution.sample d rng) in
-        ( (fun () -> !remaining),
-          (fun dt -> remaining := !remaining -. dt),
-          fun () -> remaining := Distribution.sample d rng )
+  let src =
+    match source with Some s -> s | None -> source_of_params ~rng params
   in
   (* Replay for task [v]: recover lost checkpointed ancestors, recompute lost
      plain ones. A recovery read retries on transient failure; a read of a
@@ -131,11 +136,11 @@ let run ~rng params g sched =
          let segment =
            replay +. weight v +. (if checkpointing then ckpt_cost v else 0.)
          in
-         let fail_after = time_to_failure () in
+         let fail_after = src.Sim.time_to_failure () in
          if fail_after >= segment then begin
            time := !time +. segment;
            wasted := !wasted +. replay;
-           consume segment;
+           src.Sim.consume segment;
            List.iter (fun u -> in_memory.(u) <- true) !restored;
            in_memory.(v) <- true;
            if checkpointing then begin
@@ -145,12 +150,12 @@ let run ~rng params g sched =
            finished := true
          end
          else begin
-           let down = Distribution.sample params.downtime rng in
+           let down = src.Sim.next_downtime () in
            time := !time +. fail_after +. down;
            wasted := !wasted +. fail_after +. down;
            incr failures;
            Array.fill in_memory 0 n false;
-           after_failure ();
+           src.Sim.after_failure ();
            if params.max_failures > 0 && !failures >= params.max_failures then
              raise Capped
          end

@@ -62,13 +62,22 @@ type run = {
   truncated : bool;  (** stopped early by the [max_failures] safety valve *)
 }
 
+val source_of_params : rng:Wfc_platform.Rng.t -> params -> Sim.source
+(** The failure process [run] draws from when no [?source] is given:
+    memoryless per-attempt draws for [Exponential], a renewal countdown
+    otherwise, downtime sampled per failure. *)
+
 val run :
+  ?source:Sim.source ->
   rng:Wfc_platform.Rng.t ->
   params ->
   Wfc_dag.Dag.t ->
   Wfc_core.Schedule.t ->
   run
-(** One simulated execution under checkpoint/recovery faults.
+(** One simulated execution under checkpoint/recovery faults. [?source]
+    overrides where platform failures and downtimes come from — e.g. a
+    {!Trace_io} recording or replay wrapper; [rng] still drives the fault
+    bernoullis, so full determinism additionally needs the same seed.
 
     @raise Invalid_argument if [p_ckpt_fail] is outside [\[0, 1\]],
     [p_rec_fail] outside [\[0, 1)] (a certain recovery failure would never

@@ -194,3 +194,116 @@ reports must be live (nonzero B&B nodes, nonzero engine cache hits):
   metric,kind,value
   $ grep -c '^bnb.nodes,counter,' metrics.csv
   1
+
+The shared --failures converter accepts the four renewal laws and rejects
+everything else with a one-line usage error:
+
+  $ ../bin/wfc.exe simulate -w montage -n 12 --mtbf 300 --runs 200 --seed 5 --failures weibull:1.5,300
+  DF-CkptW on Montage (12 tasks), platform: lambda=0.00333333 (MTBF 300 s), downtime 0 s, failures weibull(k=1.5,s=300)
+    analytic E[makespan] : 140.70 s (exponential, blocking model)
+    simulated mean       : 138.32 s  (95% CI [137.31, 139.33], 200 runs)
+    failures per run     : 0.23 (max 2)
+    wasted time per run  : 3.23 s
+  $ ../bin/wfc.exe simulate -n 12 --failures banana 2>&1 | head -1
+  wfc: option '--failures': invalid failure law "banana": expected exp:RATE,
+  $ ../bin/wfc.exe simulate -n 12 --failures banana 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe simulate -n 12 --failures weibull:0,5 2>&1 | head -1
+  wfc: option '--failures': Distribution.weibull: shape must be positive
+  $ ../bin/wfc.exe simulate -n 12 --failures weibull:0,5 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+stress accepts the same grammar, adding one custom scenario to the grid:
+
+  $ ../bin/wfc.exe stress -w montage -n 12 --mtbf 300 --runs 50 --seed 3 --failures hyper:0.9,0.01,0.0005 2>&1 | sed -n '2p'
+  13 scenarios x 6 schedules, 50 runs each, seed 3
+  $ ../bin/wfc.exe stress -n 12 --failures const:abc 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+wfc replay records a failure trace to JSONL and replays it bit-exactly; an
+attempts-kind trace is conditioned on the recorded schedule, so replaying it
+against a different one diverges instead of answering nonsense:
+
+  $ ../bin/wfc.exe replay -w montage -n 12 --mtbf 80 --downtime 2 --kind attempts --record trace9.jsonl
+  recorded attempts trace: 19 events, 7 failures
+    makespan 217.39 s, 7 failures, 82.36 s wasted
+  wrote trace9.jsonl
+  $ head -1 trace9.jsonl
+  {"format":"wfc-trace","version":1,"kind":"attempts"}
+  $ ../bin/wfc.exe replay -w montage -n 12 --mtbf 80 --downtime 2 --kind attempts --input trace9.jsonl
+  loaded attempts trace: 19 events, 7 failures
+    makespan 217.39 s, 7 failures, 82.36 s wasted
+  $ ../bin/wfc.exe replay -w montage -n 12 --mtbf 80 --downtime 2 -s CkptNvr --input trace9.jsonl 2>&1
+  loaded attempts trace: 19 events, 7 failures
+  replay diverged (schedule differs from the recorded one): attempt 1: segment survived a recorded failure
+  [1]
+
+A renewal-kind trace is policy-independent and can carry any --failures law:
+
+  $ ../bin/wfc.exe replay -w montage -n 12 --mtbf 150 --downtime 2 --seed 9 --kind renewal --failures weibull:1.5,60 --record renew.jsonl
+  recorded renewal trace: 5 events, 2 failures
+    makespan 170.55 s, 2 failures, 22.04 s wasted
+  wrote renew.jsonl
+  $ ../bin/wfc.exe replay -w montage -n 12 --mtbf 150 --downtime 2 --seed 9 --input renew.jsonl
+  loaded renewal trace: 5 events, 2 failures
+    makespan 170.55 s, 2 failures, 22.04 s wasted
+
+Exactly one of --record / --input, and the trace kind is validated:
+
+  $ ../bin/wfc.exe replay -n 12 2>&1
+  wfc replay: exactly one of --record or --input is required
+  [124]
+  $ ../bin/wfc.exe replay -n 12 --kind zigzag --record x.jsonl 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe replay -n 12 --input no-such-trace.jsonl 2>&1
+  cannot load no-such-trace.jsonl: no-such-trace.jsonl: No such file or directory
+  [1]
+
+wfc adapt scores the static schedule against the adaptive executor on shared
+recorded traces (deterministic in the seed) and picks by risk criterion:
+
+  $ ../bin/wfc.exe adapt -w montage -n 12 --mtbf 5000 --true-mtbf 400 --downtime 1 --traces 10 --horizon 400
+  adaptive selection: Montage (12 tasks), planning platform: lambda=0.0002 (MTBF 5000 s), downtime 1 s, true MTBF 400 s
+  criterion cvar@0.95, 4 scenarios x 10 traces, seed 42
+  
+  policy    mean   cvar@0.95  worst  max regret  exhausted
+  --------  -----  ---------  -----  ----------  ---------
+  DF-CkptW  143.3  240.7      302.9  1.6         0
+  adaptive  142.9  236.6      286.7  0.0         0
+  
+  per-scenario mean makespan and regret:
+  
+  policy    scenario       mean   regret
+  --------  -------------  -----  ------
+  DF-CkptW  exponential    125.9  0.0
+  DF-CkptW  weibull k=0.7  164.9  1.6
+  DF-CkptW  weibull k=1.5  125.9  0.0
+  DF-CkptW  bursty         156.4  0.0
+  adaptive  exponential    125.9  0.0
+  adaptive  weibull k=0.7  163.3  0.0
+  adaptive  weibull k=1.5  125.9  0.0
+  adaptive  bursty         156.4  0.0
+  
+  selected: adaptive by cvar@0.95
+
+
+
+
+
+Malformed triggers and criteria are usage errors, not tracebacks:
+
+  $ ../bin/wfc.exe adapt -n 12 --trigger k:0 2>&1 | head -1
+  wfc: option '--trigger': invalid trigger "k:0": expected every, k:N (N >= 1)
+  $ ../bin/wfc.exe adapt -n 12 --trigger k:0 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe adapt -n 12 --criterion p99 2>&1 | head -1
+  wfc: option '--criterion': unknown criterion "p99": expected mean, worst,
+  $ ../bin/wfc.exe adapt -n 12 --criterion p99 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+The adaptive-vs-static regression guard: under a >= 4x misspecified failure
+rate the adaptive policy must strictly beat the static plan on the shared
+trace ensemble (full run: FIG=adaptive dune exec bench/main.exe):
+
+  $ TRACES=30 FIG=adaptive ../bench/main.exe | grep guard
+  adaptive-vs-static guard: PASS

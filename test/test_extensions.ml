@@ -257,6 +257,67 @@ let test_trace_timeline () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "tiny width accepted"
 
+let test_timeline_degenerate () =
+  let module ST = Wfc_simulator.Sim_trace in
+  (* empty log: a marker, not an exception or an empty string *)
+  Alcotest.(check string) "empty log" "(empty trace)\n" (ST.render_timeline []);
+  (* zero/negative widths are rejected like tiny ones; 8 is the floor *)
+  List.iter
+    (fun w ->
+      match ST.render_timeline ~width:w [] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "width %d accepted" w)
+    [ 0; -5; 7 ];
+  (match ST.render_timeline ~width:8 [] with
+  | _ -> ()
+  | exception Invalid_argument _ -> Alcotest.fail "width 8 must be accepted");
+  (* a failure at time 0 (zero-length span, zero horizon): the degenerate
+     division guard must keep every column at 0 and still mark the x *)
+  let t0_failure =
+    [
+      ST.Attempt { position = 0; task = 0; start = 0.; replay = 0.; work = 5. };
+      ST.Failure { position = 0; task = 0; time = 0.; elapsed = 0. };
+    ]
+  in
+  let timeline = ST.render_timeline ~width:10 t0_failure in
+  Alcotest.(check bool) "t0 failure marked" true (String.contains timeline 'x');
+  Alcotest.(check bool) "t0 horizon printed" true
+    (String.length timeline > 0 && timeline.[String.length timeline - 1] = '\n');
+  (* orphan outcomes (no opening attempt) and a trailing open attempt are
+     dropped, not fatal *)
+  let orphans =
+    [
+      ST.Completion { position = 0; task = 0; time = 1.; checkpointed = false };
+      ST.Failure { position = 1; task = 1; time = 2.; elapsed = 2. };
+    ]
+  in
+  Alcotest.(check string) "orphans ignored" "(empty trace)\n"
+    (ST.render_timeline orphans);
+  let open_attempt =
+    [ ST.Attempt { position = 0; task = 2; start = 0.; replay = 0.; work = 3. } ]
+  in
+  Alcotest.(check string) "open attempt ignored" "(empty trace)\n"
+    (ST.render_timeline open_attempt)
+
+let test_pp_event_degenerate () =
+  let module ST = Wfc_simulator.Sim_trace in
+  (* all three constructors print, including at time 0 with nothing lost *)
+  let printed e = Format.asprintf "%a" ST.pp_event e in
+  let cases =
+    [
+      ST.Attempt { position = 0; task = 0; start = 0.; replay = 0.; work = 0. };
+      ST.Completion { position = 0; task = 0; time = 0.; checkpointed = true };
+      ST.Failure { position = 0; task = 0; time = 0.; elapsed = 0. };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let s = printed e in
+      Alcotest.(check bool) "non-empty" true (String.length s > 0);
+      Alcotest.(check bool) "names the task" true
+        (String.length s > 2 && String.contains s 'T'))
+    cases
+
 let test_trace_pp () =
   let s =
     Format.asprintf "%a" Wfc_simulator.Sim_trace.pp_event
@@ -309,6 +370,10 @@ let () =
           Alcotest.test_case "consistent with summary" `Quick
             test_trace_consistent_with_summary;
           Alcotest.test_case "timeline" `Quick test_trace_timeline;
+          Alcotest.test_case "timeline degenerate inputs" `Quick
+            test_timeline_degenerate;
+          Alcotest.test_case "pp_event degenerate inputs" `Quick
+            test_pp_event_degenerate;
           Alcotest.test_case "pp" `Quick test_trace_pp;
         ] );
     ]

@@ -183,6 +183,145 @@ let test_validation () =
   expect_invalid (fun () ->
       ignore (Stress.evaluate ~seed:1 ~nominal ~scenarios:[] g s))
 
+(* ---- robust: risk-aware selection over shared trace ensembles ---- *)
+
+module Robust = Wfc_resilience.Robust
+
+let test_robust_scenarios () =
+  let scs = Robust.default_scenarios nominal in
+  Alcotest.(check int) "four laws" 4 (List.length scs);
+  (* equal MTBF by construction: shape varies, scale does not *)
+  List.iter
+    (fun (sc : Robust.scenario) ->
+      Wfc_test_util.check_close ~eps:1e-6
+        (Printf.sprintf "MTBF of %s" sc.Robust.name)
+        (1. /. nominal.FM.lambda)
+        (D.mean sc.Robust.failures))
+    scs;
+  (match Robust.default_scenarios FM.fail_free with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fail-free nominal must be rejected")
+
+let test_criterion_parsing () =
+  let check s expect =
+    match (Robust.criterion_of_string s, expect) with
+    | None, None -> ()
+    | Some c, Some c' when c = c' -> ()
+    | got, _ ->
+        Alcotest.failf "%s parsed as %s" s
+          (match got with
+          | None -> "None"
+          | Some c -> Robust.criterion_name c)
+  in
+  check "mean" (Some Robust.Mean);
+  check "worst" (Some Robust.Worst);
+  check "cvar" (Some (Robust.CVaR 0.95));
+  check "cvar:0.9" (Some (Robust.CVaR 0.9));
+  check "CVAR:0.5" (Some (Robust.CVaR 0.5));
+  check "cvar:1.5" None;
+  check "p99" None
+
+let robust_fixture () =
+  let g = workflow 12 in
+  let order = df_order g in
+  (g, order)
+
+let test_robust_evaluate () =
+  let g, order = robust_fixture () in
+  (* a harsh platform (MTBF = half the total work): checkpointing everything
+     should beat checkpointing nothing under every law of the ensemble, and
+     even the no-checkpoint run finishes well within the recorded horizon *)
+  let harsh =
+    FM.make ~lambda:(2. /. Wfc_dag.Dag.total_weight g) ~downtime:1. ()
+  in
+  let candidates =
+    [
+      Robust.static ~name:"none" g (Wfc_core.Schedule.no_checkpoints g ~order);
+      Robust.static ~name:"all" g (Wfc_core.Schedule.all_checkpoints g ~order);
+    ]
+  in
+  let min_uptime = 500. *. Wfc_dag.Dag.total_weight g in
+  let eval () =
+    Robust.evaluate ~traces_per_scenario:20 ~seed:11 ~min_uptime
+      ~criterion:(Robust.CVaR 0.9)
+      ~scenarios:(Robust.default_scenarios harsh)
+      candidates
+  in
+  let r = eval () in
+  Alcotest.(check string) "all checkpoints wins" "all"
+    r.Robust.winner.Robust.candidate;
+  (* the ensemble is shared and deterministic: same seed, same report *)
+  let r' = eval () in
+  Alcotest.(check bool) "deterministic" true (r.Robust.scores = r'.Robust.scores);
+  List.iter
+    (fun (s : Robust.score) ->
+      Alcotest.(check int) "no exhausted runs" 0 s.Robust.exhausted;
+      Alcotest.(check int) "one regret entry per scenario" 4
+        (List.length s.Robust.regret);
+      List.iter
+        (fun (_, reg) ->
+          Alcotest.(check bool) "regret non-negative" true (reg >= 0.))
+        s.Robust.regret;
+      Alcotest.(check bool) "cvar dominates mean" true
+        (s.Robust.cvar >= s.Robust.mean);
+      Alcotest.(check bool) "worst dominates cvar" true
+        (s.Robust.worst >= s.Robust.cvar))
+    r.Robust.scores;
+  (* the per-scenario winner has zero regret somewhere *)
+  let winner_regrets = List.map snd r.Robust.winner.Robust.regret in
+  Alcotest.(check bool) "winner touches zero regret" true
+    (List.exists (fun reg -> reg = 0.) winner_regrets)
+
+let test_robust_adaptive_candidate () =
+  (* the adaptive policy rides the same ensemble as the statics *)
+  let g, order = robust_fixture () in
+  let s = Wfc_core.Schedule.no_checkpoints g ~order in
+  let planning = FM.make ~lambda:1e-4 ~downtime:1. () in
+  let config =
+    {
+      (Wfc_simulator.Sim_adaptive.default_config planning) with
+      Wfc_simulator.Sim_adaptive.replan = Some (Driver.replanner ~budget:64 g);
+    }
+  in
+  let harsh =
+    FM.make ~lambda:(2. /. Wfc_dag.Dag.total_weight g) ~downtime:1. ()
+  in
+  let r =
+    Robust.evaluate ~traces_per_scenario:10 ~seed:3
+      ~min_uptime:(1000. *. Wfc_dag.Dag.total_weight g)
+      ~criterion:Robust.Mean
+      ~scenarios:(Robust.default_scenarios harsh)
+      [
+        Robust.static ~name:"static-misspecified" g s;
+        Robust.adaptive ~name:"adaptive" config g s;
+      ]
+  in
+  Alcotest.(check string) "adaptive wins under misspecification" "adaptive"
+    r.Robust.winner.Robust.candidate
+
+let test_robust_validation () =
+  let g, order = robust_fixture () in
+  let s = Wfc_core.Schedule.no_checkpoints g ~order in
+  let cand = [ Robust.static ~name:"s" g s ] in
+  let scenarios = Robust.default_scenarios nominal in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  let eval ?(candidates = cand) ?(scenarios = scenarios) ?traces ?alpha
+      ?(criterion = Robust.Mean) ?(min_uptime = 1e4) () =
+    ignore
+      (Robust.evaluate ?traces_per_scenario:traces ?alpha ~seed:1 ~min_uptime
+         ~criterion ~scenarios candidates)
+  in
+  expect_invalid (fun () -> eval ~candidates:[] ());
+  expect_invalid (fun () -> eval ~scenarios:[] ());
+  expect_invalid (fun () -> eval ~traces:0 ());
+  expect_invalid (fun () -> eval ~alpha:1.5 ());
+  expect_invalid (fun () -> eval ~criterion:(Robust.CVaR 2.) ());
+  expect_invalid (fun () -> eval ~min_uptime:0. ())
+
 let () =
   Alcotest.run "resilience"
     [
@@ -202,5 +341,15 @@ let () =
           Alcotest.test_case "divergence disqualifies" `Quick
             test_divergence_disqualifies;
           Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "equal-MTBF scenarios" `Quick test_robust_scenarios;
+          Alcotest.test_case "criterion parsing" `Quick test_criterion_parsing;
+          Alcotest.test_case "shared-ensemble selection" `Slow
+            test_robust_evaluate;
+          Alcotest.test_case "adaptive candidate" `Slow
+            test_robust_adaptive_candidate;
+          Alcotest.test_case "validation" `Quick test_robust_validation;
         ] );
     ]

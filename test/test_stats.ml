@@ -97,6 +97,46 @@ let test_sample_set_quantiles () =
   expect_invalid (fun () -> ignore (SS.quantile t 1.5));
   expect_invalid (fun () -> ignore (SS.quantile (SS.create ()) 0.5))
 
+let test_sample_set_cvar () =
+  let t = sample_of_list [ 10.; 20.; 30.; 40. ] in
+  (* by hand on the type-7 interpolant: Q(0.5) = 25, and the tail integral
+     is 0.5 * (25 + 30) / 2 + (30 + 40) / 2 = 48.75 over index mass 1.5 *)
+  Wfc_test_util.check_close "cvar 0.5" 32.5 (SS.cvar t 0.5);
+  (* cvar 0 is the mean of the interpolated distribution *)
+  Wfc_test_util.check_close "cvar 0" 25. (SS.cvar t 0.);
+  Wfc_test_util.check_close "cvar 1 = max" 40. (SS.cvar t 1.);
+  (* dominates the quantile at every level *)
+  List.iter
+    (fun q ->
+      if SS.cvar t q < SS.quantile t q then
+        Alcotest.failf "cvar %g below quantile" q)
+    [ 0.; 0.25; 0.5; 0.75; 0.9; 1. ];
+  let single = sample_of_list [ 7. ] in
+  Wfc_test_util.check_close "singleton" 7. (SS.cvar single 0.3);
+  expect_invalid (fun () -> ignore (SS.cvar t 1.5));
+  expect_invalid (fun () -> ignore (SS.cvar (SS.create ()) 0.5))
+
+let test_cvar_exponential_tail () =
+  (* for Exp(rate) the closed forms are VaR_q = ln(1/(1-q)) / rate and
+     CVaR_q = VaR_q + 1/rate; 200k samples pin both to a percent or so *)
+  let rate = 0.5 in
+  let rng = Wfc_platform.Rng.create 42 in
+  let t = SS.create () in
+  for _ = 1 to 200_000 do
+    SS.add t (Wfc_platform.Rng.exponential rng ~rate)
+  done;
+  List.iter
+    (fun q ->
+      let var = Float.log (1. /. (1. -. q)) /. rate in
+      Wfc_test_util.check_close ~eps:0.02
+        (Printf.sprintf "VaR %g" q)
+        var (SS.quantile t q);
+      Wfc_test_util.check_close ~eps:0.02
+        (Printf.sprintf "CVaR %g" q)
+        (var +. (1. /. rate))
+        (SS.cvar t q))
+    [ 0.9; 0.95; 0.99 ]
+
 let test_sample_set_to_stats () =
   let t = sample_of_list [ 1.; 2.; 3. ] in
   let s = SS.to_stats t in
@@ -118,6 +158,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_sample_set_basics;
           Alcotest.test_case "quantiles" `Quick test_sample_set_quantiles;
+          Alcotest.test_case "cvar" `Quick test_sample_set_cvar;
+          Alcotest.test_case "cvar exponential tail" `Quick
+            test_cvar_exponential_tail;
           Alcotest.test_case "to_stats" `Quick test_sample_set_to_stats;
           Alcotest.test_case "growth" `Quick test_sample_set_growth;
         ] );
