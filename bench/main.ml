@@ -7,6 +7,7 @@
           FIG=micro dune exec bench/main.exe     only the micro-benchmarks
           FIG=stress dune exec bench/main.exe    resilience stress micro-campaign
           FIG=engine dune exec bench/main.exe    incremental engine vs naive timing
+          FIG=scale dune exec bench/main.exe     flat kernel at scale, exact B&B n~30
           FIG=obs dune exec bench/main.exe       observability overhead guard
           FIG=adaptive dune exec bench/main.exe  adaptive vs static, misspecified lambda
           FULL=1 ...                             full 50..700 task range
@@ -39,6 +40,7 @@ let () =
   | Some "ablation" -> Ablation.run cfg
   | Some "stress" -> Stress.run ()
   | Some "engine" -> Engine_bench.run ()
+  | Some "scale" -> Scale_bench.run ()
   | Some "obs" -> Obs_bench.run ()
   | Some "adaptive" -> Adaptive_bench.run ()
   | Some id -> (
@@ -47,7 +49,7 @@ let () =
       | None ->
           Printf.eprintf
             "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine', \
-             'obs' or 'adaptive'\n")
+             'scale', 'obs' or 'adaptive'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

@@ -93,6 +93,49 @@ let engine_tests =
              ignore (Eval_engine.flip engine (!i mod n)))))
     [ 50; 200 ]
 
+let flat_tests =
+  (* flip throughput of the flat kernel, same shape as engine/flip above.
+     The steady-state flip path must not allocate: the one-time assertion
+     below runs a settled flip cycle and checks the minor allocation
+     pointer did not move. *)
+  List.map
+    (fun n ->
+      let g, s = prepared P.Cybershake n in
+      let feng = Flat_engine.create model g ~order:s.Schedule.order in
+      ignore (Flat_engine.makespan feng);
+      let i = ref 0 in
+      Test.make
+        ~name:(Printf.sprintf "flat/flip/n=%d" n)
+        (Staged.stage (fun () ->
+             incr i;
+             ignore (Flat_engine.flip feng (!i mod n)))))
+    [ 50; 200 ]
+
+let assert_flip_zero_alloc () =
+  let g, s = prepared P.Cybershake 200 in
+  let n = 200 in
+  let feng = Flat_engine.create model g ~order:s.Schedule.order in
+  ignore (Flat_engine.makespan feng);
+  (* settle: first pass may grow the change journal to capacity. flip_quiet
+     rather than flip: the latter's boxed float return is the caller's
+     allocation, not the kernel's *)
+  for v = 0 to n - 1 do
+    Flat_engine.flip_quiet feng v;
+    Flat_engine.flip_quiet feng v
+  done;
+  let words0 = Gc.minor_words () in
+  for v = 0 to n - 1 do
+    Flat_engine.flip_quiet feng v;
+    Flat_engine.flip_quiet feng v
+  done;
+  let words = Gc.minor_words () -. words0 in
+  if words > 0. then (
+    Printf.printf "FAIL flat/flip allocates: %.0f minor words per %d flips\n"
+      words (2 * n);
+    exit 1);
+  Printf.printf "PASS flat/flip zero-allocation (%d flips, 0 minor words)\n"
+    (2 * n)
+
 let generator_tests =
   List.map
     (fun fam ->
@@ -104,11 +147,13 @@ let generator_tests =
 let all_tests () =
   Test.make_grouped ~name:"wfc"
     (lost_work_tests @ lost_work_reference_tests @ evaluator_tests
-   @ engine_tests @ simulator_tests @ heuristic_tests @ generator_tests)
+   @ engine_tests @ flat_tests @ simulator_tests @ heuristic_tests
+   @ generator_tests)
 
 let () = Bechamel_notty.Unit.add Instance.monotonic_clock "ns"
 
 let run () =
+  assert_flip_zero_alloc ();
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in

@@ -177,7 +177,7 @@ let engine_conv =
   let parse s =
     match Wfc_core.Eval_engine.backend_of_string s with
     | Some b -> Ok b
-    | None -> Error (`Msg (Printf.sprintf "unknown engine '%s' (naive or incremental)" s))
+    | None -> Error (`Msg (Printf.sprintf "unknown engine '%s' (naive, incremental or flat)" s))
   in
   Arg.conv
     (parse, fun ppf b -> Format.pp_print_string ppf (Wfc_core.Eval_engine.backend_name b))
@@ -186,8 +186,10 @@ let engine_t =
   Arg.(value & opt engine_conv Wfc_core.Eval_engine.Incremental
        & info [ "engine" ]
            ~doc:"Evaluation backend for checkpoint searches: incremental \
-                 (cached suffix re-evaluation) or naive (one full evaluator \
-                 call per candidate). Both report oracle makespans.")
+                 (cached suffix re-evaluation), flat (the same semantics on \
+                 contiguous zero-allocation buffers, with a dominance-pruned \
+                 parallel branch and bound) or naive (one full evaluator \
+                 call per candidate). All report oracle makespans.")
 
 let load_t =
   Arg.(value & opt (some string) None
@@ -1213,7 +1215,8 @@ let replay_cmd =
 
 (* ---- profile (instrumented end-to-end workload) ---- *)
 
-let profile family n seed cost mtbf downtime grid engine runs budget csv trace =
+let profile family n seed cost mtbf downtime grid engine bnb_domains runs
+    budget csv trace =
   let module Driver = Wfc_resilience.Solver_driver in
   let g = workflow ~load:None family n seed cost in
   let model = model mtbf downtime in
@@ -1232,7 +1235,7 @@ let profile family n seed cost mtbf downtime grid engine runs budget csv trace =
   let order = Linearize.run Linearize.Depth_first g in
   let config =
     { Driver.default_config with Driver.max_nodes = budget; search;
-      backend = engine }
+      backend = engine; bnb_domains }
   in
   let d = Driver.solve ~config model g ~order in
   (* stage 3: refine the winner, then fault-inject it *)
@@ -1277,13 +1280,20 @@ let profile_cmd =
              ~doc:"Write the metric table as CSV to $(docv) instead of \
                    printing it.")
   in
+  let bnb_domains_t =
+    Arg.(value & opt (positive_int "domain count") 1
+         & info [ "bnb-domains" ] ~docv:"N"
+             ~doc:"Explore the exact tier's branch-and-bound tree over this \
+                   many parallel domains (flat engine only; the sequential \
+                   engines ignore it).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run an instrumented end-to-end workload (heuristics, exact \
              search, local search, simulation) and report internal metrics")
     Term.(const profile $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
-          $ downtime_t $ grid_t $ engine_t $ runs_t $ budget_t $ csv_t
-          $ obs_trace_t)
+          $ downtime_t $ grid_t $ engine_t $ bnb_domains_t $ runs_t $ budget_t
+          $ csv_t $ obs_trace_t)
 
 let main_cmd =
   Cmd.group

@@ -15,14 +15,18 @@ let m_restores = Metrics.counter "engine.snapshot_restores"
 let m_flips = Metrics.counter "engine.flips"
 let m_batch = Metrics.counter "engine.batch_candidates"
 
-type backend = Naive | Incremental
+type backend = Naive | Incremental | Flat
 
-let backend_name = function Naive -> "naive" | Incremental -> "incremental"
+let backend_name = function
+  | Naive -> "naive"
+  | Incremental -> "incremental"
+  | Flat -> "flat"
 
 let backend_of_string s =
   match String.lowercase_ascii s with
   | "naive" -> Some Naive
   | "incremental" | "engine" -> Some Incremental
+  | "flat" -> Some Flat
   | _ -> None
 
 type t = {
@@ -382,6 +386,71 @@ let rollback t =
     t.pend_lo <- t.n;
     t.pend_hi <- -1
   end
+
+(* ---- backend dispatch ------------------------------------------------- *)
+
+(* The two engine representations behind one value, so search loops write a
+   single code path covering Incremental and Flat. Makespans are
+   bit-identical across the two (Flat_engine replays this engine's float
+   operations verbatim), which keeps every search decision — and therefore
+   every reported flag vector — backend-independent. *)
+type handle = H_inc of t | H_flat of Flat_engine.t
+
+let handle ?flags backend model g ~order =
+  match backend with
+  | Naive -> invalid_arg "Eval_engine.handle: the naive backend has no engine"
+  | Incremental -> H_inc (create ?flags model g ~order)
+  | Flat -> H_flat (Flat_engine.create ?flags model g ~order)
+
+let h_makespan = function
+  | H_inc e -> makespan e
+  | H_flat e -> Flat_engine.makespan e
+
+let h_prefix_makespan h ~upto =
+  match h with
+  | H_inc e -> prefix_makespan e ~upto
+  | H_flat e -> Flat_engine.prefix_makespan e ~upto
+
+let h_suffix_makespan h ~from =
+  match h with
+  | H_inc e -> suffix_makespan e ~from
+  | H_flat e -> Flat_engine.suffix_makespan e ~from
+
+let h_flip h v =
+  match h with H_inc e -> flip e v | H_flat e -> Flat_engine.flip e v
+
+let h_set_flag_at h ~pos b =
+  match h with
+  | H_inc e -> set_flag_at e ~pos b
+  | H_flat e -> Flat_engine.set_flag_at e ~pos b
+
+let h_set_flags h target =
+  match h with
+  | H_inc e -> set_flags e target
+  | H_flat e -> Flat_engine.set_flags e target
+
+let h_commit = function H_inc e -> commit e | H_flat e -> Flat_engine.commit e
+
+let h_rollback = function
+  | H_inc e -> rollback e
+  | H_flat e -> Flat_engine.rollback e
+
+let h_set_model h m =
+  match h with
+  | H_inc e -> set_model e m
+  | H_flat e -> Flat_engine.set_model e m
+
+let h_order = function
+  | H_inc e -> order e
+  | H_flat e -> Flat_engine.order e
+
+let h_flags = function
+  | H_inc e -> flags e
+  | H_flat e -> Flat_engine.flags e
+
+let h_n_tasks = function
+  | H_inc e -> n_tasks e
+  | H_flat e -> Flat_engine.n_tasks e
 
 (* ---- batch evaluation ------------------------------------------------- *)
 

@@ -32,9 +32,11 @@
 
 type t
 
-type backend = Naive | Incremental
+type backend = Naive | Incremental | Flat
 (** Selector used by the search modules: [Naive] calls {!Evaluator} per
-    candidate (the pre-engine behaviour), [Incremental] uses this engine. *)
+    candidate (the pre-engine behaviour), [Incremental] uses this engine,
+    [Flat] the {!Flat_engine} kernel (same semantics on flat buffers,
+    bit-identical makespans to [Incremental]). *)
 
 val backend_name : backend -> string
 val backend_of_string : string -> backend option
@@ -116,6 +118,42 @@ val commit : t -> unit
 val rollback : t -> unit
 (** Restores the flags of the last {!commit} (or the creation flags),
     invalidating only the span touched since then. *)
+
+(** {1 Backend dispatch}
+
+    Search loops hold a [handle] instead of a concrete engine so one code
+    path serves both engine-backed backends. Flat and Incremental handles
+    return bit-identical makespans for every flag vector, so search
+    decisions are backend-independent. *)
+
+type handle
+
+val handle :
+  ?flags:bool array ->
+  backend ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  handle
+(** Builds the engine the backend selects.
+
+    @raise Invalid_argument on [Naive] (which has no engine state), or on
+      the conditions of {!create}. *)
+
+val h_makespan : handle -> float
+val h_prefix_makespan : handle -> upto:int -> float
+val h_suffix_makespan : handle -> from:int -> float
+val h_flip : handle -> int -> float
+val h_set_flag_at : handle -> pos:int -> bool -> unit
+val h_set_flags : handle -> bool array -> unit
+val h_commit : handle -> unit
+val h_rollback : handle -> unit
+val h_set_model : handle -> Wfc_platform.Failure_model.t -> unit
+val h_order : handle -> int array
+val h_flags : handle -> bool array
+val h_n_tasks : handle -> int
+(** Each [h_*] is the corresponding operation of the underlying engine
+    ({!flip}, {!set_flags}, … or their {!Flat_engine} counterparts). *)
 
 val batch_evaluate :
   ?domains:int ->

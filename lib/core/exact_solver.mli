@@ -27,6 +27,9 @@ val optimal_checkpoints_within :
   ?max_nodes:int ->
   ?should_stop:(unit -> bool) ->
   ?backend:Eval_engine.backend ->
+  ?domains:int ->
+  ?dominance:bool ->
+  ?memo:bool ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->
@@ -41,15 +44,40 @@ val optimal_checkpoints_within :
 
     [backend] (default [Incremental]) selects how prefix costs are computed:
     an {!Eval_engine} cursor tracking the tree's flag assignments
-    ({!Eval_engine.prefix_makespan} — [O(n)] per node) or a full
-    {!Evaluator.evaluate} per child. The reported makespan is an oracle value
-    in both cases.
+    ({!Eval_engine.prefix_makespan} — [O(n)] per node), a full
+    {!Evaluator.evaluate} per child ([Naive]), or the {!Flat_engine} kernel
+    ([Flat]). The reported makespan is an oracle value in all cases.
 
-    @raise Invalid_argument if [order] is not a linearization of [g]. *)
+    The remaining options apply to the [Flat] backend only (ignored
+    otherwise):
+
+    - [domains] (default [1]) explores root subtrees in parallel over
+      {!Wfc_platform.Domain_pool}: the tree is split at a small depth into
+      flag-prefix subtrees, self-scheduled across domains against a shared
+      atomic incumbent. [should_stop] is then called from worker domains and
+      must be thread-safe (a wall-clock deadline is).
+    - [dominance] (default [true]) prunes children by two sound static
+      rules: a task with no strict descendants is never checkpointed (its
+      checkpoint is never read), and a task with zero checkpoint cost and
+      recovery no larger than its weight is always checkpointed.
+    - [memo] (default [true]) caches leaf completions keyed by a
+      checkpoint-frontier signature (the flags of positions whose strict
+      descendants cross the current depth) and re-evaluates them as
+      warm-start incumbent candidates when an equal frontier recurs.
+
+    With [~domains:1 ~dominance:false ~memo:false], the flat search expands
+    exactly the same nodes in the same order as the sequential engine
+    search — the parity configuration used by the test suite.
+
+    @raise Invalid_argument if [order] is not a linearization of [g] or
+      [domains < 1]. *)
 
 val optimal_checkpoints :
   ?max_nodes:int ->
   ?backend:Eval_engine.backend ->
+  ?domains:int ->
+  ?dominance:bool ->
+  ?memo:bool ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->

@@ -1,0 +1,85 @@
+(** Flat-memory incremental evaluator: {!Eval_engine} semantics at hardware
+    speed.
+
+    Same contract as {!Eval_engine} — bind a [(model, dag, order)] triple,
+    mutate checkpoint flags, query Theorem 3 makespans lazily — with the hot
+    state rebuilt for the machine instead of the garbage collector:
+
+    - the replay matrix, per-row survival products, snapshots and prefix
+      sums live on contiguous [Bigarray.float64] buffers; the matrix is
+      stored transposed (entry [(k, i)] at [i*(i+1)/2 + k]) so the step-[i]
+      fault-row loop walks one contiguous span;
+    - each matrix entry carries its two cached [expm1] transforms, filled by
+      a batched row-wise sweep ({!Wfc_platform.Failure_model.expm1_span}) at
+      row-rebuild time, so the recurrence inner loop — the code executed
+      millions of times per search — performs no transcendental call at all;
+    - every scratch (DFS stacks, staging rows, float/int accumulator slots)
+      is preallocated: the steady-state {!flip_quiet} / {!set_flags} /
+      {!prefix_makespan} path allocates nothing, which the micro bench
+      asserts in minor words per flip.
+
+    Results are bit-identical to {!Eval_engine} for every query on every
+    flag vector (the step executes the same float operations in the same
+    order; only the source of each transform changes), hence equal to the
+    {!Evaluator} oracle up to the same [1e-9] pinned by the differential
+    suites. Searches that must report oracle-exact numbers re-evaluate their
+    winner through {!Evaluator}, exactly as with {!Eval_engine}. *)
+
+type t
+
+val create :
+  ?flags:bool array ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  t
+(** As {!Eval_engine.create}. All caches cold; the first query pays one full
+    evaluation (and the batched transform fill).
+
+    @raise Invalid_argument if [order] is not a linearization of [g] or
+      [flags] has the wrong length. *)
+
+val n_tasks : t -> int
+val order : t -> int array
+val flags : t -> bool array
+val model : t -> Wfc_platform.Failure_model.t
+
+val set_model : t -> Wfc_platform.Failure_model.t -> unit
+(** Rebinds the failure model. Replay values are model-independent and all
+    survive; the cached transforms are refreshed by one batched sweep over
+    the whole triangle on the next query (no row recomputation). *)
+
+val makespan : t -> float
+val prefix_makespan : t -> upto:int -> float
+val suffix_makespan : t -> from:int -> float
+val per_position : t -> float array
+val fault_probability : t -> float array
+(** As the {!Eval_engine} queries, bit-identical results. *)
+
+val flip : t -> int -> float
+(** [flip t v] toggles task [v]'s flag and returns the new makespan. *)
+
+val flip_quiet : t -> int -> unit
+(** {!flip} without the boxed float return: the engine is revalidated (read
+    the result with {!current_makespan}), and the whole path — reach
+    refresh, row rebuilds, batched transforms, recurrence steps — allocates
+    nothing. This is the steady-state search move. *)
+
+val current_makespan : t -> float
+(** The makespan computed by the last completed full-horizon validation.
+    Only meaningful immediately after {!flip_quiet}, {!makespan} or
+    {!suffix_makespan}; does not itself validate anything. *)
+
+val set_flag_at : t -> pos:int -> bool -> unit
+val set_flags : t -> bool array -> unit
+val commit : t -> unit
+val rollback : t -> unit
+(** As the {!Eval_engine} mutations. *)
+
+val lost_entry : t -> last_fault:int -> position:int -> float
+(** [lost_entry t ~last_fault:k ~position:i] is the replay value the kernel
+    holds for fault row [k] at position [i] (validating rows up to [i]
+    first) — bit-identical to {!Lost_work.replay_time} on the same flags.
+    Test and introspection hook, not a hot-path API.
+
+    @raise Invalid_argument unless [0 <= k <= i < n]. *)

@@ -182,40 +182,58 @@ let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand model
       let counts = candidate_counts search ~n in
       let counts = if counts = [] then [ 0 ] else counts in
       let evaluations = ref 0 in
-      let best_flags, best_n_ckpt =
+      (* ranking strategies yield nested candidates and [candidate_counts]
+         ascends, so the ranking is computed once and each candidate extends
+         the previous flag vector in place instead of re-sorting the tasks
+         per count. The shared vector is never stored: only the winning
+         count is kept and its flags are rebuilt afterwards. *)
+      let next_flags =
+        match ckpt with
+        | Ckpt_periodic -> fun n_ckpt -> periodic_flags g ~order ~n_ckpt
+        | _ ->
+            let ranked = ranked_tasks ckpt g in
+            let flags = Array.make n false in
+            let filled = ref 0 in
+            fun n_ckpt ->
+              while !filled < n_ckpt do
+                flags.(ranked.(!filled)) <- true;
+                incr filled
+              done;
+              flags
+      in
+      let best_n_ckpt =
         match backend with
         | Eval_engine.Naive ->
             let best = ref None in
             List.iter
               (fun n_ckpt ->
-                let flags = checkpoint_flags ckpt g ~order ~n_ckpt in
-                let m = snd (evaluate flags) in
+                let m = snd (evaluate (next_flags n_ckpt)) in
                 incr evaluations;
                 match !best with
-                | Some (_, bm, _) when bm <= m -> ()
-                | _ -> best := Some (flags, m, n_ckpt))
+                | Some (bm, _) when bm <= m -> ()
+                | _ -> best := Some (m, n_ckpt))
               counts;
-            let flags, _, n_ckpt = Option.get !best in
-            (flags, n_ckpt)
-        | Eval_engine.Incremental ->
+            snd (Option.get !best)
+        | Eval_engine.Incremental | Eval_engine.Flat ->
             (* one engine across the sweep: consecutive candidate flag
                vectors differ in a handful of tasks, so each step costs a
-               suffix re-evaluation instead of a full one *)
-            let engine = Eval_engine.create model g ~order in
+               suffix re-evaluation instead of a full one. Flat and
+               incremental handles score bit-identically, so the winner is
+               backend-independent *)
+            let engine = Eval_engine.handle backend model g ~order in
             let best = ref None in
             List.iter
               (fun n_ckpt ->
-                let flags = checkpoint_flags ckpt g ~order ~n_ckpt in
-                Eval_engine.set_flags engine flags;
-                let m = Eval_engine.makespan engine in
+                Eval_engine.h_set_flags engine (next_flags n_ckpt);
+                let m = Eval_engine.h_makespan engine in
                 incr evaluations;
                 match !best with
-                | Some (_, bm, _) when bm <= m -> ()
-                | _ -> best := Some (flags, m, n_ckpt))
+                | Some (bm, _) when bm <= m -> ()
+                | _ -> best := Some (m, n_ckpt))
               counts;
-            let flags, _, n_ckpt = Option.get !best in
-            (flags, n_ckpt)
+            snd (Option.get !best)
       in
+      let best_flags = checkpoint_flags ckpt g ~order ~n_ckpt:best_n_ckpt in
       (* the winner is re-evaluated through Evaluator so the reported
          makespan is the oracle's, whichever backend searched *)
       let schedule, makespan = evaluate best_flags in

@@ -70,16 +70,17 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
           evaluations = !evaluations;
           flips = !flips;
         }
-  | Eval_engine.Incremental ->
-      let engine = Eval_engine.create ~flags model g ~order in
+  | Eval_engine.Incremental | Eval_engine.Flat ->
+      let engine = Eval_engine.handle ~flags backend model g ~order in
       let initial_makespan =
         Evaluator.expected_makespan model g
           (Schedule.make g ~order ~checkpointed:flags)
       in
       incr evaluations;
       (* decisions run on engine values throughout; only the reported
-         makespans go through the oracle *)
-      let best = ref (Eval_engine.makespan engine) in
+         makespans go through the oracle. Flat and incremental handles score
+         bit-identically, so the accepted move sequence is the same *)
+      let best = ref (Eval_engine.h_makespan engine) in
       let improved = ref true in
       let sweeps = ref 0 in
       while !improved && !evaluations < max_evaluations do
@@ -88,7 +89,7 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
         Array.iter
           (fun v ->
             if !evaluations < max_evaluations then begin
-              let m = Eval_engine.flip engine v in
+              let m = Eval_engine.h_flip engine v in
               incr evaluations;
               if m < !best -. (1e-12 *. Float.abs !best) then begin
                 best := m;
@@ -99,7 +100,7 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
               else
                 (* lazy revert: marks the same suffix dirty again without
                    forcing a re-evaluation *)
-                Eval_engine.set_flags engine flags
+                Eval_engine.h_set_flags engine flags
             end)
           order
       done;

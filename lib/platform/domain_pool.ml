@@ -21,3 +21,29 @@ let run ~domains worker =
     in
     let first = worker 0 in
     first :: List.map Domain.join handles
+
+(* Self-scheduling loop over an atomic cursor: every idle worker grabs the
+   next unclaimed item, so imbalanced items (branch-and-bound subtrees) are
+   stolen from the static round-robin owner instead of serializing on it.
+   With [domains = 1] this degenerates to a plain sequential loop in item
+   order (run spawns nothing), which is what makes single-domain runs
+   deterministic node-for-node. *)
+let self_schedule ~domains ~total f =
+  if domains <= 0 then invalid_arg "Domain_pool.self_schedule: domains <= 0";
+  if total < 0 then invalid_arg "Domain_pool.self_schedule: negative total";
+  let cursor = Atomic.make 0 in
+  let steals =
+    run ~domains (fun w ->
+        let stolen = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i >= total then continue := false
+          else begin
+            if i mod domains <> w then incr stolen;
+            f ~worker:w i
+          end
+        done;
+        !stolen)
+  in
+  List.fold_left ( + ) 0 steals

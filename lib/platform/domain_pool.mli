@@ -24,3 +24,15 @@ val run : domains:int -> (int -> 'a) -> 'a list
     returns the results in slice order.
 
     @raise Invalid_argument if [domains <= 0]. *)
+
+val self_schedule :
+  domains:int -> total:int -> (worker:int -> int -> unit) -> int
+(** [self_schedule ~domains ~total f] runs [f ~worker i] for every item
+    [i = 0..total-1], handed out through a shared atomic cursor: idle
+    workers steal items their static round-robin owner has not reached,
+    so unbalanced item costs never serialize the pool. Returns the number
+    of items processed by a worker other than [i mod domains] (the steal
+    count). With [domains = 1] items run sequentially in order on the
+    calling domain.
+
+    @raise Invalid_argument if [domains <= 0] or [total < 0]. *)

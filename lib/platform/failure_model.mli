@@ -62,4 +62,15 @@ val success_probability : t -> work:float -> float
 (** [success_probability m ~work:w] is [e^{-lambda w}], the probability that
     [w] seconds of execution complete without failure. *)
 
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Contiguous float64 buffer, the storage of the flat evaluation kernel. *)
+
+val expm1_span : t -> lost:vec -> u:vec -> x:vec -> lo:int -> len:int -> unit
+(** [expm1_span m ~lost ~u ~x ~lo ~len] fills, for [j] in
+    [\[lo, lo + len)], [u.(j) = expm1 (-lambda * lost.(j))] and
+    [x.(j) = expm1 (lambda * lost.(j))] — the survival and expectation
+    transforms of a replay value, batched row-wise. Allocation-free.
+
+    @raise Invalid_argument if the span exceeds any buffer. *)
+
 val pp : Format.formatter -> t -> unit

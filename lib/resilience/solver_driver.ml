@@ -25,6 +25,7 @@ type config = {
   fallbacks : (Wfc_dag.Linearize.strategy * Heuristics.ckpt_strategy) list;
   ls_evaluations : int;
   backend : Eval_engine.backend;
+  bnb_domains : int;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     deadline = None;
     search = Heuristics.Exhaustive;
     backend = Eval_engine.Incremental;
+    bnb_domains = 1;
     fallbacks =
       List.map
         (fun ckpt -> (Wfc_dag.Linearize.Depth_first, ckpt))
@@ -66,7 +68,8 @@ let solve ?(config = default_config) model g ~order =
   let sol, status =
     Trace.with_span "driver.exact" (fun () ->
         Exact_solver.optimal_checkpoints_within ~max_nodes:config.max_nodes
-          ~should_stop ~backend:config.backend model g ~order)
+          ~should_stop ~backend:config.backend ~domains:config.bnb_domains
+          model g ~order)
   in
   let elapsed () = Unix.gettimeofday () -. t0 in
   match status with
@@ -174,20 +177,20 @@ let solve_suffix ?(budget = default_suffix_budget) ?engine
             sum := !sum +. r.Evaluator.per_position.(i)
           done;
           !sum
-    | Eval_engine.Incremental ->
+    | Eval_engine.Incremental | Eval_engine.Flat ->
         let e =
           match engine with
-          | None -> Eval_engine.create model g ~order
+          | None -> Eval_engine.handle backend model g ~order
           | Some e ->
-              if Eval_engine.order e <> order then
+              if Eval_engine.h_order e <> order then
                 invalid_arg
                   "Solver_driver.solve_suffix: engine bound to another order";
-              Eval_engine.set_model e model;
+              Eval_engine.h_set_model e model;
               e
         in
         fun cand ->
-          Eval_engine.set_flags e cand;
-          Eval_engine.suffix_makespan e ~from
+          Eval_engine.h_set_flags e cand;
+          Eval_engine.h_suffix_makespan e ~from
   in
   let evals = ref 0 in
   let eval cand = incr evals; score cand in
@@ -235,7 +238,8 @@ let solve_suffix ?(budget = default_suffix_budget) ?engine
   done;
   (* leave a reused engine holding the chosen flags *)
   (match (backend, engine) with
-  | Eval_engine.Incremental, Some e -> Eval_engine.set_flags e best_flags
+  | (Eval_engine.Incremental | Eval_engine.Flat), Some e ->
+      Eval_engine.h_set_flags e best_flags
   | _ -> ());
   if Metrics.enabled () then begin
     Metrics.incr m_replans;
@@ -256,11 +260,11 @@ let replanner ?(budget = default_suffix_budget)
   let engine_for model order =
     match backend with
     | Eval_engine.Naive -> None
-    | Eval_engine.Incremental -> (
+    | Eval_engine.Incremental | Eval_engine.Flat -> (
         match List.find_opt (fun (o, _) -> o = order) !cache with
         | Some (_, e) -> Some e
         | None ->
-            let e = Eval_engine.create model g ~order in
+            let e = Eval_engine.handle backend model g ~order in
             cache :=
               (Array.copy order, e)
               :: (if List.length !cache >= max_cached then

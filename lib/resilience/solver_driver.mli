@@ -31,12 +31,15 @@ type config = {
       (** evaluator budget for hill climbing the exact incumbent *)
   backend : Wfc_core.Eval_engine.backend;
       (** evaluation backend threaded through every tier *)
+  bnb_domains : int;
+      (** domains for the exact tier's parallel branch and bound (flat
+          backend only; the sequential backends ignore it) *)
 }
 
 val default_config : config
 (** [max_nodes = 1_000_000], [deadline = None], exhaustive search, the
     paper's four searched strategies under DF as fallbacks,
-    [ls_evaluations = 2000], incremental backend. *)
+    [ls_evaluations = 2000], incremental backend, [bnb_domains = 1]. *)
 
 type result = {
   schedule : Wfc_core.Schedule.t;
@@ -70,7 +73,7 @@ type suffix_result = {
 
 val solve_suffix :
   ?budget:int ->
-  ?engine:Wfc_core.Eval_engine.t ->
+  ?engine:Wfc_core.Eval_engine.handle ->
   ?backend:Wfc_core.Eval_engine.backend ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
@@ -91,10 +94,10 @@ val solve_suffix :
     earliest position) and spends at most [budget] (default 256) candidate
     evaluations — the per-replan budget of the adaptive executor.
 
-    With the [Incremental] backend (default), [engine] supplies an
-    {!Wfc_core.Eval_engine.t} already bound to [(g, order)] to reuse across
-    replans: the model is rebound with
-    {!Wfc_core.Eval_engine.set_model} (cached lost-work rows survive) and
+    With an engine backend ([Incremental], default, or [Flat]), [engine]
+    supplies an {!Wfc_core.Eval_engine.handle} already bound to
+    [(g, order)] to reuse across replans: the model is rebound with
+    {!Wfc_core.Eval_engine.h_set_model} (cached lost-work rows survive) and
     each candidate costs only the suffix it dirties; on return the engine
     holds the chosen flags. Without [engine] a fresh one is built. The
     candidate sequence is backend-independent, so a reused engine, a fresh

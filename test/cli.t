@@ -307,3 +307,22 @@ trace ensemble (full run: FIG=adaptive dune exec bench/main.exe):
 
   $ TRACES=30 FIG=adaptive ../bench/main.exe | grep guard
   adaptive-vs-static guard: PASS
+
+The flat engine is a drop-in third backend: same faults as the naive and
+incremental searches on the simulate path, and the option is validated:
+
+  $ ../bin/wfc.exe simulate -w genome -n 14 --runs 200 --seed 5 --engine flat --metrics | grep '^sim\.' | tr -s ' ' > flat.metrics
+  $ cmp naive.metrics flat.metrics && echo flat-agrees
+  flat-agrees
+  $ ../bin/wfc.exe evaluate -n 12 --engine turbo 2>&1 | grep -o "(naive, incremental or flat)"
+  (naive, incremental or flat)
+  $ ../bin/wfc.exe evaluate -n 12 --engine turbo 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+The scale campaign's invariants at smoke size: bitwise flat==incremental on
+every sweep instance, and the parallel branch and bound returns the
+single-domain optimum (full run: FIG=scale dune exec bench/main.exe):
+
+  $ SCALE_NMAX=60 SCALE_EXACT_N=10 SCALE_DOMAINS=2 FIG=scale ../bench/main.exe | grep -E '^(PASS|FAIL)'
+  PASS flat == incremental (bitwise) on 4 instances
+  PASS parallel B&B matches single-domain (n=10, 2 domains)

@@ -69,12 +69,15 @@ let prop_suffix_backends_agree =
       let model = FM.make ~lambda:0.08 ~downtime:0.5 () in
       (* the reused engine starts bound to another model and warm rows:
          set_model must rebind it without corrupting the cache *)
-      let engine = E.create ~flags planning g ~order in
-      ignore (E.makespan engine);
+      let engine = E.handle ~flags E.Incremental planning g ~order in
+      ignore (E.h_makespan engine);
       let reused =
         SD.solve_suffix ~budget:64 ~engine model g ~order ~flags ~from
       in
       let fresh = SD.solve_suffix ~budget:64 model g ~order ~flags ~from in
+      let flat =
+        SD.solve_suffix ~budget:64 ~backend:E.Flat model g ~order ~flags ~from
+      in
       let naive =
         SD.solve_suffix ~budget:64 ~backend:E.Naive model g ~order ~flags ~from
       in
@@ -82,6 +85,9 @@ let prop_suffix_backends_agree =
       reused.SD.flags = fresh.SD.flags
       && reused.SD.expected_remaining = fresh.SD.expected_remaining
       && reused.SD.evaluations = fresh.SD.evaluations
+      && flat.SD.flags = fresh.SD.flags
+      && flat.SD.expected_remaining = fresh.SD.expected_remaining
+      && flat.SD.evaluations = fresh.SD.evaluations
       && Wfc_test_util.close reused.SD.expected_remaining
            naive.SD.expected_remaining
       && reused.SD.evaluations <= 64
@@ -90,7 +96,7 @@ let prop_suffix_backends_agree =
         (fun p -> reused.SD.flags.(order.(p)) = flags.(order.(p)))
         (Array.init from (fun p -> p))
       && (* the engine is left holding the chosen flags *)
-      E.flags engine = reused.SD.flags)
+      E.h_flags engine = reused.SD.flags)
 
 let prop_suffix_never_worse =
   Wfc_test_util.qtest ~count:100 "solve_suffix never worsens the incumbent"

@@ -179,6 +179,105 @@ let test_backend_invariance () =
         engine.Exact_solver.nodes)
     [ (P.Montage, 14, 5); (P.Ligo, 12, 9); (P.Genome, 16, 3) ]
 
+(* ---- flat branch and bound --------------------------------------------- *)
+
+(* with pruning features off and one domain, the flat search must expand the
+   same tree node for node as the sequential engine search *)
+let test_flat_node_parity () =
+  let module P = Wfc_workflows.Pegasus in
+  let module CM = Wfc_workflows.Cost_model in
+  let model = FM.make ~lambda:5e-3 ~downtime:0.5 () in
+  List.iter
+    (fun (family, n, seed) ->
+      let g = CM.apply (CM.Proportional 0.1) (P.generate family ~n ~seed) in
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let engine, st_e =
+        Exact_solver.optimal_checkpoints_within
+          ~backend:Eval_engine.Incremental model g ~order
+      in
+      let flat, st_f =
+        Exact_solver.optimal_checkpoints_within ~backend:Eval_engine.Flat
+          ~domains:1 ~dominance:false ~memo:false model g ~order
+      in
+      Alcotest.(check bool) "both optimal" true
+        (st_e = `Optimal && st_f = `Optimal);
+      Alcotest.(check bool) "same flags" true
+        (engine.Exact_solver.schedule.Schedule.checkpointed
+        = flat.Exact_solver.schedule.Schedule.checkpointed);
+      Alcotest.(check (float 0.)) "same makespan" engine.Exact_solver.makespan
+        flat.Exact_solver.makespan;
+      Alcotest.(check int) "same nodes" engine.Exact_solver.nodes
+        flat.Exact_solver.nodes)
+    [ (P.Montage, 14, 5); (P.Ligo, 12, 9); (P.Genome, 16, 3) ]
+
+(* dominance and memo must never change the optimum, only the node count *)
+let prop_flat_bnb_equals_brute_force =
+  Wfc_test_util.qtest ~count:40
+    "flat B&B (dominance + memo) = exhaustive subset search"
+    (Wfc_test_util.gen_dag ~max_n:9 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let sol =
+        Exact_solver.optimal_checkpoints ~backend:Eval_engine.Flat model g
+          ~order
+      in
+      let _, brute = Brute_force.optimal_checkpoints_for_order model g ~order in
+      Wfc_test_util.close ~eps:1e-9 sol.Exact_solver.makespan brute)
+
+(* the always-checkpoint dominance rule only fires on free checkpoints with
+   cheap recovery; force that regime on half the tasks and pin the result
+   against the exhaustive enumerator *)
+let prop_flat_dominance_zero_cost_exact =
+  Wfc_test_util.qtest ~count:40
+    "dominance stays exact under zero-cost checkpoints"
+    (Wfc_test_util.gen_dag ~max_n:8 ())
+    (Format.asprintf "%a" Dag.pp_stats)
+    (fun g ->
+      let n = Dag.n_tasks g in
+      let weights = Array.init n (fun v -> (Dag.task g v).Wfc_dag.Task.weight) in
+      let edges =
+        List.concat
+          (List.init n (fun v ->
+               List.map (fun y -> (v, y)) (Dag.succs g v)))
+      in
+      let g =
+        Dag.of_weights ~weights ~edges
+          ~checkpoint_cost:(fun v w -> if v mod 2 = 0 then 0. else 0.15 *. w)
+          ~recovery_cost:(fun v w -> if v mod 2 = 0 then 0.4 *. w else 0.2 *. w)
+          ()
+      in
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let sol =
+        Exact_solver.optimal_checkpoints ~backend:Eval_engine.Flat
+          ~dominance:true ~memo:false model g ~order
+      in
+      let _, brute = Brute_force.optimal_checkpoints_for_order model g ~order in
+      Wfc_test_util.close ~eps:1e-9 sol.Exact_solver.makespan brute)
+
+(* parallel subtree exploration must land on the single-domain optimum *)
+let test_flat_parallel_agreement () =
+  let module P = Wfc_workflows.Pegasus in
+  let module CM = Wfc_workflows.Cost_model in
+  let model = FM.make ~lambda:5e-3 ~downtime:0.5 () in
+  List.iter
+    (fun (family, n, seed) ->
+      let g = CM.apply (CM.Proportional 0.1) (P.generate family ~n ~seed) in
+      let order = Wfc_dag.Linearize.run Wfc_dag.Linearize.Depth_first g in
+      let one, st_1 =
+        Exact_solver.optimal_checkpoints_within ~backend:Eval_engine.Flat
+          ~domains:1 model g ~order
+      in
+      let four, st_4 =
+        Exact_solver.optimal_checkpoints_within ~backend:Eval_engine.Flat
+          ~domains:4 model g ~order
+      in
+      Alcotest.(check bool) "both optimal" true
+        (st_1 = `Optimal && st_4 = `Optimal);
+      Wfc_test_util.check_close ~eps:1e-9 "same optimum"
+        one.Exact_solver.makespan four.Exact_solver.makespan)
+    [ (P.Montage, 14, 5); (P.Ligo, 12, 9); (P.Genome, 16, 3) ]
+
 let () =
   Alcotest.run "exact_solver"
     [
@@ -198,5 +297,14 @@ let () =
           Alcotest.test_case "fail-free" `Quick test_bnb_fail_free;
           Alcotest.test_case "backend invariance" `Quick
             test_backend_invariance;
+        ] );
+      ( "flat branch and bound",
+        [
+          Alcotest.test_case "node parity with sequential" `Quick
+            test_flat_node_parity;
+          prop_flat_bnb_equals_brute_force;
+          prop_flat_dominance_zero_cost_exact;
+          Alcotest.test_case "parallel = single domain" `Quick
+            test_flat_parallel_agreement;
         ] );
     ]

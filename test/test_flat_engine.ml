@@ -1,0 +1,400 @@
+(* Differential harness for the flat kernel. The contract is stronger than
+   the incremental engine's: Flat_engine must agree with the Evaluator
+   oracle at 1e-9 AND with Eval_engine bit for bit — same float operations
+   in the same order, only the storage changes — after any interleaving of
+   flips, batch assignments, rollbacks, commits and prefix queries. *)
+
+open Wfc_core
+module Builders = Wfc_dag.Builders
+module FM = Wfc_platform.Failure_model
+
+let rel_close a b = Wfc_test_util.close ~eps:1e-9 a b
+
+let oracle model g ~order flags =
+  Evaluator.expected_makespan model g
+    (Schedule.make g ~order:(Array.copy order) ~checkpointed:(Array.copy flags))
+
+(* ---- differential qcheck suite: flat = incremental (bitwise) = oracle --- *)
+
+type op =
+  | Flip of int
+  | Set_all of bool array
+  | Rollback
+  | Commit
+  | Prefix of int
+  | Quiet_flip of int
+
+let gen_scenario =
+  let open QCheck2.Gen in
+  let* g = Wfc_test_util.gen_dag ~max_n:9 () in
+  let n = Wfc_dag.Dag.n_tasks g in
+  let* model_idx = int_range 0 (List.length Wfc_test_util.models - 1) in
+  let* ops =
+    list_size (int_range 1 25)
+      (frequency
+         [
+           (5, map (fun v -> Flip v) (int_range 0 (n - 1)));
+           (2, map (fun v -> Quiet_flip v) (int_range 0 (n - 1)));
+           (2, map (fun f -> Set_all f) (array_repeat n bool));
+           (1, return Rollback);
+           (1, return Commit);
+           (2, map (fun i -> Prefix i) (int_range 0 n));
+         ])
+  in
+  return (g, model_idx, ops)
+
+let print_scenario (g, model_idx, ops) =
+  Format.asprintf "%a model#%d ops[%s]" Wfc_dag.Dag.pp_stats g model_idx
+    (String.concat "; "
+       (List.map
+          (function
+            | Flip v -> Printf.sprintf "flip %d" v
+            | Quiet_flip v -> Printf.sprintf "qflip %d" v
+            | Set_all f ->
+                Printf.sprintf "set %s"
+                  (String.concat ""
+                     (List.map (fun b -> if b then "1" else "0")
+                        (Array.to_list f)))
+            | Rollback -> "rollback"
+            | Commit -> "commit"
+            | Prefix i -> Printf.sprintf "prefix %d" i)
+          ops))
+
+let run_scenario (g, model_idx, ops) =
+  let model = List.nth Wfc_test_util.models model_idx in
+  let order = Wfc_dag.Dag.topological_order g in
+  let flat = Flat_engine.create model g ~order in
+  let inc = Eval_engine.create model g ~order in
+  List.iter
+    (fun op ->
+      (match op with
+      | Flip v ->
+          let mf = Flat_engine.flip flat v in
+          let mi = Eval_engine.flip inc v in
+          if mf <> mi then
+            Alcotest.failf "flip %d: flat %.17g <> inc %.17g" v mf mi
+      | Quiet_flip v ->
+          Flat_engine.flip_quiet flat v;
+          let mi = Eval_engine.flip inc v in
+          let mf = Flat_engine.current_makespan flat in
+          if mf <> mi then
+            Alcotest.failf "quiet flip %d: flat %.17g <> inc %.17g" v mf mi
+      | Set_all f ->
+          Flat_engine.set_flags flat f;
+          Eval_engine.set_flags inc f
+      | Rollback ->
+          Flat_engine.rollback flat;
+          Eval_engine.rollback inc
+      | Commit ->
+          Flat_engine.commit flat;
+          Eval_engine.commit inc
+      | Prefix upto ->
+          let pf = Flat_engine.prefix_makespan flat ~upto in
+          let pi = Eval_engine.prefix_makespan inc ~upto in
+          if pf <> pi then
+            Alcotest.failf "prefix %d: flat %.17g <> inc %.17g" upto pf pi);
+      if Flat_engine.flags flat <> Eval_engine.flags inc then
+        Alcotest.fail "flag vectors diverged";
+      let mf = Flat_engine.makespan flat in
+      let mi = Eval_engine.makespan inc in
+      if mf <> mi then
+        Alcotest.failf "makespan: flat %.17g <> inc %.17g" mf mi;
+      let m' = oracle model g ~order (Flat_engine.flags flat) in
+      if not (rel_close mf m') then
+        Alcotest.failf "flat %.17g oracle %.17g" mf m')
+    ops;
+  true
+
+let differential =
+  Wfc_test_util.qtest ~count:500
+    "any flip/set/rollback interleaving: flat = incremental (bitwise) = oracle"
+    gen_scenario print_scenario run_scenario
+
+let vectors_bitwise =
+  Wfc_test_util.qtest ~count:200 "per-position and fault vectors bitwise"
+    gen_scenario print_scenario (fun (g, model_idx, ops) ->
+      let model = List.nth Wfc_test_util.models model_idx in
+      let order = Wfc_dag.Dag.topological_order g in
+      let flat = Flat_engine.create model g ~order in
+      let inc = Eval_engine.create model g ~order in
+      List.iter
+        (function
+          | Flip v | Quiet_flip v ->
+              Flat_engine.flip_quiet flat v;
+              ignore (Eval_engine.flip inc v)
+          | Set_all f ->
+              Flat_engine.set_flags flat f;
+              Eval_engine.set_flags inc f
+          | Rollback ->
+              Flat_engine.rollback flat;
+              Eval_engine.rollback inc
+          | Commit ->
+              Flat_engine.commit flat;
+              Eval_engine.commit inc
+          | Prefix _ -> ())
+        ops;
+      Flat_engine.per_position flat = Eval_engine.per_position inc
+      && Flat_engine.fault_probability flat = Eval_engine.fault_probability inc
+      && Flat_engine.suffix_makespan flat ~from:0
+         = Eval_engine.suffix_makespan inc ~from:0)
+
+(* the kernel's replay entries must be Lost_work's, bit for bit *)
+let lost_entries_bitwise =
+  Wfc_test_util.qtest ~count:200 "replay matrix bitwise = Lost_work"
+    QCheck2.Gen.(
+      pair (Wfc_test_util.gen_dag ~max_n:9 ()) (int_range 0 max_int))
+    (fun (g, bits) -> Format.asprintf "%a bits=%d" Wfc_dag.Dag.pp_stats g bits)
+    (fun (g, bits) ->
+      let n = Wfc_dag.Dag.n_tasks g in
+      let order = Wfc_dag.Dag.topological_order g in
+      let flags = Array.init n (fun v -> (bits lsr (v mod 30)) land 1 = 1) in
+      let model = List.hd Wfc_test_util.models in
+      let flat = Flat_engine.create ~flags model g ~order in
+      let lw =
+        Lost_work.compute g (Schedule.make g ~order ~checkpointed:flags)
+      in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for k = 0 to i do
+          if
+            Flat_engine.lost_entry flat ~last_fault:k ~position:i
+            <> Lost_work.replay_time lw ~last_fault:k ~position:i
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ---- structured fixed cases ---- *)
+
+let flip_walk model g =
+  let order = Wfc_dag.Dag.topological_order g in
+  let n = Wfc_dag.Dag.n_tasks g in
+  let flat = Flat_engine.create model g ~order in
+  let inc = Eval_engine.create model g ~order in
+  let check msg =
+    let mf = Flat_engine.makespan flat and mi = Eval_engine.makespan inc in
+    if mf <> mi then Alcotest.failf "%s: flat %.17g <> inc %.17g" msg mf mi;
+    let m' = oracle model g ~order (Flat_engine.flags flat) in
+    if not (rel_close mf m') then
+      Alcotest.failf "%s: flat %.17g oracle %.17g" msg mf m'
+  in
+  check "initial";
+  for v = 0 to n - 1 do
+    Flat_engine.flip_quiet flat v;
+    ignore (Eval_engine.flip inc v);
+    check (Printf.sprintf "flip on %d" v)
+  done;
+  for v = n - 1 downto 0 do
+    Flat_engine.flip_quiet flat v;
+    ignore (Eval_engine.flip inc v);
+    check (Printf.sprintf "flip off %d" v)
+  done
+
+let test_chain () =
+  let g =
+    Builders.chain
+      ~weights:[| 6.; 2.; 8.; 4.; 5.; 3. |]
+      ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+      ~recovery_cost:(fun _ w -> 0.15 *. w)
+      ()
+  in
+  List.iter (fun model -> flip_walk model g) Wfc_test_util.models
+
+let test_fork_and_join () =
+  let fork =
+    Builders.fork ~source_weight:5. ~sink_weights:[| 1.; 2.; 3.; 4. |]
+      ~checkpoint_cost:(fun _ w -> 0.3 *. w)
+      ~recovery_cost:(fun _ w -> 0.3 *. w)
+      ()
+  in
+  let join =
+    Builders.join
+      ~source_weights:[| 4.; 3.; 2.; 1. |]
+      ~sink_weight:6.
+      ~checkpoint_cost:(fun _ w -> 0.1 *. w)
+      ~recovery_cost:(fun _ w -> 0.1 *. w)
+      ()
+  in
+  List.iter
+    (fun model ->
+      flip_walk model fork;
+      flip_walk model join)
+    Wfc_test_util.models
+
+let test_single_task () =
+  let g = Builders.chain ~weights:[| 7. |] ~checkpoint_cost:(fun _ _ -> 1.5) () in
+  List.iter (fun model -> flip_walk model g) Wfc_test_util.models
+
+let test_lambda_zero () =
+  let g =
+    Builders.chain
+      ~weights:[| 2.; 3.; 4. |]
+      ~checkpoint_cost:(fun _ _ -> 0.5)
+      ()
+  in
+  let model = FM.make ~lambda:0. () in
+  let engine = Flat_engine.create model g ~order:[| 0; 1; 2 |] in
+  Alcotest.(check (float 1e-12)) "no flags" 9. (Flat_engine.makespan engine);
+  ignore (Flat_engine.flip engine 1);
+  Alcotest.(check (float 1e-12)) "one flag" 9.5 (Flat_engine.makespan engine);
+  Flat_engine.set_flags engine [| true; true; true |];
+  Alcotest.(check (float 1e-12)) "all flags" 10.5 (Flat_engine.makespan engine)
+
+let test_rollback_is_bitwise () =
+  let g =
+    Builders.fork_join ~source_weight:4. ~middle_weights:[| 2.; 6. |]
+      ~sink_weight:3.
+      ~checkpoint_cost:(fun _ w -> 0.25 *. w)
+      ()
+  in
+  let model = FM.make ~lambda:0.05 ~downtime:0.3 () in
+  let order = Wfc_dag.Dag.topological_order g in
+  let engine = Flat_engine.create model g ~order in
+  let m0 = Flat_engine.makespan engine in
+  Flat_engine.commit engine;
+  ignore (Flat_engine.flip engine 0);
+  ignore (Flat_engine.flip engine 2);
+  Flat_engine.rollback engine;
+  Alcotest.(check (float 0.)) "rollback restores bitwise" m0
+    (Flat_engine.makespan engine);
+  let fresh = Flat_engine.create model g ~order in
+  ignore (Flat_engine.flip fresh 3);
+  ignore (Flat_engine.flip engine 3);
+  Alcotest.(check (float 0.)) "path-independent" (Flat_engine.makespan fresh)
+    (Flat_engine.makespan engine)
+
+let test_prefix_cursor () =
+  (* the branch-and-bound access pattern: assign flags left to right asking
+     only for prefix costs, with backtracking; flat and incremental cursors
+     must hold bit-equal values at every horizon *)
+  let g =
+    let rng = Wfc_platform.Rng.create 11 in
+    Builders.layered
+      ~rand:(fun b -> Wfc_platform.Rng.int rng b)
+      ~n_layers:3
+      ~layer_width:(fun l -> if l = 1 then 3 else 2)
+      ~weight:(fun i -> 2. +. float_of_int (i mod 3))
+      ~checkpoint_cost:(fun _ _ -> 0.7)
+      ~recovery_cost:(fun _ _ -> 0.4)
+      ()
+  in
+  let model = FM.make ~lambda:0.08 ~downtime:0.1 () in
+  let order = Wfc_dag.Dag.topological_order g in
+  let n = Array.length order in
+  let flat = Flat_engine.create model g ~order in
+  let inc = Eval_engine.create model g ~order in
+  let check_prefix upto =
+    let pf = Flat_engine.prefix_makespan flat ~upto in
+    let pi = Eval_engine.prefix_makespan inc ~upto in
+    if pf <> pi then
+      Alcotest.failf "prefix %d: flat %.17g <> inc %.17g" upto pf pi
+  in
+  let rec walk i =
+    if i < n then begin
+      List.iter
+        (fun b ->
+          Flat_engine.set_flag_at flat ~pos:i b;
+          Eval_engine.set_flag_at inc ~pos:i b;
+          check_prefix (i + 1);
+          if i < 3 then walk (i + 1))
+        [ true; false ]
+    end
+  in
+  walk 0;
+  check_prefix n
+
+(* ---- model rebinding ---- *)
+
+let test_set_model () =
+  let g =
+    Builders.fork_join ~source_weight:2. ~middle_weights:[| 3.; 1.; 4. |]
+      ~sink_weight:2.
+      ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+      ()
+  in
+  let order = Wfc_dag.Dag.topological_order g in
+  let m0 = FM.make ~lambda:1e-3 ~downtime:1. () in
+  let m1 = FM.make ~lambda:0.07 ~downtime:0.4 () in
+  let flat = Flat_engine.create m0 g ~order in
+  let inc = Eval_engine.create m0 g ~order in
+  ignore (Flat_engine.flip flat 1);
+  ignore (Eval_engine.flip inc 1);
+  Flat_engine.set_model flat m1;
+  Eval_engine.set_model inc m1;
+  ignore (Flat_engine.flip flat 3);
+  ignore (Eval_engine.flip inc 3);
+  Alcotest.(check (float 0.)) "post-rebind bitwise" (Eval_engine.makespan inc)
+    (Flat_engine.makespan flat);
+  (* and a rebind to lambda = 0 and back *)
+  Flat_engine.set_model flat (FM.make ~lambda:0. ());
+  Eval_engine.set_model inc (FM.make ~lambda:0. ());
+  Alcotest.(check (float 0.)) "lambda 0 bitwise" (Eval_engine.makespan inc)
+    (Flat_engine.makespan flat);
+  Flat_engine.set_model flat m1;
+  Eval_engine.set_model inc m1;
+  Alcotest.(check (float 0.)) "back again" (Eval_engine.makespan inc)
+    (Flat_engine.makespan flat)
+
+(* ---- allocation guard ---- *)
+
+let test_flip_allocates_nothing () =
+  (* the whole steady-state move — flip_quiet + full revalidation — must not
+     touch the minor heap. Only meaningful under ocamlopt; the bytecode
+     runtime boxes freely. *)
+  if Sys.backend_type <> Sys.Native then ()
+  else begin
+    let rng = Wfc_platform.Rng.create 3 in
+    let g =
+      Builders.layered
+        ~rand:(fun b -> Wfc_platform.Rng.int rng b)
+        ~n_layers:5
+        ~layer_width:(fun _ -> 6)
+        ~weight:(fun i -> 1. +. float_of_int (i mod 7))
+        ~checkpoint_cost:(fun _ w -> 0.2 *. w)
+        ~recovery_cost:(fun _ w -> 0.1 *. w)
+        ()
+    in
+    let model = FM.make ~lambda:0.02 ~downtime:0.5 () in
+    let order = Wfc_dag.Dag.topological_order g in
+    let n = Array.length order in
+    let engine = Flat_engine.create model g ~order in
+    ignore (Flat_engine.makespan engine);
+    (* warm every code path once (rebuilds, transforms, steps) *)
+    for v = 0 to n - 1 do
+      Flat_engine.flip_quiet engine v
+    done;
+    let rounds = 1000 in
+    let before = Gc.minor_words () in
+    for j = 0 to rounds - 1 do
+      Flat_engine.flip_quiet engine (j mod n)
+    done;
+    let after = Gc.minor_words () in
+    let per_flip = (after -. before) /. float_of_int rounds in
+    if per_flip > 0.5 then
+      Alcotest.failf "flip_quiet allocates %.2f minor words per flip" per_flip
+  end
+
+let () =
+  Alcotest.run "flat_engine"
+    [
+      ( "differential",
+        [ differential; vectors_bitwise; lost_entries_bitwise ] );
+      ( "structures",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "fork and join" `Quick test_fork_and_join;
+          Alcotest.test_case "single task" `Quick test_single_task;
+          Alcotest.test_case "lambda = 0" `Quick test_lambda_zero;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "rollback bitwise" `Quick test_rollback_is_bitwise;
+          Alcotest.test_case "prefix cursor" `Quick test_prefix_cursor;
+          Alcotest.test_case "set_model" `Quick test_set_model;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "flip_quiet is allocation-free" `Quick
+            test_flip_allocates_nothing;
+        ] );
+    ]

@@ -271,28 +271,34 @@ let test_backend_invariance () =
                 Heuristics.run ~search ~backend:Eval_engine.Naive model g
                   ~lin:Linearize.Depth_first ~ckpt
               in
-              let engine =
-                Heuristics.run ~search ~backend:Eval_engine.Incremental model g
-                  ~lin:Linearize.Depth_first ~ckpt
-              in
-              let name = Heuristics.ckpt_strategy_name ckpt in
-              Alcotest.(check bool)
-                (name ^ " same order") true
-                (naive.Heuristics.schedule.Schedule.order
-                = engine.Heuristics.schedule.Schedule.order);
-              Alcotest.(check bool)
-                (name ^ " same flags") true
-                (naive.Heuristics.schedule.Schedule.checkpointed
-                = engine.Heuristics.schedule.Schedule.checkpointed);
-              Alcotest.(check (float 0.))
-                (name ^ " same makespan") naive.Heuristics.makespan
-                engine.Heuristics.makespan;
-              Alcotest.(check int)
-                (name ^ " same n_ckpt") naive.Heuristics.n_ckpt
-                engine.Heuristics.n_ckpt;
-              Alcotest.(check int)
-                (name ^ " same evaluations") naive.Heuristics.evaluations
-                engine.Heuristics.evaluations)
+              List.iter
+                (fun backend ->
+                  let engine =
+                    Heuristics.run ~search ~backend model g
+                      ~lin:Linearize.Depth_first ~ckpt
+                  in
+                  let name =
+                    Heuristics.ckpt_strategy_name ckpt ^ "/"
+                    ^ Eval_engine.backend_name backend
+                  in
+                  Alcotest.(check bool)
+                    (name ^ " same order") true
+                    (naive.Heuristics.schedule.Schedule.order
+                    = engine.Heuristics.schedule.Schedule.order);
+                  Alcotest.(check bool)
+                    (name ^ " same flags") true
+                    (naive.Heuristics.schedule.Schedule.checkpointed
+                    = engine.Heuristics.schedule.Schedule.checkpointed);
+                  Alcotest.(check (float 0.))
+                    (name ^ " same makespan") naive.Heuristics.makespan
+                    engine.Heuristics.makespan;
+                  Alcotest.(check int)
+                    (name ^ " same n_ckpt") naive.Heuristics.n_ckpt
+                    engine.Heuristics.n_ckpt;
+                  Alcotest.(check int)
+                    (name ^ " same evaluations") naive.Heuristics.evaluations
+                    engine.Heuristics.evaluations)
+                [ Eval_engine.Incremental; Eval_engine.Flat ])
             [ Heuristics.Exhaustive; Heuristics.Grid 8 ])
         Heuristics.all_ckpt_strategies)
     [ (P.Montage, 5); (P.Ligo, 9) ]

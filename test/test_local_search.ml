@@ -103,22 +103,26 @@ let test_backend_invariance () =
       let naive =
         Local_search.improve ~backend:Eval_engine.Naive model g seed_sched
       in
-      let engine =
-        Local_search.improve ~backend:Eval_engine.Incremental model g
-          seed_sched
-      in
-      Alcotest.(check bool) "same flags" true
-        (naive.Local_search.schedule.Schedule.checkpointed
-        = engine.Local_search.schedule.Schedule.checkpointed);
-      Alcotest.(check (float 0.)) "same makespan" naive.Local_search.makespan
-        engine.Local_search.makespan;
-      Alcotest.(check (float 0.)) "same initial"
-        naive.Local_search.initial_makespan
-        engine.Local_search.initial_makespan;
-      Alcotest.(check int) "same flips" naive.Local_search.flips
-        engine.Local_search.flips;
-      Alcotest.(check int) "same evaluations" naive.Local_search.evaluations
-        engine.Local_search.evaluations)
+      List.iter
+        (fun backend ->
+          let engine = Local_search.improve ~backend model g seed_sched in
+          let name = Eval_engine.backend_name backend in
+          Alcotest.(check bool) (name ^ " same flags") true
+            (naive.Local_search.schedule.Schedule.checkpointed
+            = engine.Local_search.schedule.Schedule.checkpointed);
+          Alcotest.(check (float 0.))
+            (name ^ " same makespan") naive.Local_search.makespan
+            engine.Local_search.makespan;
+          Alcotest.(check (float 0.))
+            (name ^ " same initial") naive.Local_search.initial_makespan
+            engine.Local_search.initial_makespan;
+          Alcotest.(check int)
+            (name ^ " same flips") naive.Local_search.flips
+            engine.Local_search.flips;
+          Alcotest.(check int)
+            (name ^ " same evaluations") naive.Local_search.evaluations
+            engine.Local_search.evaluations)
+        [ Eval_engine.Incremental; Eval_engine.Flat ])
     [
       (P.Montage, 5, Heuristics.Ckpt_weight);
       (P.Ligo, 9, Heuristics.Ckpt_never);
