@@ -10,6 +10,7 @@
           FIG=scale dune exec bench/main.exe     flat kernel at scale, exact B&B n~30
           FIG=obs dune exec bench/main.exe       observability overhead guard
           FIG=adaptive dune exec bench/main.exe  adaptive vs static, misspecified lambda
+          FIG=replication dune exec bench/main.exe  checkpoint-vs-replica CVaR trade-off
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -43,13 +44,14 @@ let () =
   | Some "scale" -> Scale_bench.run ()
   | Some "obs" -> Obs_bench.run ()
   | Some "adaptive" -> Adaptive_bench.run ()
+  | Some "replication" -> Replication_bench.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
       | None ->
           Printf.eprintf
             "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine', \
-             'scale', 'obs' or 'adaptive'\n")
+             'scale', 'obs', 'adaptive' or 'replication'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

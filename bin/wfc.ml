@@ -140,6 +140,41 @@ let failures_t =
                  Failures arrive as a renewal process of this law instead of \
                  memoryless exponential ones.")
 
+(* --replicas POLICY: one validated replication-policy grammar shared by
+   solve, simulate, stress, adapt and profile. Nonsense dies as a usage
+   error (exit 124), like --failures. *)
+
+let replicas_conv =
+  let parse s =
+    match Replication.spec_of_string s with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid replication policy %S: expected auto, none, k:N \
+                (N >= 1) or budget:F (F > 0)"
+               s))
+  in
+  Arg.conv
+    (parse, fun ppf s -> Format.pp_print_string ppf (Replication.spec_name s))
+
+let replicas_t =
+  Arg.(value & opt replicas_conv Replication.No_replication
+       & info [ "replicas" ] ~docv:"POLICY"
+           ~doc:"Task replication policy, the second resilience axis next to \
+                 checkpointing: $(b,none) (default), $(b,auto) (greedy spend \
+                 of 20% of the total weight in extra copies), $(b,k:N) \
+                 (duplicate the N heaviest tasks) or $(b,budget:F) (greedy \
+                 spend of a fraction F of the total weight).")
+
+let replica_cost_t =
+  Arg.(value & opt (nonneg_float "replica cost") Replication.default_cost
+       & info [ "replica-cost" ] ~docv:"FRACTION"
+           ~doc:"Execution-time surcharge per extra replica, as a fraction \
+                 of the task's weight (default 1: each copy is a full \
+                 re-execution).")
+
 let family_t =
   Arg.(value & opt family_conv P.Montage & info [ "w"; "workflow" ] ~doc:"Workflow family: Montage, Ligo, CyberShake or Genome.")
 
@@ -444,8 +479,15 @@ let schedule_cmd =
 (* ---- simulate ---- *)
 
 let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
-    failures_opt weibull_shape overlap events metrics trace =
+    replicas replica_cost failures_opt weibull_shape overlap events metrics
+    trace =
   with_obs ~metrics ~trace @@ fun () ->
+  if replicas <> Replication.No_replication && overlap <> None then begin
+    Printf.eprintf
+      "wfc simulate: --replicas cannot be combined with --overlap \
+       (non-blocking checkpoints are single-copy)\n";
+    exit 124
+  end;
   let g = workflow ~load family n seed cost in
   let model = model mtbf downtime in
   let o =
@@ -469,6 +511,7 @@ let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
       if Wfc_dag.Dag.n_tasks g <= 40 then
         Format.printf "%s" (Wfc_simulator.Sim_trace.render_timeline events)
   | None -> ());
+  let o = Heuristics.replicate ~cost:replica_cost replicas model g o in
   (* --failures names the renewal law directly and wins over the
      --weibull-shape shorthand; with neither, failures are memoryless
      exponential at the model's rate *)
@@ -487,10 +530,10 @@ let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
           g o.Heuristics.schedule
     | None ->
         if renewal then
-          Wfc_simulator.Monte_carlo.estimate_renewal ~runs ~seed ~failures
-            ~downtime g o.Heuristics.schedule
+          Wfc_simulator.Monte_carlo.estimate_renewal ~replica_cost ~runs ~seed
+            ~failures ~downtime g o.Heuristics.schedule
         else
-          Wfc_simulator.Monte_carlo.estimate ~runs ~seed model g
+          Wfc_simulator.Monte_carlo.estimate ~replica_cost ~runs ~seed model g
             o.Heuristics.schedule
   in
   let module Stats = Wfc_platform.Stats in
@@ -505,6 +548,11 @@ let simulate family n seed cost mtbf downtime lin ckpt grid engine runs load
     | None -> "");
   Format.printf "  analytic E[makespan] : %.2f s (exponential, blocking model)@."
     o.Heuristics.makespan;
+  if Schedule.is_replicated o.Heuristics.schedule then
+    Format.printf "  replication          : %s (%d extra copies, %g weight each)@."
+      (Replication.spec_name replicas)
+      (Schedule.extra_replicas o.Heuristics.schedule)
+      replica_cost;
   Format.printf "  simulated mean       : %.2f s  (95%% CI [%.2f, %.2f], %d runs)@."
     (Stats.mean mc) lo hi runs;
   Format.printf "  failures per run     : %.2f (max %.0f)@."
@@ -541,13 +589,14 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Monte Carlo fault injection vs the analytic evaluator")
     Term.(const simulate $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
           $ downtime_t $ lin_t $ ckpt_t $ grid_t $ engine_t $ runs_t $ load_t
-          $ failures_t $ weibull_t $ overlap_t $ events_t $ metrics_t
-          $ obs_trace_t)
+          $ replicas_t $ replica_cost_t $ failures_t $ weibull_t $ overlap_t
+          $ events_t $ metrics_t $ obs_trace_t)
 
 (* ---- stress (misspecification campaign) ---- *)
 
-let stress family n seed cost mtbf downtime grid engine load runs domains csv
-    exact_budget deadline failures_opt p_ckpt p_rec max_failures metrics trace =
+let stress family n seed cost mtbf downtime grid engine load replicas
+    replica_cost runs domains csv exact_budget deadline failures_opt p_ckpt
+    p_rec max_failures metrics trace =
   with_obs ~metrics ~trace @@ fun () ->
   let module Stress = Wfc_resilience.Stress in
   let module Driver = Wfc_resilience.Solver_driver in
@@ -593,7 +642,8 @@ let stress family n seed cost mtbf downtime grid engine load runs domains csv
   in
   let ranked =
     Stress.rank ~runs ?domains ~max_failures ~search:(search_of_grid grid)
-      ~backend:engine ~seed ~nominal ~scenarios g heuristics
+      ~backend:engine ~replication:replicas ~replica_cost ~seed ~nominal
+      ~scenarios g heuristics
   in
   let rows =
     List.map
@@ -787,17 +837,19 @@ let stress_cmd =
        ~doc:"Misspecification campaign: rank schedules by tail behavior under \
              perturbed platforms")
     Term.(const stress $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
-          $ grid_t $ engine_t $ load_t $ runs_t $ domains_t $ csv_t
-          $ exact_budget_t $ deadline_t $ failures_t $ p_ckpt_t $ p_rec_t
-          $ max_failures_t $ metrics_t $ obs_trace_t)
+          $ grid_t $ engine_t $ load_t $ replicas_t $ replica_cost_t $ runs_t
+          $ domains_t $ csv_t $ exact_budget_t $ deadline_t $ failures_t
+          $ p_ckpt_t $ p_rec_t $ max_failures_t $ metrics_t $ obs_trace_t)
 
 (* ---- solve (special structures) ---- *)
 
-let solve kind n seed mtbf downtime metrics trace =
+let solve kind n seed mtbf downtime replicas replica_cost metrics trace =
   with_obs ~metrics ~trace @@ fun () ->
   let model = model mtbf downtime in
   let rng = Wfc_platform.Rng.create seed in
   let rand b = Wfc_platform.Rng.float rng b in
+  if replicas <> Replication.No_replication && kind <> "chain" then
+    Format.printf "(--replicas applies to the chain structure only; ignored)@.";
   match kind with
   | "chain" ->
       let weights = Array.init n (fun _ -> 10. +. rand 90.) in
@@ -814,7 +866,26 @@ let solve kind n seed mtbf downtime metrics trace =
         (String.concat " "
            (List.filteri (fun i _ -> sol.Chain_solver.checkpointed.(i))
               (List.init n string_of_int)
-           |> List.map (fun s -> "T" ^ s)))
+           |> List.map (fun s -> "T" ^ s)));
+      (match replicas with
+      | Replication.No_replication -> ()
+      | spec ->
+          (* replication on top of the optimal checkpoint placement: the
+             chain keeps its order, the policy spends extra copies *)
+          let sched =
+            Schedule.make g ~order:(Array.init n Fun.id)
+              ~checkpointed:sol.Chain_solver.checkpointed
+          in
+          let rsched =
+            Schedule.with_replicas sched
+              (Heuristics.replication_counts ~cost:replica_cost spec model g
+                 ~sched)
+          in
+          Format.printf
+            "with replication %s: E[makespan] = %.2f s (%d extra copies)@."
+            (Replication.spec_name spec)
+            (Evaluator.expected_makespan ~replica_cost model g rsched)
+            (Schedule.extra_replicas rsched))
   | "fork" ->
       let g =
         Wfc_dag.Builders.fork ~source_weight:(50. +. rand 50.)
@@ -868,8 +939,8 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Optimal solvers on special structures")
-    Term.(const solve $ kind_t $ n_t $ seed_t $ mtbf_t $ downtime_t $ metrics_t
-          $ obs_trace_t)
+    Term.(const solve $ kind_t $ n_t $ seed_t $ mtbf_t $ downtime_t
+          $ replicas_t $ replica_cost_t $ metrics_t $ obs_trace_t)
 
 (* ---- adapt (risk-aware adaptive-vs-static selection) ---- *)
 
@@ -927,9 +998,9 @@ let criterion_conv =
   Arg.conv
     (parse, fun ppf c -> Format.pp_print_string ppf (Robust.criterion_name c))
 
-let adapt family n seed cost mtbf downtime lin ckpt grid engine load true_mtbf
-    failures_opt trigger budget traces criterion horizon relinearize csv
-    metrics trace =
+let adapt family n seed cost mtbf downtime lin ckpt grid engine load replicas
+    replica_cost true_mtbf failures_opt trigger budget traces criterion
+    horizon relinearize csv metrics trace =
   with_obs ~metrics ~trace @@ fun () ->
   let module Driver = Wfc_resilience.Solver_driver in
   let g = workflow ~load family n seed cost in
@@ -961,6 +1032,42 @@ let adapt family n seed cost mtbf downtime lin ckpt grid engine load true_mtbf
       Robust.static ~name:static_name g o.Heuristics.schedule;
       Robust.adaptive ~name:"adaptive" config g o.Heuristics.schedule;
     ]
+    @
+    (* the checkpoint-vs-replica trade-off: score a mixed (checkpoints +
+       replicas) and a replica-only policy on the same primary failure
+       stream as the checkpoint-only candidates *)
+    match replicas with
+    | Replication.No_replication -> []
+    | spec ->
+        let tag = Replication.spec_name spec in
+        let mixed =
+          (Heuristics.replicate ~cost:replica_cost spec planning g o)
+            .Heuristics.schedule
+        in
+        let bare =
+          Schedule.with_checkpoints o.Heuristics.schedule
+            (Array.make (Wfc_dag.Dag.n_tasks g) false)
+        in
+        let replica_only =
+          Schedule.with_replicas bare
+            (Heuristics.replication_counts ~cost:replica_cost spec planning g
+               ~sched:bare)
+        in
+        (if Schedule.is_replicated mixed then
+           [
+             Robust.static ~replica_cost
+               ~name:(static_name ^ "+" ^ tag)
+               g mixed;
+           ]
+         else [])
+        @
+        if Schedule.is_replicated replica_only then
+          [
+            Robust.static ~replica_cost
+              ~name:("replica-only " ^ tag)
+              g replica_only;
+          ]
+        else []
   in
   let min_uptime = horizon *. Wfc_dag.Dag.total_weight g in
   let r =
@@ -1099,9 +1206,10 @@ let adapt_cmd =
        ~doc:"Score static vs adaptive execution on shared failure traces and \
              pick by risk-aware criterion")
     Term.(const adapt $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t $ downtime_t
-          $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ true_mtbf_t
-          $ failures_t $ trigger_t $ budget_t $ traces_t $ criterion_t
-          $ horizon_t $ relinearize_t $ csv_t $ metrics_t $ obs_trace_t)
+          $ lin_t $ ckpt_t $ grid_t $ engine_t $ load_t $ replicas_t
+          $ replica_cost_t $ true_mtbf_t $ failures_t $ trigger_t $ budget_t
+          $ traces_t $ criterion_t $ horizon_t $ relinearize_t $ csv_t
+          $ metrics_t $ obs_trace_t)
 
 (* ---- replay (record / replay failure traces) ---- *)
 
@@ -1216,7 +1324,7 @@ let replay_cmd =
 (* ---- profile (instrumented end-to-end workload) ---- *)
 
 let profile family n seed cost mtbf downtime grid engine bnb_domains runs
-    budget csv trace =
+    budget replicas replica_cost csv trace =
   let module Driver = Wfc_resilience.Solver_driver in
   let g = workflow ~load:None family n seed cost in
   let model = model mtbf downtime in
@@ -1247,14 +1355,42 @@ let profile family n seed cost mtbf downtime grid engine bnb_domains runs
     Wfc_simulator.Monte_carlo.estimate ~runs ~seed model g
       ls.Local_search.schedule
   in
+  (* stage 4 (optional): replication policy on the refined schedule,
+     fault-injected so the replica counters show up in the metric table *)
+  let replicated =
+    match replicas with
+    | Replication.No_replication -> None
+    | spec ->
+        let rsched =
+          Schedule.with_replicas ls.Local_search.schedule
+            (Heuristics.replication_counts ~cost:replica_cost spec model g
+               ~sched:ls.Local_search.schedule)
+        in
+        let est_r =
+          Wfc_simulator.Monte_carlo.estimate ~replica_cost ~runs ~seed model g
+            rsched
+        in
+        Some (spec, rsched, est_r)
+  in
   Format.printf "profile: %s (%d tasks), %a@." (P.family_name family)
     (Wfc_dag.Dag.n_tasks g) FM.pp model;
   Format.printf "  driver tier %s (%s)@."
     (Driver.tier_name d.Driver.tier) d.Driver.reason;
-  Format.printf "  E[makespan] %.2f s, simulated mean %.2f s (%d runs)@.@."
+  Format.printf "  E[makespan] %.2f s, simulated mean %.2f s (%d runs)@."
     ls.Local_search.makespan
     (Wfc_platform.Stats.mean est.Wfc_simulator.Monte_carlo.makespan)
     runs;
+  (match replicated with
+  | None -> ()
+  | Some (spec, rsched, est_r) ->
+      Format.printf
+        "  replication %s: E[makespan] %.2f s, simulated mean %.2f s (%d \
+         extra copies)@."
+        (Replication.spec_name spec)
+        (Evaluator.expected_makespan ~replica_cost model g rsched)
+        (Wfc_platform.Stats.mean est_r.Wfc_simulator.Monte_carlo.makespan)
+        (Schedule.extra_replicas rsched));
+  Format.printf "@.";
   (match csv with
   | Some path ->
       Wfc_reporting.Csv.write_file path ~header:[ "metric"; "kind"; "value" ]
@@ -1293,7 +1429,7 @@ let profile_cmd =
              search, local search, simulation) and report internal metrics")
     Term.(const profile $ family_t $ n_t $ seed_t $ cost_t $ mtbf_t
           $ downtime_t $ grid_t $ engine_t $ bnb_domains_t $ runs_t $ budget_t
-          $ csv_t $ obs_trace_t)
+          $ replicas_t $ replica_cost_t $ csv_t $ obs_trace_t)
 
 let main_cmd =
   Cmd.group

@@ -130,12 +130,20 @@ type handle
 
 val handle :
   ?flags:bool array ->
+  ?replicas:int array ->
+  ?replica_cost:float ->
   backend ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->
   handle
-(** Builds the engine the backend selects.
+(** Builds the engine the backend selects. When [replicas] (per-task counts)
+    contains a count above 1, the handle evaluates the replicated schedule
+    through {!Replication.evaluate} (surcharge [replica_cost], default
+    {!Replication.default_cost}) with one full evaluation cached per flag
+    vector — every [h_*] operation below keeps its meaning, replica counts
+    stay fixed for the handle's lifetime. [replicas] absent or all-ones
+    builds the ordinary backend engine, bit-identical to before.
 
     @raise Invalid_argument on [Naive] (which has no engine state), or on
       the conditions of {!create}. *)
@@ -155,8 +163,14 @@ val h_n_tasks : handle -> int
 (** Each [h_*] is the corresponding operation of the underlying engine
     ({!flip}, {!set_flags}, … or their {!Flat_engine} counterparts). *)
 
+val h_replicas : handle -> int array option
+(** The per-task replica counts of a replicated handle, [None] for the
+    ordinary backends. *)
+
 val batch_evaluate :
   ?domains:int ->
+  ?replicas:int array ->
+  ?replica_cost:float ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->
@@ -167,6 +181,9 @@ val batch_evaluate :
     candidates across [domains] OCaml domains ({!Wfc_platform.Domain_pool},
     default {!Wfc_platform.Domain_pool.default_domains}). Each domain walks
     its contiguous slice with a private engine, so the output is
-    bit-identical for every value of [domains].
+    bit-identical for every value of [domains]. With replicated [replicas]
+    each candidate is scored by {!Replication.evaluate} instead (same
+    determinism guarantee); all-ones [replicas] is the unchanged engine
+    path.
 
     @raise Invalid_argument on bad [order], flag sizes, or [domains <= 0]. *)

@@ -6,7 +6,7 @@ type result = {
 
 let fail_free_time g = Wfc_dag.Dag.total_weight g
 
-let evaluate ?lost model g sched =
+let evaluate_plain ?lost model g sched =
   let n = Schedule.n_tasks sched in
   let lost =
     match lost with Some l -> l | None -> Lost_work.compute g sched
@@ -74,7 +74,23 @@ let evaluate ?lost model g sched =
   end;
   { makespan = !makespan; per_position; fault_probability }
 
-let expected_makespan ?lost model g sched = (evaluate ?lost model g sched).makespan
+let evaluate ?lost ?replica_cost model g sched =
+  if Schedule.is_replicated sched then begin
+    (* replicated schedules change the lost-work weights themselves, so a
+       caller-provided unreplicated matrix would silently be wrong *)
+    if lost <> None then
+      invalid_arg "Evaluator.evaluate: ?lost with a replicated schedule";
+    let r = Replication.evaluate ?cost:replica_cost model g sched in
+    {
+      makespan = r.Replication.makespan;
+      per_position = r.Replication.per_position;
+      fault_probability = r.Replication.fault_probability;
+    }
+  end
+  else evaluate_plain ?lost model g sched
+
+let expected_makespan ?lost ?replica_cost model g sched =
+  (evaluate ?lost ?replica_cost model g sched).makespan
 
 let ratio model g sched =
   let m = expected_makespan model g sched in

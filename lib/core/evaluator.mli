@@ -27,6 +27,7 @@ type result = {
 
 val evaluate :
   ?lost:Lost_work.t ->
+  ?replica_cost:float ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Schedule.t ->
@@ -34,10 +35,19 @@ val evaluate :
 (** [evaluate model g s] computes the full decomposition. The replay sums are
     computed on the fly unless [lost] provides them. The makespan is
     [infinity] when the failure rate makes some segment's expectation
-    overflow — such schedules compare as worse than any finite one. *)
+    overflow — such schedules compare as worse than any finite one.
+
+    Replicated schedules ({!Schedule.is_replicated}) dispatch to
+    {!Replication.evaluate} with the [replica_cost] surcharge (default
+    {!Replication.default_cost}); unreplicated schedules take the original
+    path untouched, bit for bit.
+
+    @raise Invalid_argument if [lost] is given with a replicated schedule
+    (the matrix must be recomputed over surcharged weights). *)
 
 val expected_makespan :
   ?lost:Lost_work.t ->
+  ?replica_cost:float ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Schedule.t ->

@@ -239,6 +239,94 @@ let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand model
       let schedule, makespan = evaluate best_flags in
       { schedule; makespan; n_ckpt = best_n_ckpt; evaluations = !evaluations }
 
+(* ---- replication: the second resilience axis ---- *)
+
+let m_replica_rounds = Metrics.counter "search.replica_rounds"
+
+let replication_counts ?(max_replicas = 4) ?(cost = Replication.default_cost)
+    spec model g ~sched =
+  let n = Wfc_dag.Dag.n_tasks g in
+  if max_replicas < 1 || max_replicas > Schedule.max_replicas then
+    invalid_arg "Heuristics.replication_counts: max_replicas out of range";
+  let weight v = (Wfc_dag.Dag.task g v).Wfc_dag.Task.weight in
+  match spec with
+  | Replication.No_replication -> Array.make n 1
+  | Replication.Heavy k ->
+      (* duplicate the k heaviest tasks: the ones whose lost-work intervals
+         (and hence re-execution risk) dominate — the same ranking CkptW
+         checkpoints first *)
+      let reps = Array.make n 1 in
+      let ranked = ranked_tasks Ckpt_weight g in
+      for j = 0 to Int.min k n - 1 do
+        reps.(ranked.(j)) <- Int.min 2 max_replicas
+      done;
+      reps
+  | Replication.Auto | Replication.Budget _ ->
+      let fraction = match spec with Replication.Budget f -> f | _ -> 0.2 in
+      if not (fraction > 0. && Float.is_finite fraction) then
+        invalid_arg "Heuristics.replication_counts: budget fraction";
+      (* greedy marginal-gain spend: each round buy the single +1 replica
+         with the best expected-makespan reduction per unit of extra work,
+         until the budget (a fraction of total weight) is spent or no
+         increment helps *)
+      let budget = ref (fraction *. Wfc_dag.Dag.total_weight g) in
+      let reps = Array.make n 1 in
+      let score () =
+        Replication.expected_makespan ~cost model g
+          (Schedule.with_replicas sched reps)
+      in
+      let current = ref (score ()) in
+      let improved = ref true and rounds = ref 0 in
+      while !improved && !rounds < 32 do
+        incr rounds;
+        improved := false;
+        let best = ref None in
+        for v = 0 to n - 1 do
+          let dc = cost *. weight v in
+          if reps.(v) < max_replicas && dc <= !budget then begin
+            reps.(v) <- reps.(v) + 1;
+            let m = score () in
+            reps.(v) <- reps.(v) - 1;
+            let gain = !current -. m in
+            if gain > 0. then begin
+              let density = if dc > 0. then gain /. dc else Float.infinity in
+              match !best with
+              | Some (bd, _, _, _) when bd >= density -> ()
+              | _ -> best := Some (density, v, m, dc)
+            end
+          end
+        done;
+        match !best with
+        | Some (_, v, m, dc) ->
+            reps.(v) <- reps.(v) + 1;
+            budget := !budget -. dc;
+            current := m;
+            improved := true
+        | None -> ()
+      done;
+      if Metrics.enabled () then Metrics.add m_replica_rounds !rounds;
+      reps
+
+let replicate ?max_replicas ?cost spec model g (o : outcome) =
+  match spec with
+  | Replication.No_replication -> o
+  | _ ->
+      let reps =
+        replication_counts ?max_replicas ?cost spec model g ~sched:o.schedule
+      in
+      if Array.for_all (fun r -> r = 1) reps then o
+      else
+        let schedule = Schedule.with_replicas o.schedule reps in
+        let makespan =
+          Evaluator.expected_makespan ?replica_cost:cost model g schedule
+        in
+        { o with schedule; makespan; evaluations = o.evaluations + 1 }
+
+let run_replicated ?search ?backend ?rand ?max_replicas ?cost spec model g
+    ~lin ~ckpt =
+  replicate ?max_replicas ?cost spec model g
+    (run ?search ?backend ?rand model g ~lin ~ckpt)
+
 let best_over_linearizations ?search ?backend ?rand model g ~ckpt =
   let outcomes =
     List.map

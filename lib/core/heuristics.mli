@@ -78,6 +78,56 @@ val run :
     evaluated through {!Eval_engine} or one {!Evaluator} call per candidate;
     [rand] seeds the RF linearization. *)
 
+(** {1 Replication — the second resilience axis} *)
+
+val replication_counts :
+  ?max_replicas:int ->
+  ?cost:float ->
+  Replication.spec ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  sched:Schedule.t ->
+  int array
+(** Per-task replica counts for [sched] under the given policy:
+    [No_replication] is all-ones; [Heavy k] duplicates the [k] heaviest
+    tasks (the CkptW ranking); [Budget f] greedily spends a replica-work
+    budget of [f *. total_weight] one [+1] replica at a time, each round
+    buying the increment with the best expected-makespan reduction per unit
+    of extra work (evaluated through {!Replication.expected_makespan}) and
+    stopping when nothing improves; [Auto] is [Budget 0.2]. Counts are
+    capped at [max_replicas] (default 4).
+
+    @raise Invalid_argument if [max_replicas] is outside
+      [1..Schedule.max_replicas], [cost] is invalid, or a [Budget] fraction
+      is not positive and finite. *)
+
+val replicate :
+  ?max_replicas:int ->
+  ?cost:float ->
+  Replication.spec ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  outcome ->
+  outcome
+(** Applies {!replication_counts} to the outcome's schedule and re-evaluates
+    the makespan replica-aware. The outcome is returned unchanged when the
+    policy places no replica. *)
+
+val run_replicated :
+  ?search:search ->
+  ?backend:Eval_engine.backend ->
+  ?rand:(int -> int) ->
+  ?max_replicas:int ->
+  ?cost:float ->
+  Replication.spec ->
+  Wfc_platform.Failure_model.t ->
+  Wfc_dag.Dag.t ->
+  lin:Wfc_dag.Linearize.strategy ->
+  ckpt:ckpt_strategy ->
+  outcome
+(** {!run} followed by {!replicate}: checkpoint placement is optimized
+    unreplicated, then the replication policy spends its budget on top. *)
+
 val best_over_linearizations :
   ?search:search ->
   ?backend:Eval_engine.backend ->

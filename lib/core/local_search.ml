@@ -23,8 +23,81 @@ let record_metrics ~sweeps r =
   end;
   r
 
+(* Replica-aware hill climbing: the move set adds per-task replica-count
+   steps (+1 up to the cap, -1 down to a single copy) next to the flag
+   flips. Every candidate goes through the replication-aware oracle — the
+   suffix engines do not support replica moves — so this path is only taken
+   for replicated seeds or when replica moves are requested. *)
+let improve_replicated ~max_evaluations ~replica_cost ~max_replicas model g
+    seed =
+  Wfc_obs.Trace.with_span "local_search.improve"
+    ~args:[ ("backend", "replicated") ]
+  @@ fun () ->
+  let n = Schedule.n_tasks seed in
+  let cap =
+    Option.value max_replicas
+      ~default:(Int.max 4 (Schedule.max_replica_count seed))
+  in
+  if cap < 1 || cap > Schedule.max_replicas then
+    invalid_arg "Local_search.improve: max_replicas out of range";
+  let flags = Array.init n (Schedule.is_checkpointed seed) in
+  let order = Array.init n (Schedule.task_at seed) in
+  let reps = Schedule.replica_counts seed in
+  let evaluations = ref 0 in
+  let flips = ref 0 in
+  let evaluate () =
+    incr evaluations;
+    Evaluator.expected_makespan ?replica_cost model g
+      (Schedule.make ~replicas:reps g ~order ~checkpointed:flags)
+  in
+  let initial_makespan = evaluate () in
+  let best = ref initial_makespan in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  (* try one move (already applied); keep it if it improves, else undo *)
+  let consider undo =
+    let m = evaluate () in
+    if m < !best -. (1e-12 *. Float.abs !best) then begin
+      best := m;
+      incr flips;
+      improved := true
+    end
+    else undo ()
+  in
+  while !improved && !evaluations < max_evaluations do
+    improved := false;
+    incr sweeps;
+    Array.iter
+      (fun v ->
+        if !evaluations < max_evaluations then begin
+          flags.(v) <- not flags.(v);
+          consider (fun () -> flags.(v) <- not flags.(v))
+        end;
+        if !evaluations < max_evaluations && reps.(v) < cap then begin
+          reps.(v) <- reps.(v) + 1;
+          consider (fun () -> reps.(v) <- reps.(v) - 1)
+        end;
+        if !evaluations < max_evaluations && reps.(v) > 1 then begin
+          reps.(v) <- reps.(v) - 1;
+          consider (fun () -> reps.(v) <- reps.(v) + 1)
+        end)
+      order
+  done;
+  record_metrics ~sweeps:!sweeps
+    {
+      schedule = Schedule.make ~replicas:reps g ~order ~checkpointed:flags;
+      makespan = !best;
+      initial_makespan;
+      evaluations = !evaluations;
+      flips = !flips;
+    }
+
 let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
-    model g seed =
+    ?replica_cost ?max_replicas model g seed =
+  if Schedule.is_replicated seed || Option.is_some max_replicas then
+    improve_replicated ~max_evaluations ~replica_cost ~max_replicas model g
+      seed
+  else
   Wfc_obs.Trace.with_span "local_search.improve"
     ~args:[ ("backend", Eval_engine.backend_name backend) ]
   @@ fun () ->

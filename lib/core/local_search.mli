@@ -12,12 +12,14 @@ type result = {
   makespan : float;
   initial_makespan : float;
   evaluations : int;  (** evaluator calls consumed *)
-  flips : int;  (** accepted flag flips *)
+  flips : int;  (** accepted moves (flag flips and replica-count steps) *)
 }
 
 val improve :
   ?max_evaluations:int ->
   ?backend:Eval_engine.backend ->
+  ?replica_cost:float ->
+  ?max_replicas:int ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Schedule.t ->
@@ -31,4 +33,13 @@ val improve :
     [backend] (default [Incremental]) selects how candidate flips are
     evaluated: through {!Eval_engine.flip} — each flip then costs a suffix
     re-evaluation instead of a full one — or through one {!Evaluator} call
-    per flip. Reported makespans are oracle values in both cases. *)
+    per flip. Reported makespans are oracle values in both cases.
+
+    When [s] is replicated, or [max_replicas] is given, the move set also
+    includes per-task replica-count steps ([+1] up to [max_replicas],
+    default [max 4 (max_replica_count s)]; [-1] down to a single copy), and
+    every candidate is scored through the replication-aware evaluator with
+    [replica_cost] per extra copy — this path ignores [backend].
+
+    @raise Invalid_argument if [max_replicas] is outside
+      [1..Schedule.max_replicas]. *)

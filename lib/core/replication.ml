@@ -1,0 +1,236 @@
+module FM = Wfc_platform.Failure_model
+module Metrics = Wfc_obs.Metrics
+
+let m_evaluations = Metrics.counter "repl.evaluations"
+
+let default_cost = 1.
+
+let effective_weight ~cost ~weight ~r =
+  if not (cost >= 0.) then invalid_arg "Replication: negative replica cost";
+  weight *. (1. +. (cost *. float_of_int (r - 1)))
+
+let harmonic r =
+  let h = ref 0. in
+  for j = 1 to r do
+    h := !h +. (1. /. float_of_int j)
+  done;
+  !h
+
+(* {1 Per-attempt failure algebra}
+
+   A task with [r] replicas runs r independent copies of each attempt, every
+   copy exposed to its own exponential failure clock at the platform rate
+   [lambda]. The attempt of length [t] is lost only when all r copies fail
+   inside it, which happens with probability [(1 - e^{-lambda t})^r]; the
+   loss occurs when the last copy dies. [r = 1] recovers the paper's model
+   exactly. *)
+
+let attempt_failure_probability ~lambda ~r t =
+  if lambda <= 0. || t <= 0. then 0.
+  else begin
+    let q1 = -.Float.expm1 (-.lambda *. t) in
+    let q = ref q1 in
+    for _ = 2 to r do
+      q := !q *. q1
+    done;
+    !q
+  end
+
+(* tau_bar(t) = E[max of r iid Exp(lambda) | all < t] = t - I(t)/F(t) with
+   F(s) = (1 - e^{-lambda s})^r and I = integral of F over [0, t], expanded
+   by the binomial theorem. The alternating sum cancels catastrophically for
+   lambda t << 1, but the value is always weighted by the attempt failure
+   probability F(t) (itself ~ (lambda t)^r there), so clamping to [0, t]
+   bounds the absolute error of the product harmlessly. *)
+let conditional_mean_elapsed ~lambda ~r t =
+  if not (Float.is_finite t) then harmonic r /. lambda
+  else begin
+    let f = attempt_failure_probability ~lambda ~r t in
+    if f <= 0. then t
+    else begin
+      let integral = ref t in
+      let binom = ref 1. in
+      for j = 1 to r do
+        binom := !binom *. float_of_int (r - j + 1) /. float_of_int j;
+        let jf = float_of_int j in
+        let em = -.Float.expm1 (-.jf *. lambda *. t) in
+        let term = !binom *. em /. (jf *. lambda) in
+        if j land 1 = 1 then integral := !integral -. term
+        else integral := !integral +. term
+      done;
+      Float.max 0. (Float.min t (t -. (!integral /. f)))
+    end
+  end
+
+(* The exposure e(t) such that exp (-lambda * e(t)) equals the attempt's
+   survival probability 1 - (1 - e^{-lambda t})^r: accumulating these per
+   separating attempt turns the product of per-attempt survivals back into
+   the single-exponential form the Theorem 3 recurrences use. r = 1 is the
+   identity. *)
+let equivalent_exposure ~lambda ~r t =
+  if r = 1 then t
+  else if lambda <= 0. then 0.
+  else begin
+    let q = attempt_failure_probability ~lambda ~r t in
+    if q >= 1. then Float.infinity else -.Float.log1p (-.q) /. lambda
+  end
+
+(* Replicated generalization of the paper's Eq (1): a renewal of attempts
+   whose first try lasts [work + checkpoint] and whose retries prepend the
+   [recovery] read, each attempt lost with probability F(length) at the
+   elapsed time tau_bar(length), followed by one repair [downtime]. For
+   r = 1 this reduces algebraically to
+   e^{lambda recovery} (1/lambda + D) (e^{lambda (work+checkpoint)} - 1). *)
+let expected_attempt_time ~lambda ~downtime ~r ~work ~checkpoint ~recovery =
+  let a0 = work +. checkpoint in
+  if lambda <= 0. then a0
+  else begin
+    let q0 = attempt_failure_probability ~lambda ~r a0 in
+    if q0 <= 0. then a0
+    else begin
+      let a1 = recovery +. a0 in
+      let q1 = attempt_failure_probability ~lambda ~r a1 in
+      if q1 >= 1. then Float.infinity
+      else begin
+        let t0 = conditional_mean_elapsed ~lambda ~r a0 in
+        let t1 = conditional_mean_elapsed ~lambda ~r a1 in
+        let retry =
+          (((1. -. q1) *. a1) +. (q1 *. (t1 +. downtime))) /. (1. -. q1)
+        in
+        ((1. -. q0) *. a0) +. (q0 *. (t0 +. downtime +. retry))
+      end
+    end
+  end
+
+(* {1 Replicated Theorem 3} *)
+
+type result = {
+  makespan : float;
+  per_position : float array;
+  fault_probability : float array;
+}
+
+let evaluate ?(cost = default_cost) model g sched =
+  if Metrics.enabled () then Metrics.incr m_evaluations;
+  let n = Schedule.n_tasks sched in
+  let lambda = model.FM.lambda in
+  let downtime = model.FM.downtime in
+  let order = Array.init n (Schedule.task_at sched) in
+  let pos = Array.make n 0 in
+  Array.iteri (fun p v -> pos.(v) <- p) order;
+  let reps = Array.init n (Schedule.replicas_of sched) in
+  let checkpointed = Array.init n (Schedule.is_checkpointed sched) in
+  (* effective weights: every extra replica re-executes the task's work,
+     priced at [cost] times the original; checkpoint writes and recovery
+     reads are shared by the copies and stay unscaled *)
+  let weight =
+    Array.init n (fun v ->
+        effective_weight ~cost
+          ~weight:(Wfc_dag.Dag.task g v).Wfc_dag.Task.weight
+          ~r:reps.(v))
+  in
+  let recovery =
+    Array.init n (fun v -> (Wfc_dag.Dag.task g v).Wfc_dag.Task.recovery_cost)
+  in
+  let ckpt_cost =
+    Array.init n (fun v ->
+        if checkpointed.(v) then
+          (Wfc_dag.Dag.task g v).Wfc_dag.Task.checkpoint_cost
+        else 0.)
+  in
+  (* lost-work matrix over the effective weights: replayed tasks re-run with
+     their replicas too, so lost work is charged at the surcharged rate *)
+  let replayed = Array.make n false in
+  let lost = Array.init n (fun k -> Array.make (n - k) 0.) in
+  for k = 0 to n - 1 do
+    Lost_work.compute_row_into g ~order ~pos ~checkpointed ~weight ~recovery
+      ~replayed ~k lost.(k)
+  done;
+  let replay k i = if k < 0 then 0. else lost.(k).(i - k) in
+  let segment = Array.make n 0. in
+  let segment_start = ref 0. in
+  let fault_probability = Array.make n 0. in
+  let per_position = Array.make n 0. in
+  let makespan = ref 0. in
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    let w_i = weight.(v) and c_i = ckpt_cost.(v) and r_i = reps.(v) in
+    let replay_full = replay i i in
+    let expectation k =
+      let l = replay k i in
+      let work = l +. w_i and recovery = Float.max 0. (replay_full -. l) in
+      if r_i = 1 then
+        (* unreplicated task: the oracle's own closed form, bit-identical *)
+        FM.expected_exec_time model ~work ~checkpoint:c_i ~recovery
+      else
+        expected_attempt_time ~lambda ~downtime ~r:r_i ~work ~checkpoint:c_i
+          ~recovery
+    in
+    let p_fresh = Float.exp (-.lambda *. !segment_start) in
+    let e_xi = ref (if p_fresh > 0. then p_fresh *. expectation (-1) else 0.) in
+    let sum_p = ref p_fresh in
+    for k = 0 to i - 2 do
+      let p = Float.exp (-.lambda *. segment.(k)) *. fault_probability.(k) in
+      sum_p := !sum_p +. p;
+      if p > 0. then e_xi := !e_xi +. (p *. expectation k)
+    done;
+    if i >= 1 then begin
+      let p_last = Float.max 0. (1. -. !sum_p) in
+      fault_probability.(i - 1) <- p_last;
+      if p_last > 0. then e_xi := !e_xi +. (p_last *. expectation (i - 1))
+    end;
+    per_position.(i) <- !e_xi;
+    makespan := !makespan +. !e_xi;
+    (* advance the separating-work sums in survival-equivalent exposure
+       units: exp (-lambda * sum of exposures) is exactly the probability
+       that every separating attempt kept at least one replica alive *)
+    for k = 0 to i - 1 do
+      segment.(k) <-
+        segment.(k)
+        +. equivalent_exposure ~lambda ~r:r_i (replay k i +. w_i +. c_i)
+    done;
+    segment_start :=
+      !segment_start +. equivalent_exposure ~lambda ~r:r_i (w_i +. c_i)
+  done;
+  if n >= 1 then begin
+    let sum_p = ref (Float.exp (-.lambda *. !segment_start)) in
+    for k = 0 to n - 2 do
+      sum_p :=
+        !sum_p +. (Float.exp (-.lambda *. segment.(k)) *. fault_probability.(k))
+    done;
+    fault_probability.(n - 1) <- Float.max 0. (1. -. !sum_p)
+  end;
+  { makespan = !makespan; per_position; fault_probability }
+
+let expected_makespan ?cost model g sched = (evaluate ?cost model g sched).makespan
+
+(* {1 Replication specs (CLI surface)} *)
+
+type spec = Auto | No_replication | Heavy of int | Budget of float
+
+let spec_name = function
+  | Auto -> "auto"
+  | No_replication -> "none"
+  | Heavy k -> Printf.sprintf "k:%d" k
+  | Budget f -> Printf.sprintf "budget:%g" f
+
+let spec_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some Auto
+  | "none" -> Some No_replication
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i -> (
+          let key = String.sub s 0 i in
+          let v = String.sub s (i + 1) (String.length s - i - 1) in
+          match key with
+          | "k" -> (
+              match int_of_string_opt v with
+              | Some k when k >= 1 -> Some (Heavy k)
+              | _ -> None)
+          | "budget" -> (
+              match float_of_string_opt v with
+              | Some f when f > 0. && Float.is_finite f -> Some (Budget f)
+              | _ -> None)
+          | _ -> None)
+      | None -> None)

@@ -1,0 +1,107 @@
+(** Task replication as a second resilience axis.
+
+    A task with [r > 1] replicas runs [r] independent copies of every attempt
+    (initial execution and post-failure retries alike), each copy exposed to
+    its own exponential failure clock at the platform rate. The attempt is
+    lost only when {e all} [r] copies fail inside it — with probability
+    [(1 - e^{-lambda t})^r] for an attempt of length [t] — and the loss is
+    charged at the death of the last copy. In exchange, the task's execution
+    time carries a per-extra-replica surcharge [cost] (resource price of the
+    duplicated work); checkpoint writes and recovery reads are shared and
+    stay unscaled.
+
+    With all replica counts equal to 1 every formula below degenerates to the
+    paper's model, and {!evaluate} is numerically identical to
+    {!Evaluator.evaluate} (the unreplicated closed forms are reused
+    verbatim, so the fast paths are bit-identical). *)
+
+val default_cost : float
+(** Default per-extra-replica execution surcharge (1.0: each extra copy
+    costs one full execution of the task). *)
+
+val effective_weight : cost:float -> weight:float -> r:int -> float
+(** [weight *. (1. +. cost *. float (r - 1))] — the execution time a task
+    occupies on the platform once its [r - 1] extra copies are priced in.
+    For [r = 1] this is exactly [weight] (multiplying by [1.] is exact).
+
+    @raise Invalid_argument if [cost] is negative or NaN. *)
+
+(** {1 Per-attempt failure algebra} *)
+
+val attempt_failure_probability : lambda:float -> r:int -> float -> float
+(** [attempt_failure_probability ~lambda ~r t] is
+    [(1 - e^{-lambda t})^r], the probability that an attempt of length [t]
+    protected by [r] replicas is lost (all copies fail inside it). [0.] when
+    [lambda = 0] or [t <= 0]. *)
+
+val conditional_mean_elapsed : lambda:float -> r:int -> float -> float
+(** [conditional_mean_elapsed ~lambda ~r t] is the expected time elapsed
+    before the attempt is lost, {e given} that it is lost: the mean of the
+    maximum of [r] iid exponentials conditioned on all landing in [[0, t]].
+    Clamped to [[0, t]]; requires [lambda > 0]. *)
+
+val equivalent_exposure : lambda:float -> r:int -> float -> float
+(** [equivalent_exposure ~lambda ~r t] is the exposure [e] with
+    [exp (-lambda * e)] equal to the attempt's survival probability
+    [1 - (1 - e^{-lambda t})^r]. Accumulating these per separating attempt
+    turns products of per-attempt survivals into the single-exponential form
+    of the Theorem 3 recurrences. The identity for [r = 1]. *)
+
+val expected_attempt_time :
+  lambda:float ->
+  downtime:float ->
+  r:int ->
+  work:float ->
+  checkpoint:float ->
+  recovery:float ->
+  float
+(** Replicated generalization of the paper's Eq (1): the expected time for
+    [r]-replicated attempts to complete [work] seconds plus a [checkpoint]
+    write, every post-failure retry preceded by [recovery] and one constant
+    [downtime] repair per loss. Reduces algebraically to
+    {!Wfc_platform.Failure_model.expected_exec_time} at [r = 1]; may return
+    [infinity] when a retry can never succeed at the float level. *)
+
+(** {1 Replicated Theorem 3 evaluation} *)
+
+type result = {
+  makespan : float;  (** expected makespan E[M] = sum of E[X_i] *)
+  per_position : float array;  (** E[X_i] per schedule position *)
+  fault_probability : float array;
+      (** [fault_probability.(k)] = P(last effective fault strikes in the
+          interval of position [k]) as seen by the final virtual step *)
+}
+
+val evaluate :
+  ?cost:float -> Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> Schedule.t -> result
+(** [evaluate model g sched] runs the Theorem 3 dynamic program on a
+    (possibly) replicated schedule: per-task effective weights via
+    {!effective_weight} (the lost-work matrix included — replayed tasks
+    re-run with their replicas), per-attempt expectations via
+    {!expected_attempt_time}, and separating-segment survival via
+    {!equivalent_exposure}. An "effective fault" is an attempt in which all
+    replicas of the executing task died. [cost] defaults to
+    {!default_cost}.
+
+    With [Schedule.is_replicated sched = false] the result equals
+    {!Evaluator.evaluate} exactly (same closed forms, same operation
+    order). *)
+
+val expected_makespan :
+  ?cost:float -> Wfc_platform.Failure_model.t -> Wfc_dag.Dag.t -> Schedule.t -> float
+
+(** {1 Replication specs (CLI / heuristics surface)} *)
+
+type spec =
+  | Auto  (** pick a sensible default: [Budget 0.2] *)
+  | No_replication  (** all replica counts 1 *)
+  | Heavy of int  (** [r = 2] on the [k] heaviest checkpoint-worthy tasks *)
+  | Budget of float
+      (** greedily spend up to [f * total_weight] of extra execution by
+          marginal expected-makespan gain per unit of surcharge *)
+
+val spec_of_string : string -> spec option
+(** Parses ["auto" | "none" | "k:N" | "budget:F"] (case-insensitive);
+    [None] on nonsense, [N >= 1], [F > 0] finite. *)
+
+val spec_name : spec -> string

@@ -1,11 +1,35 @@
-type t = { order : int array; checkpointed : bool array }
+type t = {
+  order : int array;
+  checkpointed : bool array;
+  replicas : int array;
+}
 
-let make g ~order ~checkpointed =
+let max_replicas = 8
+
+let validate_replicas replicas =
+  Array.iter
+    (fun r ->
+      if r < 1 || r > max_replicas then
+        invalid_arg
+          (Printf.sprintf "Schedule.make: replica count %d outside [1, %d]" r
+             max_replicas))
+    replicas
+
+let make ?replicas g ~order ~checkpointed =
   if not (Wfc_dag.Dag.is_linearization g order) then
     invalid_arg "Schedule.make: order is not a linearization of the DAG";
   if Array.length checkpointed <> Wfc_dag.Dag.n_tasks g then
     invalid_arg "Schedule.make: checkpoint flags have the wrong size";
-  { order = Array.copy order; checkpointed = Array.copy checkpointed }
+  let replicas =
+    match replicas with
+    | None -> Array.make (Array.length order) 1
+    | Some r ->
+        if Array.length r <> Wfc_dag.Dag.n_tasks g then
+          invalid_arg "Schedule.make: replica counts have the wrong size";
+        validate_replicas r;
+        Array.copy r
+  in
+  { order = Array.copy order; checkpointed = Array.copy checkpointed; replicas }
 
 let of_positions g ~order ~ckpt_positions =
   let n = Array.length order in
@@ -36,10 +60,26 @@ let checkpoint_count s =
 let checkpointed_tasks s =
   List.filter (fun v -> s.checkpointed.(v)) (Array.to_list s.order)
 
+let replicas_of s v = s.replicas.(v)
+let replica_counts s = Array.copy s.replicas
+let is_replicated s = Array.exists (fun r -> r > 1) s.replicas
+
+let extra_replicas s =
+  Array.fold_left (fun acc r -> acc + r - 1) 0 s.replicas
+
+let max_replica_count s =
+  Array.fold_left (fun acc r -> Int.max acc r) 1 s.replicas
+
 let with_checkpoints s flags =
   if Array.length flags <> n_tasks s then
     invalid_arg "Schedule.with_checkpoints: size mismatch";
-  { order = s.order; checkpointed = Array.copy flags }
+  { s with checkpointed = Array.copy flags }
+
+let with_replicas s replicas =
+  if Array.length replicas <> n_tasks s then
+    invalid_arg "Schedule.with_replicas: size mismatch";
+  validate_replicas replicas;
+  { s with replicas = Array.copy replicas }
 
 let no_checkpoints g ~order =
   make g ~order ~checkpointed:(Array.make (Wfc_dag.Dag.n_tasks g) false)
@@ -51,5 +91,6 @@ let pp ppf s =
   Array.iteri
     (fun p v ->
       if p > 0 then Format.pp_print_char ppf ' ';
-      Format.fprintf ppf "T%d%s" v (if s.checkpointed.(v) then "*" else ""))
+      Format.fprintf ppf "T%d%s" v (if s.checkpointed.(v) then "*" else "");
+      if s.replicas.(v) > 1 then Format.fprintf ppf "x%d" s.replicas.(v))
     s.order

@@ -1,27 +1,46 @@
-(** Schedules: a linearization of the DAG plus checkpoint decisions.
+(** Schedules: a linearization of the DAG plus checkpoint decisions and
+    per-task replica counts.
 
     Following the paper, a schedule fully determines the fault-tolerant
     execution: tasks run in linearization order on the whole platform, the
     flagged tasks checkpoint their output on completion, and recovery after a
     failure replays the lost, still-needed part of the schedule from the most
-    recent checkpoints. *)
+    recent checkpoints. The replica counts extend the paper's policy space
+    (Setlur et al., arXiv:1810.06361): a task with [r] replicas runs [r]
+    independent copies of its segment, and the interval is only lost when all
+    [r] copies fail inside it. [replicas = all-ones] is exactly the paper's
+    model and keeps every evaluation and simulation path bit-identical. *)
 
 type t = private {
   order : int array;  (** [order.(p)] is the task executed at position [p] *)
   checkpointed : bool array;  (** indexed by task id, not by position *)
+  replicas : int array;
+      (** indexed by task id; every count is in [1..max_replicas] *)
 }
 
-val make : Wfc_dag.Dag.t -> order:int array -> checkpointed:bool array -> t
+val max_replicas : int
+(** Upper bound on a per-task replica count (8): beyond it the failure
+    algebra's alternating binomial sums degrade and the surcharge makes
+    replication useless anyway. *)
+
+val make :
+  ?replicas:int array ->
+  Wfc_dag.Dag.t ->
+  order:int array ->
+  checkpointed:bool array ->
+  t
 (** [make g ~order ~checkpointed] validates that [order] is a linearization
     of [g] (see {!Wfc_dag.Dag.is_linearization}) and that [checkpointed] has
-    one flag per task.
+    one flag per task. [replicas] (one count per task id, each in
+    [1..max_replicas]) defaults to all-ones — the paper's unreplicated
+    model.
 
     @raise Invalid_argument otherwise. The arrays are copied. *)
 
 val of_positions :
   Wfc_dag.Dag.t -> order:int array -> ckpt_positions:int list -> t
 (** Same, with checkpoints given as positions in the linearization instead of
-    task ids. *)
+    task ids (and no replication). *)
 
 val n_tasks : t -> int
 
@@ -40,12 +59,36 @@ val checkpoint_count : t -> int
 val checkpointed_tasks : t -> int list
 (** Ids of checkpointed tasks, in execution order. *)
 
+val replicas_of : t -> int -> int
+(** [replicas_of s v] is the replica count of {e task} [v] (1 = not
+    replicated). *)
+
+val replica_counts : t -> int array
+(** A copy of the per-task replica counts, indexed by task id. *)
+
+val is_replicated : t -> bool
+(** Whether any task has more than one replica. The unreplicated case is
+    what every evaluator and simulator fast path dispatches on. *)
+
+val extra_replicas : t -> int
+(** Total number of extra copies placed: [sum_v (r_v - 1)]. *)
+
+val max_replica_count : t -> int
+(** Largest per-task replica count — the number of failure lanes a
+    simulation of this schedule needs. *)
+
 val with_checkpoints : t -> bool array -> t
 (** Replace the checkpoint flags (indexed by task id).
     @raise Invalid_argument on size mismatch. *)
+
+val with_replicas : t -> int array -> t
+(** Replace the replica counts (indexed by task id).
+    @raise Invalid_argument on size mismatch or a count outside
+    [1..max_replicas]. *)
 
 val no_checkpoints : Wfc_dag.Dag.t -> order:int array -> t
 val all_checkpoints : Wfc_dag.Dag.t -> order:int array -> t
 
 val pp : Format.formatter -> t -> unit
-(** Prints e.g. ["T0 T3* T1 T2 T4*"] where [*] marks checkpointed tasks. *)
+(** Prints e.g. ["T0 T3* T1 T2 T4*"] where [*] marks checkpointed tasks;
+    replicated tasks carry an [xR] suffix, e.g. ["T3*x2"]. *)

@@ -59,16 +59,48 @@ let default_scenarios nominal =
     { name = "bursty"; failures = bursty; downtime };
   ]
 
-type candidate = { name : string; execute : T.replay_state -> Sim.run }
+type lanes = { primary : T.replay_state; siblings : T.replay_state array }
 
-let static ~name g sched =
-  { name; execute = (fun state -> Sim.run_with_source state.T.source g sched) }
+type candidate = { name : string; extra_lanes : int; execute : lanes -> Sim.run }
 
-let adaptive ~name config g sched =
+let extra_lanes_of sched =
+  if Wfc_core.Schedule.is_replicated sched then
+    Wfc_core.Schedule.max_replica_count sched - 1
+  else 0
+
+let sources_of env ~extra =
+  Array.map (fun s -> s.T.source) (Array.sub env.siblings 0 extra)
+
+let static ?replica_cost ~name g sched =
+  let extra = extra_lanes_of sched in
+  if extra = 0 then
+    {
+      name;
+      extra_lanes = 0;
+      execute = (fun env -> Sim.run_with_source env.primary.T.source g sched);
+    }
+  else
+    {
+      name;
+      extra_lanes = extra;
+      execute =
+        (fun env ->
+          let lanes =
+            Array.append [| env.primary.T.source |] (sources_of env ~extra)
+          in
+          Sim.run_with_lanes ?replica_cost lanes g sched);
+    }
+
+let adaptive ?replica_cost ~name config g sched =
+  let extra = extra_lanes_of sched in
   {
     name;
+    extra_lanes = extra;
     execute =
-      (fun state -> (SA.run config ~source:state.T.source g sched).SA.run);
+      (fun env ->
+        (SA.run ~extra_lanes:(sources_of env ~extra) ?replica_cost config
+           ~source:env.primary.T.source g sched)
+          .SA.run);
   }
 
 type score = {
@@ -96,6 +128,15 @@ type report = {
 let trace_rng ~seed ~scenario ~trace =
   Rng.create (seed + (scenario * 0x5851F42D) + (trace * 0x9E3779B9))
 
+(* Sibling failure lanes for replicated candidates: lane 0 is exactly the
+   [trace_rng] stream (so adding replicated candidates never perturbs the
+   primary ensemble or existing results), lanes >= 1 mix in a third odd
+   constant. *)
+let lane_rng ~seed ~scenario ~trace ~lane =
+  Rng.create
+    (seed + (scenario * 0x5851F42D) + (trace * 0x9E3779B9)
+   + (lane * 0x2545F491))
+
 let key_of criterion score =
   match criterion with
   | Mean -> score.mean
@@ -122,15 +163,31 @@ let evaluate ?(traces_per_scenario = 50) ?(alpha = 0.95) ~seed ~min_uptime
       invalid_arg "Robust.evaluate: CVaR level outside [0, 1]"
   | _ -> ());
   if Metrics.enabled () then Metrics.incr m_evaluations;
-  (* the shared ensemble: drawn once, replayed for every candidate *)
+  (* the shared ensemble: drawn once, replayed for every candidate. With
+     replicated candidates in play, every trace carries enough sibling lane
+     traces for the widest candidate; candidates use a prefix, so the
+     ensemble is still independent of which candidates are scored. *)
+  let max_extra =
+    List.fold_left (fun acc c -> Int.max acc c.extra_lanes) 0 candidates
+  in
   let ensemble =
     List.mapi
       (fun si sc ->
         ( sc,
           Array.init traces_per_scenario (fun ti ->
-              T.draw_renewal
-                ~rng:(trace_rng ~seed ~scenario:si ~trace:ti)
-                ~failures:sc.failures ~downtime:sc.downtime ~min_uptime) ))
+              let primary =
+                T.draw_renewal
+                  ~rng:(trace_rng ~seed ~scenario:si ~trace:ti)
+                  ~failures:sc.failures ~downtime:sc.downtime ~min_uptime
+              in
+              let siblings =
+                Array.init max_extra (fun li ->
+                    T.draw_renewal
+                      ~rng:
+                        (lane_rng ~seed ~scenario:si ~trace:ti ~lane:(li + 1))
+                      ~failures:sc.failures ~downtime:sc.downtime ~min_uptime)
+              in
+              (primary, siblings)) ))
       scenarios
   in
   let cvar_level = match criterion with CVaR a -> a | _ -> alpha in
@@ -144,11 +201,21 @@ let evaluate ?(traces_per_scenario = 50) ?(alpha = 0.95) ~seed ~min_uptime
             (fun ((sc : scenario), traces) ->
               let sum = ref 0. in
               Array.iter
-                (fun trace ->
-                  let state = T.replay_source trace in
-                  let run = cand.execute state in
+                (fun (primary_trace, sibling_traces) ->
+                  let env =
+                    {
+                      primary = T.replay_source primary_trace;
+                      siblings =
+                        Array.map T.replay_source
+                          (Array.sub sibling_traces 0 cand.extra_lanes);
+                    }
+                  in
+                  let run = cand.execute env in
                   if Metrics.enabled () then Metrics.incr m_replays;
-                  if state.T.exhausted () then incr exhausted;
+                  if
+                    env.primary.T.exhausted ()
+                    || Array.exists (fun s -> s.T.exhausted ()) env.siblings
+                  then incr exhausted;
                   Sample_set.add pooled run.Sim.makespan;
                   sum := !sum +. run.Sim.makespan)
                 traces;

@@ -40,22 +40,45 @@ val default_scenarios : Wfc_platform.Failure_model.t -> scenario list
 
     @raise Invalid_argument if the model is fail-free ([lambda = 0]). *)
 
+type lanes = {
+  primary : Wfc_simulator.Trace_io.replay_state;
+      (** the shared primary failure stream (copy 0 of every task) *)
+  siblings : Wfc_simulator.Trace_io.replay_state array;
+      (** independent streams for replica copies 1.. — as many as the
+          candidate declared in [extra_lanes] *)
+}
+(** One replayed trace environment. Unreplicated candidates use only
+    [primary]; replicated ones additionally consume sibling lanes. Because
+    [primary] is shared across all candidates, checkpoint-only and
+    replication policies still face byte-identical primary failures. *)
+
 type candidate = {
   name : string;
-  execute : Wfc_simulator.Trace_io.replay_state -> Wfc_simulator.Sim.run;
-      (** run the policy against one replayed trace *)
+  extra_lanes : int;
+      (** sibling lanes the policy consumes: [max replica count - 1] *)
+  execute : lanes -> Wfc_simulator.Sim.run;
+      (** run the policy against one replayed trace environment *)
 }
 
-val static : name:string -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> candidate
-(** The fixed schedule, executed by {!Wfc_simulator.Sim.run_with_source}. *)
+val static :
+  ?replica_cost:float ->
+  name:string ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  candidate
+(** The fixed schedule, executed by {!Wfc_simulator.Sim.run_with_source} —
+    or, when replicated, by {!Wfc_simulator.Sim.run_with_lanes} with the
+    primary stream driving copy 0. *)
 
 val adaptive :
+  ?replica_cost:float ->
   name:string ->
   Wfc_simulator.Sim_adaptive.config ->
   Wfc_dag.Dag.t ->
   Wfc_core.Schedule.t ->
   candidate
-(** The adaptive executor starting from the given initial schedule. *)
+(** The adaptive executor starting from the given initial schedule;
+    replicated schedules consume sibling lanes as in {!static}. *)
 
 type score = {
   candidate : string;
@@ -94,6 +117,12 @@ val evaluate :
     deterministic in [(seed, scenario index, trace index)], each covering at
     least [min_uptime] seconds of uptime — and replays {e every} candidate
     on {e every} trace. [alpha] (default 0.95) sets the CVaR level.
+
+    When any candidate declares [extra_lanes > 0], every trace additionally
+    carries that many sibling renewal traces, deterministic in
+    [(seed, scenario, trace, lane)]; candidates consume a prefix. Lane 0 is
+    the unchanged primary stream, so adding replicated candidates never
+    perturbs the scores of existing ones.
 
     Pick [min_uptime] well above any plausible makespan (a generous multiple
     of the DAG's total weight) and check [exhausted].

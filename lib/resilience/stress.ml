@@ -78,8 +78,8 @@ type report = {
 let run_rng ~seed ~scenario ~run =
   Rng.create (seed + (scenario * 0x5851F42D) + (run * 0x9E3779B9))
 
-let evaluate ?(runs = 2000) ?domains ?(max_failures = 10_000) ~seed ~nominal
-    ~scenarios g sched =
+let evaluate ?replica_cost ?(runs = 2000) ?domains ?(max_failures = 10_000)
+    ~seed ~nominal ~scenarios g sched =
   if runs <= 0 then invalid_arg "Stress.evaluate: runs <= 0";
   if max_failures <= 0 then invalid_arg "Stress.evaluate: max_failures <= 0";
   if scenarios = [] then invalid_arg "Stress.evaluate: no scenarios";
@@ -91,7 +91,9 @@ let evaluate ?(runs = 2000) ?domains ?(max_failures = 10_000) ~seed ~nominal
     | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
   in
   let domains = Int.min domains runs in
-  let nominal_makespan = Wfc_core.Evaluator.expected_makespan nominal g sched in
+  let nominal_makespan =
+    Wfc_core.Evaluator.expected_makespan ?replica_cost nominal g sched
+  in
   let results =
     List.mapi
       (fun si sc ->
@@ -108,7 +110,9 @@ let evaluate ?(runs = 2000) ?domains ?(max_failures = 10_000) ~seed ~nominal
         let worker lo hi =
           for r = lo to hi - 1 do
             let out =
-              SF.run ~rng:(run_rng ~seed ~scenario:si ~run:r) params g sched
+              SF.run ?replica_cost
+                ~rng:(run_rng ~seed ~scenario:si ~run:r)
+                params g sched
             in
             samples.(r) <- out.SF.makespan;
             truncs.(r) <- out.SF.truncated
@@ -159,15 +163,26 @@ type ranked = {
 }
 
 let rank ?runs ?domains ?max_failures ?(search = Heuristics.Exhaustive)
-    ?backend ~seed ~nominal ~scenarios g heuristics =
+    ?backend ?replication ?replica_cost ~seed ~nominal ~scenarios g heuristics
+    =
   List.map
     (fun (lin, ckpt) ->
       let outcome = Heuristics.run ~search ?backend nominal g ~lin ~ckpt in
-      let report =
-        evaluate ?runs ?domains ?max_failures ~seed ~nominal ~scenarios g
-          outcome.Heuristics.schedule
+      (* the checkpoint placement is optimized unreplicated; the replication
+         policy then spends its budget on top, and the stressed schedule is
+         the replicated one *)
+      let outcome, suffix =
+        match replication with
+        | None | Some Wfc_core.Replication.No_replication -> (outcome, "")
+        | Some spec ->
+            ( Heuristics.replicate ?cost:replica_cost spec nominal g outcome,
+              "+" ^ Wfc_core.Replication.spec_name spec )
       in
-      { heuristic = Heuristics.name lin ckpt; outcome; report })
+      let report =
+        evaluate ?replica_cost ?runs ?domains ?max_failures ~seed ~nominal
+          ~scenarios g outcome.Heuristics.schedule
+      in
+      { heuristic = Heuristics.name lin ckpt ^ suffix; outcome; report })
     heuristics
   |> List.stable_sort (fun a b ->
          match Float.compare a.report.robustness b.report.robustness with

@@ -56,6 +56,7 @@ type report = {
 }
 
 val evaluate :
+  ?replica_cost:float ->
   ?runs:int ->
   ?domains:int ->
   ?max_failures:int ->
@@ -76,6 +77,10 @@ val evaluate :
     [divergent]. Without the valve, a schedule needing [e^{lambda W}]
     attempts under a harsh scenario would hang the campaign.
 
+    Replicated schedules are simulated with the multi-lane fault engine
+    ({!Wfc_simulator.Sim_faults.run}) at [replica_cost] per extra copy, and
+    the nominal makespan goes through the replication-aware evaluator.
+
     @raise Invalid_argument if [runs <= 0], [domains <= 0],
     [max_failures <= 0] or [scenarios] is empty. *)
 
@@ -91,6 +96,8 @@ val rank :
   ?max_failures:int ->
   ?search:Wfc_core.Heuristics.search ->
   ?backend:Wfc_core.Eval_engine.backend ->
+  ?replication:Wfc_core.Replication.spec ->
+  ?replica_cost:float ->
   seed:int ->
   nominal:Wfc_platform.Failure_model.t ->
   scenarios:scenario list ->
@@ -101,4 +108,8 @@ val rank :
     heuristic under the nominal model, stress-tests each against the same
     scenario grid and returns the list sorted by increasing {!report}
     [robustness] (most robust first; ties broken by nominal makespan) — the
-    ranking by tail behavior the expectation-only comparison cannot give. *)
+    ranking by tail behavior the expectation-only comparison cannot give.
+
+    With [replication] (default none), each optimized schedule is
+    additionally replicated by {!Wfc_core.Heuristics.replicate} before
+    stress-testing, and its name gains a ["+policy"] suffix. *)

@@ -21,12 +21,13 @@ let aggregate ~runs ~seed run_once =
   done;
   { makespan; failures; wasted }
 
-let estimate ?(runs = 1000) ~seed model g sched =
-  aggregate ~runs ~seed (fun rng -> Sim.run ~rng model g sched)
+let estimate ?replica_cost ?(runs = 1000) ~seed model g sched =
+  aggregate ~runs ~seed (fun rng -> Sim.run ?replica_cost ~rng model g sched)
 
-let estimate_renewal ?(runs = 1000) ~seed ~failures ~downtime g sched =
+let estimate_renewal ?replica_cost ?(runs = 1000) ~seed ~failures ~downtime g
+    sched =
   aggregate ~runs ~seed (fun rng ->
-      Sim.run_renewal ~rng ~failures ~downtime g sched)
+      Sim.run_renewal ?replica_cost ~rng ~failures ~downtime g sched)
 
 let estimate_overlap ?(runs = 1000) ~seed params g sched =
   aggregate ~runs ~seed (fun rng -> Sim_overlap.run ~rng params g sched)

@@ -7,6 +7,7 @@ type estimate = {
 }
 
 val estimate :
+  ?replica_cost:float ->
   ?runs:int ->
   seed:int ->
   Wfc_platform.Failure_model.t ->
@@ -14,11 +15,13 @@ val estimate :
   Wfc_core.Schedule.t ->
   estimate
 (** [estimate ~seed model g s] aggregates [runs] (default 1000) independent
-    simulated executions, deterministically in [seed].
+    simulated executions, deterministically in [seed]. Replicated schedules
+    simulate with [replica_cost] per extra copy (see {!Sim.run}).
 
     @raise Invalid_argument if [runs <= 0]. *)
 
 val estimate_renewal :
+  ?replica_cost:float ->
   ?runs:int ->
   seed:int ->
   failures:Wfc_platform.Distribution.t ->

@@ -39,6 +39,11 @@ val replay_cost : state -> int -> float
     at their weight). Also notes which outputs the segment will bring back
     to memory, applied by the next {!commit}. *)
 
+val replay_cost_weighted : state -> weight_of:(int -> float) -> int -> float
+(** {!replay_cost} with recomputations priced by [weight_of] instead of the
+    task weight — replicated runs pass surcharged effective weights, since a
+    replayed task re-runs with its replicas. *)
+
 val commit : state -> int -> checkpointing:bool -> unit
 (** The segment of task [v] completed: its output (and everything the last
     {!replay_cost} restored) is in memory; with [checkpointing] its
@@ -83,18 +88,49 @@ val renewal_source :
 val run_with_source : source -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> run
 (** The generic blocking-checkpoint engine, parametric in the failure
     source. {!run} and {!run_renewal} are thin wrappers; {!Trace_io} wraps a
-    [source] to record or replay the exact draws. *)
+    [source] to record or replay the exact draws.
+
+    @raise Invalid_argument on a replicated schedule — replicas need one
+      failure lane per copy ({!run_with_lanes}); running them against a
+      single source would silently under-protect them. *)
+
+val run_with_lanes :
+  ?replica_cost:float ->
+  source array ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  run
+(** Multi-lane engine for replicated schedules: the task at each position
+    runs [Schedule.replicas_of] independent copies, copy [j] of every
+    attempt drawing from [lanes.(j)]. Lanes are polled in ascending order,
+    each lane's outcome fully resolved (consume, or downtime + renewal)
+    before the next lane is queried — which makes a single recorded stream
+    replay deterministically. An attempt is lost only when {e every} copy
+    fails, charged at the last copy's death plus that copy's downtime; an
+    attempt that lost copies but survived counts toward the
+    [sim.replica_saves] counter. Execution is surcharged through
+    {!Wfc_core.Replication.effective_weight} with [replica_cost] (default
+    {!Wfc_core.Replication.default_cost}); checkpoint and recovery costs are
+    shared, unscaled. [run_with_lanes [| s |]] on an unreplicated schedule
+    replays {!run_with_source}'s draws and float operations bit for bit.
+
+    @raise Invalid_argument with fewer lanes than
+      {!Wfc_core.Schedule.max_replica_count}. *)
 
 val run :
+  ?replica_cost:float ->
   rng:Wfc_platform.Rng.t ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Wfc_core.Schedule.t ->
   run
 (** One simulated execution. With [lambda = 0] the result is
-    deterministic: the failure-free time plus all checkpoint costs. *)
+    deterministic: the failure-free time plus all checkpoint costs.
+    Replicated schedules run on one memoryless lane per copy
+    ({!run_with_lanes}), all drawing from [rng]. *)
 
 val run_renewal :
+  ?replica_cost:float ->
   rng:Wfc_platform.Rng.t ->
   failures:Wfc_platform.Distribution.t ->
   downtime:float ->

@@ -68,11 +68,27 @@ type result = {
 }
 
 val run :
-  config -> source:Sim.source -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> result
+  ?extra_lanes:Sim.source array ->
+  ?replica_cost:float ->
+  config ->
+  source:Sim.source ->
+  Wfc_dag.Dag.t ->
+  Wfc_core.Schedule.t ->
+  result
 (** Execute [sched] against [source] (live, or a {!Trace_io} replay — a
     renewal-kind trace makes two policies face byte-identical failures).
 
+    A replicated schedule runs with the multi-lane semantics of
+    {!Sim.run_with_lanes}: [source] drives copy 0 and [extra_lanes] the
+    remaining copies (so an unreplicated candidate and a replicated one can
+    share the primary failure stream). The MLE then observes {e every} lane
+    — per-copy censored exposure and per-copy failures — while triggers and
+    the reported run count effective failures (attempts where all copies
+    died). Replica counts are fixed across replans.
+
     @raise Invalid_argument if the trigger is malformed ([Every_k k] with
-      [k < 1], [On_drift f] with [f <= 1]), [min_observations < 1], or a
+      [k < 1], [On_drift f] with [f <= 1]), [min_observations < 1], a
       replan returns a plan that moves or re-flags completed positions or
-      is not a linearization of the DAG. *)
+      is not a linearization of the DAG, [source] and [extra_lanes] provide
+      fewer lanes than {!Wfc_core.Schedule.max_replica_count}, or
+      [extra_lanes] is non-empty for an unreplicated schedule. *)

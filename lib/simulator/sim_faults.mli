@@ -69,6 +69,8 @@ val source_of_params : rng:Wfc_platform.Rng.t -> params -> Sim.source
 
 val run :
   ?source:Sim.source ->
+  ?lanes:Sim.source array ->
+  ?replica_cost:float ->
   rng:Wfc_platform.Rng.t ->
   params ->
   Wfc_dag.Dag.t ->
@@ -79,6 +81,19 @@ val run :
     {!Trace_io} recording or replay wrapper; [rng] still drives the fault
     bernoullis, so full determinism additionally needs the same seed.
 
+    Replicated schedules run on one failure lane per copy, as in
+    {!Sim.run_with_lanes} ([?lanes] overrides the lanes; [?source] is
+    rejected there), drawing fresh lanes from [rng] otherwise. The fault
+    machinery generalizes per checkpoint {e copy}: a checkpointing task with
+    [r] replicas writes [r] copies, each independently corrupt with
+    [p_ckpt_fail]; a recovery read tries the copies in write order (each
+    tried copy pays its transient-retry loop and one read) and recomputes
+    only when {e all} copies are corrupt — a corrupt checkpoint on one
+    replica does not doom its siblings. With all replica counts 1 this is
+    the unreplicated path, draw for draw.
+
     @raise Invalid_argument if [p_ckpt_fail] is outside [\[0, 1\]],
     [p_rec_fail] outside [\[0, 1)] (a certain recovery failure would never
-    terminate), or [max_failures < 0]. *)
+    terminate), [max_failures < 0], [?source] is combined with a replicated
+    schedule, [?lanes] with an unreplicated one, or there are fewer lanes
+    than replicas. *)

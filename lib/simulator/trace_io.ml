@@ -12,21 +12,27 @@ type attempt = Survived of float | Failed of { after : float; downtime : float }
 type t =
   | Attempts of attempt array
   | Renewal of { uptimes : float array; downtimes : float array }
+  | Replicated of { events : attempt array; replicas : int array }
 
 let version = 1
 
-let kind_name = function Attempts _ -> "attempts" | Renewal _ -> "renewal"
+let kind_name = function
+  | Attempts _ -> "attempts"
+  | Renewal _ -> "renewal"
+  | Replicated _ -> "attempts-replicated"
+
+let count_failed evs =
+  Array.fold_left
+    (fun acc ev -> match ev with Failed _ -> acc + 1 | Survived _ -> acc)
+    0 evs
 
 let n_events = function
-  | Attempts evs -> Array.length evs
+  | Attempts evs | Replicated { events = evs; _ } -> Array.length evs
   | Renewal { uptimes; downtimes } ->
       Array.length uptimes + Array.length downtimes
 
 let n_failures = function
-  | Attempts evs ->
-      Array.fold_left
-        (fun acc ev -> match ev with Failed _ -> acc + 1 | Survived _ -> acc)
-        0 evs
+  | Attempts evs | Replicated { events = evs; _ } -> count_failed evs
   | Renewal { downtimes; _ } -> Array.length downtimes
 
 exception Divergence of string
@@ -68,13 +74,38 @@ let count_recorded t =
   end;
   t
 
-let record_run ~rng model g sched =
-  let r = recorder () in
-  let src = recording_source r (Sim.source_of_model ~rng model) in
-  let run = Sim.run_with_source src g sched in
-  (run, count_recorded (recorded r))
+let record_run ?replica_cost ~rng model g sched =
+  if Wfc_core.Schedule.is_replicated sched then begin
+    (* one recorder shared by every lane: run_with_lanes resolves each
+       lane's outcome before polling the next, so the interleaved stream is
+       totally ordered and replays through a single cursor *)
+    let r = recorder () in
+    let lanes =
+      Array.init
+        (Wfc_core.Schedule.max_replica_count sched)
+        (fun _ -> recording_source r (Sim.source_of_model ~rng model))
+    in
+    let run = Sim.run_with_lanes ?replica_cost lanes g sched in
+    let events =
+      match recorded r with Attempts evs -> evs | _ -> assert false
+    in
+    let trace =
+      Replicated { events; replicas = Wfc_core.Schedule.replica_counts sched }
+    in
+    (run, count_recorded trace)
+  end
+  else begin
+    let r = recorder () in
+    let src = recording_source r (Sim.source_of_model ~rng model) in
+    let run = Sim.run_with_source src g sched in
+    (run, count_recorded (recorded r))
+  end
 
 let record_renewal ~rng ~failures ~downtime g sched =
+  if Wfc_core.Schedule.is_replicated sched then
+    invalid_arg
+      "Trace_io.record_renewal: a replicated schedule records one event per \
+       lane attempt (record_run), not a single renewal stream";
   let ups = ref [] and downs = ref [] in
   let draw_up () =
     let u = Wfc_platform.Distribution.sample failures rng in
@@ -158,7 +189,7 @@ type replay_state = { source : Sim.source; exhausted : unit -> bool }
 
 let replay_source t =
   match t with
-  | Attempts evs ->
+  | Attempts evs | Replicated { events = evs; _ } ->
       let n = Array.length evs in
       let i = ref 0 in
       let exhausted = ref false in
@@ -225,9 +256,35 @@ let replay_source t =
         exhausted = (fun () -> !exhausted);
       }
 
-let replay t g sched =
+let replay ?replica_cost t g sched =
   if Metrics.enabled () then Metrics.incr m_replays;
-  Sim.run_with_source (replay_source t).source g sched
+  match t with
+  | Replicated { replicas; _ } ->
+      (* an attempt's events only make sense against the replica counts that
+         produced them: one event per live copy, in lane order. A different
+         count would silently misattribute events to the wrong copies, so
+         refuse loudly. *)
+      if Wfc_core.Schedule.replica_counts sched <> replicas then
+        raise
+          (Divergence
+             "replayed schedule's replica counts differ from the recorded \
+              ones");
+      let shared = (replay_source t).source in
+      (* the single cursor serves every lane: run_with_lanes polls lanes in
+         recorded order *)
+      let lanes =
+        Array.make (Wfc_core.Schedule.max_replica_count sched) shared
+      in
+      Sim.run_with_lanes ?replica_cost lanes g sched
+  | Attempts _ | Renewal _ ->
+      if Wfc_core.Schedule.is_replicated sched then
+        raise
+          (Divergence
+             (Printf.sprintf
+                "a %s trace records one failure lane and cannot drive a \
+                 replicated schedule"
+                (kind_name t)));
+      Sim.run_with_source (replay_source t).source g sched
 
 (* {1 Serialization} *)
 
@@ -236,26 +293,41 @@ let hex f = Printf.sprintf "%h" f
 let to_string t =
   let buf = Buffer.create 1024 in
   let line j = Buffer.add_string buf (Json.to_string ~minify:true j ^ "\n") in
-  line
-    (Json.Assoc
-       [
-         ("format", Json.String "wfc-trace");
-         ("version", Json.Number (float_of_int version));
-         ("kind", Json.String (kind_name t));
-       ]);
+  let header =
+    [
+      ("format", Json.String "wfc-trace");
+      ("version", Json.Number (float_of_int version));
+      ("kind", Json.String (kind_name t));
+    ]
+  in
+  let header =
+    (* replica counts ride in the header — only for the replicated kind, so
+       the plain header line stays byte-identical *)
+    match t with
+    | Replicated { replicas; _ } ->
+        header
+        @ [
+            ( "replicas",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun r -> Json.Number (float_of_int r)) replicas))
+            );
+          ]
+    | Attempts _ | Renewal _ -> header
+  in
+  line (Json.Assoc header);
+  let attempt_line = function
+    | Survived v -> line (Json.Assoc [ ("s", Json.String (hex v)) ])
+    | Failed { after; downtime } ->
+        line
+          (Json.Assoc
+             [
+               ("f", Json.String (hex after)); ("d", Json.String (hex downtime));
+             ])
+  in
   (match t with
-  | Attempts evs ->
-      Array.iter
-        (function
-          | Survived v -> line (Json.Assoc [ ("s", Json.String (hex v)) ])
-          | Failed { after; downtime } ->
-              line
-                (Json.Assoc
-                   [
-                     ("f", Json.String (hex after));
-                     ("d", Json.String (hex downtime));
-                   ]))
-        evs
+  | Attempts evs | Replicated { events = evs; _ } ->
+      Array.iter attempt_line evs
   | Renewal { uptimes; downtimes } ->
       (* draw order: u0, then (d_i, u_{i+1}) per failure *)
       Array.iteri
@@ -292,7 +364,25 @@ let parse_header line =
       Error (Printf.sprintf "unsupported version %d (expected %d)" v version)
     else
       let* k = Json.member "kind" j in
-      Json.to_string_value k
+      let* k = Json.to_string_value k in
+      Ok (k, j)
+
+let parse_replicas j =
+  let* r = Json.member "replicas" j in
+  let* l = Json.to_list r in
+  let rec go acc = function
+    | [] ->
+        if acc = [] then Error "empty replica counts"
+        else Ok (Array.of_list (List.rev acc))
+    | x :: rest ->
+        let* r = Json.to_int x in
+        if r < 1 || r > Wfc_core.Schedule.max_replicas then
+          Error
+            (Printf.sprintf "replica count %d outside [1, %d]" r
+               Wfc_core.Schedule.max_replicas)
+        else go (r :: acc) rest
+  in
+  go [] l
 
 let parse_attempt j =
   match Json.member "s" j with
@@ -320,24 +410,36 @@ let of_string s =
         (* line 1 is the header *)
         Result.map_error (fun e -> Printf.sprintf "line %d: %s" (i + 2) e) r
       in
-      let* kind =
+      let* kind, header_json =
         Result.map_error (fun e -> "line 1: " ^ e) (parse_header header)
+      in
+      let parse_attempts events =
+        let rec go i acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | l :: rest ->
+              let* ev =
+                located i
+                  (let* j = Json.of_string l in
+                   parse_attempt j)
+              in
+              go (i + 1) (ev :: acc) rest
+        in
+        go 0 [] events
       in
       match kind with
       | "attempts" ->
-          let rec go i acc = function
-            | [] -> Ok (Attempts (Array.of_list (List.rev acc)))
-            | l :: rest ->
-                let* ev =
-                  located i
-                    (let* j = Json.of_string l in
-                     parse_attempt j)
-                in
-                go (i + 1) (ev :: acc) rest
-          in
-          let* t = go 0 [] events in
+          let* evs = parse_attempts events in
           if Metrics.enabled () then Metrics.incr m_loaded;
-          Ok t
+          Ok (Attempts evs)
+      | "attempts-replicated" ->
+          let* replicas =
+            Result.map_error
+              (fun e -> "line 1: " ^ e)
+              (parse_replicas header_json)
+          in
+          let* evs = parse_attempts events in
+          if Metrics.enabled () then Metrics.incr m_loaded;
+          Ok (Replicated { events = evs; replicas })
       | "renewal" ->
           (* grammar: u (d u)* — validated by alternation *)
           let rec go i ~expect_up ups downs = function

@@ -41,12 +41,20 @@ type t =
       (** raw draws in platform time: [uptimes.(0)] at start, then after
           failure [i] repair takes [downtimes.(i)] and the clock restarts
           at [uptimes.(i + 1)] — so [length uptimes = length downtimes + 1] *)
+  | Replicated of { events : attempt array; replicas : int array }
+      (** attempts-kind events of a replicated run ({!Sim.run_with_lanes}):
+          one event per {e live copy} of every attempt, interleaved in the
+          engine's strict lane order, plus the per-task replica counts the
+          run executed with — replay refuses any other counts, since the
+          same stream sliced by different counts would attribute events to
+          the wrong copies *)
 
 val version : int
 (** Current on-disk format version. *)
 
 val kind_name : t -> string
-(** ["attempts"] or ["renewal"], as written in the header. *)
+(** ["attempts"], ["renewal"] or ["attempts-replicated"], as written in the
+    header. *)
 
 val n_events : t -> int
 (** Number of event lines the trace serializes to. *)
@@ -73,12 +81,15 @@ val recorded : recorder -> t
 (** The events logged so far, as an attempts-kind trace. *)
 
 val record_run :
+  ?replica_cost:float ->
   rng:Wfc_platform.Rng.t ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Wfc_core.Schedule.t ->
   Sim.run * t
-(** {!Sim.run} with its draws captured as an attempts-kind trace. *)
+(** {!Sim.run} with its draws captured as an attempts-kind trace. A
+    replicated schedule runs through {!Sim.run_with_lanes} with every lane
+    recorded into one stream, yielding a [Replicated] trace. *)
 
 val record_renewal :
   rng:Wfc_platform.Rng.t ->
@@ -88,7 +99,11 @@ val record_renewal :
   Wfc_core.Schedule.t ->
   Sim.run * t
 (** A renewal execution (as {!Sim.run_renewal}, with distribution-drawn
-    downtime) whose raw draws are captured as a renewal-kind trace. *)
+    downtime) whose raw draws are captured as a renewal-kind trace.
+
+    @raise Invalid_argument on a replicated schedule: its lanes are
+      separate renewal processes, which a single renewal stream cannot
+      represent — use {!record_run}. *)
 
 val of_events : downtime:float -> Sim_trace.event list -> t
 (** Reconstruct an attempts-kind trace from a {!Sim_trace.run} event log
@@ -124,12 +139,18 @@ val replay_source : t -> replay_state
 (** A fresh source that serves the recorded draws in order. Each call
     starts from the beginning of the trace. *)
 
-val replay : t -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> Sim.run
+val replay :
+  ?replica_cost:float -> t -> Wfc_dag.Dag.t -> Wfc_core.Schedule.t -> Sim.run
 (** [Sim.run_with_source] on a fresh {!replay_source}. For an attempts
     trace recorded from the same schedule this reproduces the original
-    {!Sim.run} result bit for bit.
+    {!Sim.run} result bit for bit. A [Replicated] trace replays through
+    {!Sim.run_with_lanes}, every lane served by the single shared cursor —
+    exact because the engine polls lanes in the recorded order.
 
-    @raise Divergence as documented above. *)
+    @raise Divergence as documented above; also when a [Replicated] trace
+      meets a schedule whose replica counts differ from the recorded ones,
+      or when an [Attempts]/[Renewal] trace (one failure lane) meets a
+      replicated schedule. *)
 
 (** {1 Serialization} *)
 

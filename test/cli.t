@@ -308,6 +308,38 @@ trace ensemble (full run: FIG=adaptive dune exec bench/main.exe):
   $ TRACES=30 FIG=adaptive ../bench/main.exe | grep guard
   adaptive-vs-static guard: PASS
 
+The shared --replicas converter: replication rides along on the analytic and
+Monte Carlo surfaces (deterministic in the seed), and nonsense policies are a
+one-line usage error:
+
+  $ ../bin/wfc.exe simulate -w montage -n 12 --mtbf 300 --runs 200 --seed 5 --replicas k:3 --replica-cost 0.2
+  DF-CkptW on Montage (12 tasks), platform: lambda=0.00333333 (MTBF 300 s), downtime 0 s, failures exp(0.00333333)
+    analytic E[makespan] : 148.43 s (exponential, blocking model)
+    replication          : k:3 (3 extra copies, 0.2 weight each)
+    simulated mean       : 148.48 s  (95% CI [147.51, 149.44], 200 runs)
+    failures per run     : 0.32 (max 3)
+    wasted time per run  : 3.07 s
+  $ ../bin/wfc.exe solve chain -n 5 --seed 1 --mtbf 300 --replicas k:2 --replica-cost 0.1
+  random chain of 5 tasks: optimal E[makespan] = 368.51 s
+  checkpointed tasks: T0 T1 T2
+  with replication k:2: E[makespan] = 366.42 s (2 extra copies)
+  $ ../bin/wfc.exe simulate -n 12 --replicas banana 2>&1 | head -1
+  wfc: option '--replicas': invalid replication policy "banana": expected auto,
+  $ ../bin/wfc.exe simulate -n 12 --replicas banana 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe simulate -n 12 --replicas k:0 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe simulate -n 12 --replicas budget:-1 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+The checkpoint-vs-replica regression guard: with expensive checkpoints and
+cheap replicas under frequent failures, a mixed policy must beat the best
+checkpoint-only policy on CVaR (full run: FIG=replication dune exec
+bench/main.exe):
+
+  $ TRACES=30 FIG=replication ../bench/main.exe | grep guard
+  replication guard: PASS
+
 The flat engine is a drop-in third backend: same faults as the naive and
 incremental searches on the simulate path, and the option is validated:
 

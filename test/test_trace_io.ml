@@ -178,7 +178,7 @@ let test_draw_renewal () =
         (Array.length uptimes);
       let cum = Array.fold_left ( +. ) 0. uptimes in
       Alcotest.(check bool) "covers the horizon" true (cum >= 500.)
-  | T.Attempts _ -> Alcotest.fail "expected a renewal trace");
+  | T.Attempts _ | T.Replicated _ -> Alcotest.fail "expected a renewal trace");
   expect_invalid (fun () ->
       ignore
         (T.draw_renewal ~rng ~failures:(D.exponential ~rate:0.1)
@@ -232,6 +232,60 @@ let test_loader_validation () =
   | Ok _ -> Alcotest.fail "expected an empty attempts trace"
   | Error e -> Alcotest.failf "empty attempts trace rejected: %s" e
 
+(* ---- replicated traces ---- *)
+
+let replicated_case () =
+  let g =
+    Wfc_dag.Builders.chain ~weights:[| 5.; 3. |]
+      ~checkpoint_cost:(fun _ _ -> 1.)
+      ~recovery_cost:(fun _ _ -> 1.)
+      ()
+  in
+  let s =
+    Wfc_core.Schedule.make ~replicas:[| 2; 1 |] g ~order:[| 0; 1 |]
+      ~checkpointed:[| true; false |]
+  in
+  (g, s)
+
+let test_replicated_record_replay () =
+  let g, s = replicated_case () in
+  let model = FM.make ~lambda:0.3 ~downtime:1. () in
+  let reference, trace = T.record_run ~rng:(Rng.create 11) model g s in
+  Alcotest.(check string) "kind" "attempts-replicated" (T.kind_name trace);
+  Alcotest.(check bool) "replay bit-identical" true
+    (same_run reference (T.replay trace g s));
+  (* and through the serialized form *)
+  match T.of_string (T.to_string trace) with
+  | Error e -> Alcotest.failf "loader rejected: %s" e
+  | Ok trace' ->
+      Alcotest.(check bool) "serialization round-trip" true (trace = trace');
+      Alcotest.(check bool) "replay of loaded trace" true
+        (same_run reference (T.replay trace' g s))
+
+let expect_divergence what f =
+  match f () with
+  | exception T.Divergence _ -> ()
+  | _ -> Alcotest.failf "expected Divergence on %s" what
+
+let test_replicated_divergence () =
+  let g, s = replicated_case () in
+  let model = FM.make ~lambda:0.3 ~downtime:1. () in
+  let _, trace = T.record_run ~rng:(Rng.create 11) model g s in
+  (* same order and flags, different replica counts: the recorded stream
+     would be sliced into the wrong copies, so replay must refuse *)
+  expect_divergence "replica-count mismatch" (fun () ->
+      T.replay trace g (Wfc_core.Schedule.with_replicas s [| 3; 1 |]));
+  expect_divergence "unreplicated schedule against a replicated trace"
+    (fun () ->
+      T.replay trace g (Wfc_core.Schedule.with_replicas s [| 1; 1 |]));
+  (* a single-lane trace cannot feed a replicated schedule either way *)
+  let attempts = T.Attempts [| T.Survived infinity; T.Survived infinity |] in
+  expect_divergence "attempts trace against a replicated schedule" (fun () ->
+      T.replay attempts g s);
+  let renewal = T.Renewal { uptimes = [| 1e6 |]; downtimes = [||] } in
+  expect_divergence "renewal trace against a replicated schedule" (fun () ->
+      T.replay renewal g s)
+
 let test_save_load_files () =
   let g, s = single_task () in
   let _, trace =
@@ -270,6 +324,12 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_exhaustion;
           Alcotest.test_case "draw_renewal" `Quick test_draw_renewal;
           Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "record/replay" `Quick
+            test_replicated_record_replay;
+          Alcotest.test_case "divergence" `Quick test_replicated_divergence;
         ] );
       ( "serialization",
         [
