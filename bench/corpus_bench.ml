@@ -1,0 +1,88 @@
+(* Corpus golden sweep: run the committed mini-corpus through the full
+   `wfc corpus` machinery and write BENCH_corpus.json.
+
+   This is a correctness guard, not a timing bench. The whole sweep is
+   analytic, so its report must be a pure function of the corpus and the
+   configuration; the guard re-runs it under every evaluation backend and
+   a different domain count and FAILs unless all reports are byte-identical
+   to the incremental single-domain baseline.
+
+   Run with: FIG=corpus dune exec bench/main.exe
+   Knobs:    CORPUS_DIR     corpus directory (default test/corpus)
+             CORPUS_BUDGET  exact-tier node budget (default 100000) *)
+
+module Corpus = Wfc_corpus.Corpus
+module Json = Wfc_io.Json
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string s with Failure _ -> default)
+  | None -> default
+
+let config ~budget backend domains =
+  {
+    Corpus.default_config with
+    Corpus.search = Wfc_core.Heuristics.Grid 8;
+    backend;
+    exact_budget = budget;
+    domains;
+  }
+
+(* reports compared with the backend column neutralized: the label is the
+   only field allowed to differ across engines *)
+let fingerprint report =
+  Json.to_string (Corpus.to_json { report with Corpus.backend_name = "-" })
+
+let run () =
+  print_endline "== corpus golden sweep (FIG=corpus) ==";
+  let dir = Option.value (Sys.getenv_opt "CORPUS_DIR") ~default:"test/corpus" in
+  let budget = getenv_int "CORPUS_BUDGET" 100_000 in
+  match Corpus.load_dir ~cost:(Wfc_workflows.Cost_model.Proportional 0.1) dir with
+  | Error msg ->
+      Printf.printf "FAIL: cannot read %s: %s\n" dir msg;
+      exit 1
+  | Ok (instances, skipped) ->
+      List.iter
+        (fun (p, m) -> Printf.printf "FAIL: cannot load %s: %s\n" p m)
+        skipped;
+      if skipped <> [] then exit 1;
+      if instances = [] then begin
+        Printf.printf "FAIL: no workflow files in %s\n" dir;
+        exit 1
+      end;
+      let base =
+        Corpus.sweep
+          ~config:(config ~budget Wfc_core.Eval_engine.Incremental 1)
+          instances
+      in
+      Corpus.print_report base;
+      print_newline ();
+      let baseline = fingerprint base in
+      let variants =
+        [
+          ("flat engine", config ~budget Wfc_core.Eval_engine.Flat 1);
+          ("naive engine", config ~budget Wfc_core.Eval_engine.Naive 1);
+          ("4 domains", config ~budget Wfc_core.Eval_engine.Incremental 4);
+        ]
+      in
+      let ok =
+        List.for_all
+          (fun (name, cfg) ->
+            let same = fingerprint (Corpus.sweep ~config:cfg instances) = baseline in
+            if not same then
+              Printf.printf "FAIL: %s sweep diverges from the baseline\n" name;
+            same)
+          variants
+      in
+      if not ok then exit 1;
+      let oc = open_out "BENCH_corpus.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Json.to_string (Corpus.to_json base));
+          output_char oc '\n');
+      Printf.printf
+        "PASS: %d instances x %d scenarios byte-identical across engines and \
+         domain counts; wrote BENCH_corpus.json\n"
+        (List.length instances)
+        (List.length base.Corpus.scenario_names)

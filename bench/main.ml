@@ -11,6 +11,7 @@
           FIG=obs dune exec bench/main.exe       observability overhead guard
           FIG=adaptive dune exec bench/main.exe  adaptive vs static, misspecified lambda
           FIG=replication dune exec bench/main.exe  checkpoint-vs-replica CVaR trade-off
+          FIG=corpus dune exec bench/main.exe    golden mini-corpus sweep, engine/domain invariance
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -45,13 +46,14 @@ let () =
   | Some "obs" -> Obs_bench.run ()
   | Some "adaptive" -> Adaptive_bench.run ()
   | Some "replication" -> Replication_bench.run ()
+  | Some "corpus" -> Corpus_bench.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
       | None ->
           Printf.eprintf
             "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine', \
-             'scale', 'obs', 'adaptive' or 'replication'\n")
+             'scale', 'obs', 'adaptive', 'replication' or 'corpus'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

@@ -10,6 +10,8 @@
      adapt      static vs adaptive execution on shared failure traces
      replay     record / replay deterministic failure traces
      profile    instrumented end-to-end workload reporting internal metrics
+     corpus     sweep a directory of real workflow files across failure
+                scenarios and heuristics (golden-testable tables)
 
    Every analysis subcommand also takes --metrics (print internal counters
    after the normal output) and --trace FILE (write solver/simulator spans
@@ -229,26 +231,20 @@ let engine_t =
 let load_t =
   Arg.(value & opt (some string) None
        & info [ "load" ] ~docv:"FILE"
-           ~doc:"Load the workflow from a JSON or Pegasus DAX file (by \
-                 extension) instead of generating one. JSON files carry \
-                 their own costs; DAX files get the $(b,--cost) model \
-                 applied.")
+           ~doc:"Load the workflow from a file instead of generating one. \
+                 The format is sniffed from the contents: Pegasus DAX XML, \
+                 WfCommons instance JSON or native JSON. Files without \
+                 checkpoint costs (DAX, WfCommons) get the $(b,--cost) \
+                 model applied; native JSON carries its own costs.")
 
 let workflow ~load family n seed cost =
   match load with
   | Some path -> (
-      let is_dax =
-        Filename.check_suffix path ".dax" || Filename.check_suffix path ".xml"
-      in
-      let loader =
-        if is_dax then Wfc_io.Dax.load else Wfc_io.Workflow_format.load_dag
-      in
-      match loader path with
-      (* DAX carries no checkpoint costs: apply the --cost model *)
-      | Ok g when is_dax -> CM.apply cost g
-      | Ok g -> g
+      match Wfc_io.Workflow_io.load path with
+      (* raw-runtime formats carry no checkpoint costs: apply --cost *)
+      | Ok g -> CM.ensure cost g
       | Error msg ->
-          Printf.eprintf "cannot load %s: %s\n" path msg;
+          Printf.eprintf "cannot load %s\n" msg;
           exit 1)
   | None -> CM.apply cost (P.generate family ~n ~seed)
 
@@ -1431,11 +1427,174 @@ let profile_cmd =
           $ downtime_t $ grid_t $ engine_t $ bnb_domains_t $ runs_t $ budget_t
           $ replicas_t $ replica_cost_t $ csv_t $ obs_trace_t)
 
+(* ---- corpus ---- *)
+
+module Corpus = Wfc_corpus.Corpus
+
+(* --mtbf-ratios R,R,...: the relative scenario grid (MTBF as a multiple of
+   each instance's total weight). Nonsense dies as a usage error, like
+   --failures. *)
+let ratios_conv =
+  let parse s =
+    if String.lowercase_ascii s = "none" then Ok []
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match float_of_string_opt (String.trim p) with
+            | Some v when v > 0. && Float.is_finite v -> go (v :: acc) rest
+            | _ ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "invalid MTBF ratio %S: expected positive multiples \
+                        of the total weight (e.g. 0.1,1,10) or 'none'"
+                       p)))
+      in
+      go [] (String.split_on_char ',' s)
+  in
+  let print ppf rs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (Printf.sprintf "%g") rs))
+  in
+  Arg.conv (parse, print)
+
+let corpus dir ratios laws cost grid engine replicas replica_cost downtime
+    exact_budget deadline exact_max_n domains seed json metrics trace =
+  with_obs ~metrics ~trace (fun () ->
+      let scenarios =
+        List.map (fun r -> Corpus.Relative r) ratios
+        @ List.map (fun d -> Corpus.Law d) laws
+      in
+      if scenarios = [] then begin
+        Printf.eprintf
+          "no failure scenarios: give --mtbf-ratios or --failures\n";
+        exit 1
+      end;
+      match Corpus.load_dir ~cost dir with
+      | Error msg ->
+          Printf.eprintf "cannot read %s: %s\n" dir msg;
+          exit 1
+      | Ok (instances, skipped) ->
+          if instances = [] then begin
+            List.iter
+              (fun (p, m) -> Printf.printf "skipped %s: %s\n" p m)
+              skipped;
+            Printf.eprintf "no loadable workflow files in %s\n" dir;
+            exit 1
+          end;
+          let config =
+            {
+              Corpus.default_config with
+              Corpus.scenarios;
+              search = search_of_grid grid;
+              backend = engine;
+              replication = replicas;
+              replica_cost;
+              downtime;
+              exact_budget;
+              exact_deadline = deadline;
+              exact_max_n;
+              domains;
+              seed;
+            }
+          in
+          let report = Corpus.sweep ~config ~skipped instances in
+          Corpus.print_report report;
+          (match json with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc
+                    (Wfc_io.Json.to_string (Corpus.to_json report));
+                  output_char oc '\n');
+              Format.printf "wrote %s@." path))
+
+let corpus_cmd =
+  let dir_t =
+    Arg.(required & pos 0 (some dir) None
+         & info [] ~docv:"DIR"
+             ~doc:"Directory of workflow files. Every $(b,.dax), $(b,.xml) \
+                   and $(b,.json) entry is ingested (Pegasus DAX, WfCommons \
+                   or native JSON, sniffed from the contents); files that \
+                   fail to decode are reported and skipped.")
+  in
+  let ratios_t =
+    Arg.(value & opt ratios_conv [ 0.1; 1.; 10. ]
+         & info [ "mtbf-ratios" ] ~docv:"R,R,..."
+             ~doc:"Relative failure scenarios: one sweep column group per \
+                   ratio, with MTBF = R times the instance's total weight \
+                   (the paper's MTBF/W axis). $(b,none) disables the \
+                   relative grid (combine with $(b,--failures)).")
+  in
+  let laws_t =
+    Arg.(value & opt_all failures_conv []
+         & info [ "failures" ] ~docv:"LAW"
+             ~doc:"Absolute failure scenario from the shared law grammar \
+                   ($(b,exp:RATE), $(b,weibull:SHAPE,SCALE), \
+                   $(b,hyper:P,RATE1,RATE2), $(b,const:VALUE)); the \
+                   analytic model uses the law's mean as the MTBF. \
+                   Repeatable; appended after the relative grid.")
+  in
+  let budget_t =
+    let nonneg_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some v when v >= 0 -> Ok v
+        | Some _ -> Error (`Msg "node budget must be non-negative")
+        | None -> Error (`Msg (Printf.sprintf "invalid node budget '%s'" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt nonneg_int 0
+         & info [ "exact-budget" ] ~docv:"NODES"
+             ~doc:"Branch-and-bound node budget for an extra exact column \
+                   (graceful solver-driver tiers); 0 (default) disables it.")
+  in
+  let deadline_t =
+    Arg.(value & opt (some (positive_float "deadline")) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock cap per exact attempt. Unset keeps the sweep \
+                   fully deterministic; setting it trades byte-stability \
+                   for bounded latency.")
+  in
+  let exact_max_n_t =
+    Arg.(value & opt (positive_int "task cap") 24
+         & info [ "exact-max-n" ] ~docv:"N"
+             ~doc:"Skip the exact column on instances with more than $(docv) \
+                   tasks.")
+  in
+  let domains_t =
+    Arg.(value & opt (positive_int "domain count") 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Spread the sweep over this many domains. Results are \
+                   independent of the domain count.")
+  in
+  let json_t =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the full report as deterministic JSON to \
+                   $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Sweep a directory of real workflow files (DAX, WfCommons, \
+             native JSON) across failure scenarios and heuristics, \
+             producing Figure-style ratio tables and an optional JSON \
+             report")
+    Term.(const corpus $ dir_t $ ratios_t $ laws_t $ cost_t $ grid_t
+          $ engine_t $ replicas_t $ replica_cost_t $ downtime_t $ budget_t
+          $ deadline_t $ exact_max_n_t $ domains_t $ seed_t $ json_t
+          $ metrics_t $ obs_trace_t)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "wfc" ~version:"1.0.0"
        ~doc:"Scheduling computational workflows on failure-prone platforms")
     [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd;
-      stress_cmd; adapt_cmd; replay_cmd; profile_cmd ]
+      stress_cmd; adapt_cmd; replay_cmd; profile_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

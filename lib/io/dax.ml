@@ -110,14 +110,16 @@ let to_xml ?(name = "workflow") g =
   Xml.Element ("adag", [ ("name", name) ], jobs @ children)
 
 let load path =
-  let ic = open_in path in
-  let contents =
+  match
+    let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let* xml = Xml.of_string contents in
-  of_xml xml
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let* xml = Xml.of_string contents in
+      of_xml xml
 
 let save ?name path g =
   let oc = open_out path in

@@ -187,7 +187,11 @@ let of_string s =
     | Some x -> x
     | None -> error "invalid number"
   in
-  let rec parse_value () =
+  (* a depth cap keeps adversarial inputs ([[[[... ad infinitum) from
+     turning the recursive descent into a stack overflow *)
+  let max_depth = 512 in
+  let rec parse_value depth =
+    if depth > max_depth then error "value nesting too deep";
     skip_ws ();
     match peek () with
     | None -> error "unexpected end of input"
@@ -204,7 +208,7 @@ let of_string s =
             let key = parse_string () in
             skip_ws ();
             expect ':';
-            let value = parse_value () in
+            let value = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -226,7 +230,7 @@ let of_string s =
         end
         else begin
           let rec items acc =
-            let value = parse_value () in
+            let value = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -247,7 +251,7 @@ let of_string s =
     | Some c -> error (Printf.sprintf "unexpected character %c" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then error "trailing garbage";
     v

@@ -1,0 +1,212 @@
+open Json
+
+let ( let* ) = Result.bind
+
+let task_key i = Printf.sprintf "ID%07d" i
+
+(* ---- export ---- *)
+
+let to_json ?(name = "workflow") g =
+  let n = Wfc_dag.Dag.n_tasks g in
+  let refs l = List (Stdlib.List.map (fun v -> String (task_key v)) l) in
+  let tasks =
+    Stdlib.List.init n (fun i ->
+        let t = Wfc_dag.Dag.task g i in
+        Assoc
+          [
+            ("name", String (task_key i));
+            ("label", String t.Wfc_dag.Task.label);
+            ("type", String "compute");
+            ("runtimeInSeconds", Number t.Wfc_dag.Task.weight);
+            ("checkpointCost", Number t.Wfc_dag.Task.checkpoint_cost);
+            ("recoveryCost", Number t.Wfc_dag.Task.recovery_cost);
+            ("parents", refs (Wfc_dag.Dag.preds g i));
+            ("children", refs (Wfc_dag.Dag.succs g i));
+          ])
+  in
+  Assoc
+    [
+      ("name", String name);
+      ("schemaVersion", String "1.4");
+      ("workflow", Assoc [ ("tasks", List tasks) ]);
+    ]
+
+(* ---- import ---- *)
+
+let string_member key j =
+  Result.bind (member key j) to_string_value
+
+(* the human-readable handle used in error messages: the task's name if it
+   has one, otherwise its position in the document *)
+let handle i j =
+  match string_member "name" j with
+  | Ok name -> Printf.sprintf "task %S" name
+  | Error _ -> Printf.sprintf "task #%d" i
+
+let fail fmt = Printf.ksprintf (fun msg -> Error ("WfCommons: " ^ msg)) fmt
+
+let fold_tasks f init tasks =
+  let rec go acc i = function
+    | [] -> Ok acc
+    | j :: rest ->
+        let* acc = f acc i j in
+        go acc (i + 1) rest
+  in
+  go init 0 tasks
+
+let of_json root =
+  let* wf =
+    match member "workflow" root with
+    | Ok wf -> Ok wf
+    | Error _ -> fail "missing \"workflow\" object"
+  in
+  let* task_list =
+    match (member "tasks" wf, member "jobs" wf) with
+    | Ok l, _ | Error _, Ok l -> (
+        match to_list l with
+        | Ok l -> Ok l
+        | Error _ -> fail "\"tasks\" must be an array")
+    | Error _, Error _ -> fail "workflow has neither \"tasks\" nor \"jobs\""
+  in
+  if task_list = [] then fail "no tasks"
+  else begin
+    let n = Stdlib.List.length task_list in
+    let index = Hashtbl.create n in
+    let register i key =
+      match Hashtbl.find_opt index key with
+      | Some j when j <> i -> fail "duplicate task identifier %S" key
+      | _ ->
+          Hashtbl.replace index key i;
+          Ok ()
+    in
+    (* pass 1: register every task's name (and id, when distinct) so forward
+       parent references resolve *)
+    let* () =
+      fold_tasks
+        (fun () i j ->
+          let* key =
+            match (string_member "name" j, string_member "id" j) with
+            | Ok name, _ -> Ok name
+            | Error _, Ok id -> Ok id
+            | Error _, Error _ -> fail "%s has no \"name\"" (handle i j)
+          in
+          let* () = register i key in
+          match string_member "id" j with
+          | Ok id when id <> key -> register i id
+          | _ -> Ok ())
+        () task_list
+    in
+    (* pass 2: decode tasks through the Task.make validation *)
+    let* tasks_rev =
+      fold_tasks
+        (fun acc i j ->
+          let* weight =
+            match
+              (member "runtimeInSeconds" j, member "runtime" j)
+            with
+            | Ok v, _ | Error _, Ok v -> (
+                match to_float v with
+                | Ok w -> Ok w
+                | Error _ -> fail "%s: runtime must be a number" (handle i j))
+            | Error _, Error _ -> fail "%s has no runtime" (handle i j)
+          in
+          let opt_float key =
+            match Result.bind (member key j) to_float with
+            | Ok x -> x
+            | Error _ -> 0.
+          in
+          let label =
+            match (string_member "label" j, string_member "name" j) with
+            | Ok l, _ | Error _, Ok l -> Some l
+            | Error _, Error _ -> None
+          in
+          match
+            Wfc_dag.Task.make ~id:i ?label ~weight
+              ~checkpoint_cost:(opt_float "checkpointCost")
+              ~recovery_cost:(opt_float "recoveryCost")
+              ()
+          with
+          | t -> Ok (t :: acc)
+          | exception Invalid_argument msg ->
+              fail "%s: %s" (handle i j) msg)
+        [] task_list
+    in
+    let tasks = Array.of_list (Stdlib.List.rev tasks_rev) in
+    (* pass 3: edges from both directions, duplicates collapsed *)
+    let edge_set = Hashtbl.create 64 in
+    let edges = ref [] in
+    let add_edge u v =
+      if not (Hashtbl.mem edge_set (u, v)) then begin
+        Hashtbl.add edge_set (u, v) ();
+        edges := (u, v) :: !edges
+      end
+    in
+    let resolve i j kind key =
+      match Hashtbl.find_opt index key with
+      | Some v -> Ok v
+      | None -> fail "%s: unknown %s %S" (handle i j) kind key
+    in
+    let* () =
+      fold_tasks
+        (fun () i j ->
+          let refs kind =
+            match member kind j with
+            | Error _ | Ok Null -> Ok [] (* absent: no edges contributed *)
+            | Ok v -> (
+                match to_list v with
+                | Ok l -> Ok l
+                | Error _ ->
+                    fail "%s: %S must be an array" (handle i j) kind)
+          in
+          let* parents = refs "parents" in
+          let* () =
+            fold_tasks
+              (fun () _ r ->
+                match to_string_value r with
+                | Ok key ->
+                    let* p = resolve i j "parent" key in
+                    add_edge p i;
+                    Ok ()
+                | Error _ ->
+                    fail "%s: parent references must be strings" (handle i j))
+              () parents
+          in
+          let* children = refs "children" in
+          fold_tasks
+            (fun () _ r ->
+              match to_string_value r with
+              | Ok key ->
+                  let* c = resolve i j "child" key in
+                  add_edge i c;
+                  Ok ()
+              | Error _ ->
+                  fail "%s: child references must be strings" (handle i j))
+            () children)
+        () task_list
+    in
+    match Wfc_dag.Dag.create ~tasks ~edges:!edges with
+    | g -> Ok g
+    | exception Invalid_argument msg -> fail "%s" msg
+  end
+
+(* ---- files ---- *)
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let* j = of_string contents in
+      of_json j
+
+let save ?name path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string (to_json ?name g));
+      output_char oc '\n')

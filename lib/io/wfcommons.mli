@@ -1,0 +1,43 @@
+(** WfCommons workflow-instance (wfformat) JSON import and export.
+
+    WfCommons is the JSON schema behind the public corpora of real Pegasus /
+    Makeflow / Nextflow executions (Montage, Epigenomics, CyberShake, ...)
+    that the related schedulers evaluate on. We read the subset relevant to
+    scheduling:
+
+    {v
+    { "name": "epigenomics-chameleon-100",
+      "schemaVersion": "1.4",
+      "workflow": {
+        "tasks": [
+          { "name": "fastqSplit_1", "type": "compute",
+            "runtimeInSeconds": 12.4,
+            "parents": [], "children": ["filterContams_1"] },
+          ...
+        ] } }
+    v}
+
+    Per task we accept [runtimeInSeconds] (new schema) or [runtime] (pre-1.3
+    instances, which also say [jobs] instead of [tasks]); [parents] and
+    [children] both contribute edges (duplicates collapse). Task ids keep
+    their document order. Checkpoint and recovery costs are not part of the
+    schema; {!to_json} emits them as [checkpointCost] / [recoveryCost]
+    extension fields (with the task label under [label]) so a saved workflow
+    reloads to the identical DAG, and {!of_json} reads them back, defaulting
+    to zero for genuine WfCommons instances — apply a
+    {!Wfc_workflows.Cost_model.t} after loading those.
+
+    Decoders never raise: every failure (malformed JSON shape, duplicate or
+    unknown task references, negative or non-finite runtimes, cycles) is an
+    [Error] naming the offending task, and the final graph is validated by
+    {!Wfc_dag.Dag.create}. *)
+
+val of_json : Json.t -> (Wfc_dag.Dag.t, string) result
+val to_json : ?name:string -> Wfc_dag.Dag.t -> Json.t
+
+val load : string -> (Wfc_dag.Dag.t, string) result
+(** Read a WfCommons instance file. *)
+
+val save : ?name:string -> string -> Wfc_dag.Dag.t -> unit
+(** Write a WfCommons instance file (one [tasks] entry per task, both
+    [parents] and [children] populated). *)

@@ -111,19 +111,25 @@ let write_file path contents =
       output_char oc '\n')
 
 let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
 
 let save_dag ?name path g = write_file path (to_string (dag_to_json ?name g))
 
 let load_dag path =
-  let* j = of_string (read_file path) in
+  let* contents = read_file path in
+  let* j = of_string contents in
   dag_of_json j
 
 let save_schedule path s = write_file path (to_string (schedule_to_json s))
 
 let load_schedule g path =
-  let* j = of_string (read_file path) in
+  let* contents = read_file path in
+  let* j = of_string contents in
   schedule_of_json g j

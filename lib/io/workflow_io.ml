@@ -1,0 +1,86 @@
+type format = Dax | Wfcommons | Native
+
+let format_name = function
+  | Dax -> "dax"
+  | Wfcommons -> "wfcommons"
+  | Native -> "json"
+
+(* First meaningful byte, past an optional UTF-8 BOM and whitespace. *)
+let first_byte contents =
+  let n = String.length contents in
+  let i = ref 0 in
+  if n >= 3 && String.sub contents 0 3 = "\xef\xbb\xbf" then i := 3;
+  while
+    !i < n
+    && (match contents.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    incr i
+  done;
+  if !i < n then Some contents.[!i] else None
+
+let sniff contents =
+  match first_byte contents with
+  | Some '<' -> Some Dax
+  | Some _ -> (
+      match Json.of_string contents with
+      | Error _ -> None
+      | Ok j -> (
+          match Json.member "workflow" j with
+          | Ok _ -> Some Wfcommons
+          | Error _ -> Some Native))
+  | None -> None
+
+let decode_string contents =
+  match first_byte contents with
+  | Some '<' -> (
+      match Result.bind (Xml.of_string contents) Dax.of_xml with
+      | Ok g -> Ok (Dax, g)
+      | Error msg -> Error msg)
+  | _ -> (
+      (* everything else must be JSON: arbitrary bytes die in the parser
+         with a positioned message *)
+      match Json.of_string contents with
+      | Error msg -> Error msg
+      | Ok j -> (
+          match Json.member "workflow" j with
+          | Ok _ -> (
+              match Wfcommons.of_json j with
+              | Ok g -> Ok (Wfcommons, g)
+              | Error msg -> Error msg)
+          | Error _ -> (
+              match Workflow_format.dag_of_json j with
+              | Ok g -> Ok (Native, g)
+              | Error msg -> Error msg)))
+
+let load_string_with_format ?(path = "<string>") contents =
+  (* the never-raise contract is the whole point of this front door: the
+     decoders are total by construction, and this backstop keeps a missed
+     corner (or a future regression) from escaping as an exception *)
+  match decode_string contents with
+  | r -> Result.map_error (fun msg -> path ^ ": " ^ msg) r
+  | exception exn ->
+      Error (Printf.sprintf "%s: unexpected exception %s" path
+               (Printexc.to_string exn))
+
+let load_string ?path contents =
+  Result.map snd (load_string_with_format ?path contents)
+
+let load_with_format path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception exn ->
+      Error (Printf.sprintf "%s: unexpected exception %s" path
+               (Printexc.to_string exn))
+  | contents -> load_string_with_format ~path contents
+
+let load path = Result.map snd (load_with_format path)
+
+let extensions = [ ".dax"; ".xml"; ".json" ]
+
+let is_workflow_file name =
+  List.exists (fun ext -> Filename.check_suffix name ext) extensions

@@ -1,0 +1,44 @@
+(** One front door for every workflow file format.
+
+    The corpus tooling ingests directories of user-supplied workflow files
+    in whatever format they come: Pegasus DAX XML ({!Dax}), WfCommons
+    instance JSON ({!Wfcommons}) or this project's native JSON
+    ({!Workflow_format}). This module sniffs the format and dispatches, with
+    one hard contract: {!load} and {!load_string} {b never raise}, whatever
+    the bytes — unreadable files, truncated documents, malformed markup,
+    cyclic edge lists, duplicate ids and NaN or negative weights all come
+    back as [Error msg] with [msg] naming the input and the offending
+    element. Every successful decode passed through {!Wfc_dag.Dag.create},
+    so a loaded DAG satisfies exactly the invariants of a constructed one. *)
+
+type format =
+  | Dax  (** Pegasus DAX XML ([<adag>] root) *)
+  | Wfcommons  (** WfCommons instance JSON (["workflow"] wrapper object) *)
+  | Native  (** this project's JSON (top-level ["tasks"] / ["edges"]) *)
+
+val format_name : format -> string
+(** ["dax"], ["wfcommons"] or ["json"]. *)
+
+val sniff : string -> format option
+(** Guess the format of raw file contents: a leading ['<'] means DAX;
+    otherwise the contents must parse as JSON, a top-level ["workflow"]
+    member meaning WfCommons and anything else the native format. [None]
+    when the contents are neither XML-ish nor valid JSON. *)
+
+val load_string : ?path:string -> string -> (Wfc_dag.Dag.t, string) result
+(** Decode raw contents, sniffing the format. [path] (default
+    ["<string>"]) prefixes error messages. Never raises. *)
+
+val load : string -> (Wfc_dag.Dag.t, string) result
+(** Read and decode a workflow file, sniffing the format. Never raises;
+    error messages are prefixed with the path. *)
+
+val load_with_format : string -> (format * Wfc_dag.Dag.t, string) result
+(** {!load}, also reporting which format was detected. *)
+
+val extensions : string list
+(** Filename extensions recognized as workflow files when scanning a
+    directory: [[".dax"; ".xml"; ".json"]]. *)
+
+val is_workflow_file : string -> bool
+(** Whether the filename carries one of {!extensions}. *)

@@ -113,9 +113,11 @@ let of_string s =
                   else int_of_string_opt (String.sub e 1 (String.length e - 1))
                 in
                 (match code with
-                | Some c when c < 0x80 -> Buffer.add_char buf (Char.chr c)
-                | Some _ -> Buffer.add_string buf "?"
-                | None -> error "bad character reference")
+                | Some c when c >= 0 && c < 0x80 ->
+                    Buffer.add_char buf (Char.chr c)
+                | Some c when c >= 0 && c <= 0x10FFFF ->
+                    Buffer.add_string buf "?"
+                | Some _ | None -> error "bad character reference")
             | _ -> error "unknown entity");
             i := j + 1
       end
@@ -169,7 +171,11 @@ let of_string s =
     end
     else if looking_at "<!DOCTYPE" then error "DTDs are not supported"
   in
-  let rec parse_element () =
+  (* a depth cap keeps adversarial inputs (<a><a><a>... ad infinitum) from
+     turning the recursive descent into a stack overflow *)
+  let max_depth = 512 in
+  let rec parse_element depth =
+    if depth > max_depth then error "element nesting too deep";
     if peek () <> Some '<' then error "expected <";
     incr pos;
     let name = parse_name () in
@@ -181,11 +187,11 @@ let of_string s =
     end
     else if peek () = Some '>' then begin
       incr pos;
-      let kids = parse_children name in
+      let kids = parse_children depth name in
       Element (name, attrs, kids)
     end
     else error "malformed tag"
-  and parse_children parent =
+  and parse_children depth parent =
     let kids = ref [] in
     let rec go () =
       if !pos >= n then error (Printf.sprintf "unterminated <%s>" parent);
@@ -210,7 +216,7 @@ let of_string s =
         go ()
       end
       else if peek () = Some '<' then begin
-        kids := parse_element () :: !kids;
+        kids := parse_element (depth + 1) :: !kids;
         go ()
       end
       else begin
@@ -230,7 +236,7 @@ let of_string s =
   in
   match
     skip_misc ();
-    let root = parse_element () in
+    let root = parse_element 0 in
     skip_misc ();
     skip_ws ();
     if !pos <> n then error "trailing content after the root element";

@@ -28,3 +28,18 @@ let apply ?(recovery_factor = 1.) t g =
       Wfc_dag.Task.with_costs task ~checkpoint_cost:c
         ~recovery_cost:(recovery_factor *. c))
     g
+
+let is_costed g =
+  let n = Wfc_dag.Dag.n_tasks g in
+  let rec go i =
+    i < n
+    &&
+    let t = Wfc_dag.Dag.task g i in
+    t.Wfc_dag.Task.checkpoint_cost <> 0.
+    || t.Wfc_dag.Task.recovery_cost <> 0.
+    || go (i + 1)
+  in
+  go 0
+
+let ensure ?recovery_factor t g =
+  if is_costed g then g else apply ?recovery_factor t g

@@ -22,3 +22,13 @@ val apply : ?recovery_factor:float -> t -> Wfc_dag.Dag.t -> Wfc_dag.Dag.t
 (** [apply m g] returns [g] with every task's checkpoint cost set by [m] and
     recovery cost set to [recovery_factor] (default [1.]) times the
     checkpoint cost. *)
+
+val is_costed : Wfc_dag.Dag.t -> bool
+(** Whether any task carries a nonzero checkpoint or recovery cost. Workflow
+    files that predate checkpointing (Pegasus DAX, WfCommons instances)
+    decode with all costs zero; files written by this project carry them. *)
+
+val ensure : ?recovery_factor:float -> t -> Wfc_dag.Dag.t -> Wfc_dag.Dag.t
+(** [ensure m g] is [apply m g] when [g] is uncosted and [g] unchanged
+    otherwise — the mapping from raw file runtimes to schedulable
+    weights/costs used when ingesting mixed-provenance corpora. *)

@@ -1,0 +1,104 @@
+Golden corpus regression rig. The committed mini-corpus under corpus/
+(two Pegasus DAX files, one WfCommons instance, one native JSON file)
+is swept across the relative-MTBF scenario grid; the sweep is fully
+analytic, so these tables are byte-stable pins: any drift in the
+loaders, the evaluator or the heuristics shows up as a diff here.
+
+  $ ../bin/wfc.exe corpus corpus --grid 8 --exact-budget 100000
+  scenario mtbf=0.1W (backend incremental)
+  workflow            fmt        n   DF-CkptNvr  DF-CkptAlws  DF-CkptW  DF-CkptC  DF-CkptD  DF-CkptPer  best      exact
+  ------------------  ---------  --  ----------  -----------  --------  --------  --------  ----------  --------  -------------
+  cybershake-12.json  json       12  1080.7358   5.0503       5.0637    21.2768   4.9937    6.1998      DF-CkptD  exact 4.9389
+  diamond.dax         dax        4   2202.5466   14.2857      14.2282   37.0902   14.2282   79.7892     DF-CkptW  exact 14.2282
+  epigenomics-7.json  wfcommons  7   2202.5466   11.1148      11.2028   20.1204   11.1093   21.4268     DF-CkptD  exact 11.1093
+  montage-20.dax      dax        20  2202.5466   1.8502       1.8492    2.1903    1.8492    2.1438      DF-CkptW  exact 1.8491
+  
+  scenario mtbf=1W (backend incremental)
+  workflow            fmt        n   DF-CkptNvr  DF-CkptAlws  DF-CkptW  DF-CkptC  DF-CkptD  DF-CkptPer  best      exact
+  ------------------  ---------  --  ----------  -----------  --------  --------  --------  ----------  --------  ------------
+  cybershake-12.json  json       12  1.6805      1.2443       1.2444    1.3508    1.2185    1.2895      DF-CkptD  exact 1.2170
+  diamond.dax         dax        4   1.7183      1.3453       1.3334    1.4744    1.3322    1.4986      DF-CkptD  exact 1.3322
+  epigenomics-7.json  wfcommons  7   1.7183      1.3147       1.3177    1.4524    1.3037    1.3528      DF-CkptD  exact 1.2928
+  montage-20.dax      dax        20  1.7183      1.1631       1.1622    1.1635    1.1549    1.1668      DF-CkptD  exact 1.1519
+  
+  scenario mtbf=10W (backend incremental)
+  workflow            fmt        n   DF-CkptNvr  DF-CkptAlws  DF-CkptW  DF-CkptC  DF-CkptD  DF-CkptPer  best        exact
+  ------------------  ---------  --  ----------  -----------  --------  --------  --------  ----------  ----------  ------------
+  cybershake-12.json  json       12  1.0500      1.1136       1.0644    1.0502    1.0509    1.0500      DF-CkptNvr  exact 1.0500
+  diamond.dax         dax        4   1.0517      1.1220       1.0789    1.0628    1.0570    1.0517      DF-CkptNvr  exact 1.0517
+  epigenomics-7.json  wfcommons  7   1.0517      1.1196       1.0670    1.0519    1.0531    1.0517      DF-CkptNvr  exact 1.0517
+  montage-20.dax      dax        20  1.0517      1.1063       1.0450    1.0526    1.0525    1.0463      DF-CkptW    exact 1.0440
+
+The report is byte-identical across runs and domain counts:
+
+  $ ../bin/wfc.exe corpus corpus --grid 8 --exact-budget 100000 > base.txt
+  $ ../bin/wfc.exe corpus corpus --grid 8 --exact-budget 100000 --domains 4 > par.txt
+  $ cmp base.txt par.txt
+
+...and across evaluation backends (only the backend label may differ):
+
+  $ ../bin/wfc.exe corpus corpus --grid 8 --exact-budget 100000 --engine flat \
+  >   | sed 's/backend flat/backend incremental/' > flat.txt
+  $ cmp base.txt flat.txt
+  $ ../bin/wfc.exe corpus corpus --grid 8 --exact-budget 100000 --engine naive \
+  >   | sed 's/backend naive/backend incremental/' > naive.txt
+  $ cmp base.txt naive.txt
+
+The JSON report is deterministic too:
+
+  $ ../bin/wfc.exe corpus corpus --json r1.json > /dev/null
+  $ ../bin/wfc.exe corpus corpus --json r2.json --domains 4 > /dev/null
+  $ cmp r1.json r2.json
+
+Undecodable files are reported and skipped; the sweep continues:
+
+  $ mkdir mixed
+  $ cp corpus/diamond.dax mixed/
+  $ printf '{ broken' > mixed/bad.json
+  $ ../bin/wfc.exe corpus mixed --mtbf-ratios 1 --grid 8
+  skipped mixed/bad.json: mixed/bad.json: JSON parse error at offset 2: expected "
+  scenario mtbf=1W (backend incremental)
+  workflow     fmt  n  DF-CkptNvr  DF-CkptAlws  DF-CkptW  DF-CkptC  DF-CkptD  DF-CkptPer  best
+  -----------  ---  -  ----------  -----------  --------  --------  --------  ----------  --------
+  diamond.dax  dax  4  1.7183      1.3453       1.3334    1.4744    1.3322    1.4986      DF-CkptD
+
+Nonsense options die as one-line usage errors (exit 124), never as
+exceptions:
+
+  $ ../bin/wfc.exe corpus corpus --mtbf-ratios 0.1,-2
+  wfc: option '--mtbf-ratios': invalid MTBF ratio "-2": expected positive
+       multiples of the total weight (e.g. 0.1,1,10) or 'none'
+  Usage: wfc corpus [OPTION]… DIR
+  Try 'wfc corpus --help' or 'wfc --help' for more information.
+  [124]
+  $ ../bin/wfc.exe corpus corpus --failures exp:-1
+  wfc: option '--failures': Distribution.exponential: rate must be positive
+  Usage: wfc corpus [OPTION]… DIR
+  Try 'wfc corpus --help' or 'wfc --help' for more information.
+  [124]
+  $ ../bin/wfc.exe corpus corpus --replicas k:0
+  wfc: option '--replicas': invalid replication policy "k:0": expected auto,
+       none, k:N (N >= 1) or budget:F (F > 0)
+  Usage: wfc corpus [OPTION]… DIR
+  Try 'wfc corpus --help' or 'wfc --help' for more information.
+  [124]
+  $ ../bin/wfc.exe corpus corpus --engine turbo
+  wfc: option '--engine': unknown engine 'turbo' (naive, incremental or flat)
+  Usage: wfc corpus [OPTION]… DIR
+  Try 'wfc corpus --help' or 'wfc --help' for more information.
+  [124]
+  $ ../bin/wfc.exe corpus /no/such/dir
+  wfc: DIR argument: no '/no/such/dir' directory
+  Usage: wfc corpus [OPTION]… DIR
+  Try 'wfc corpus --help' or 'wfc --help' for more information.
+  [124]
+  $ ../bin/wfc.exe corpus corpus --mtbf-ratios none
+  no failure scenarios: give --mtbf-ratios or --failures
+  [1]
+
+The FIG=corpus bench guard re-runs the sweep under every backend and a
+different domain count, requires byte-identical reports, and writes
+BENCH_corpus.json:
+
+  $ CORPUS_DIR=corpus CORPUS_BUDGET=20000 FIG=corpus ../bench/main.exe | grep PASS
+  PASS: 4 instances x 3 scenarios byte-identical across engines and domain counts; wrote BENCH_corpus.json
