@@ -12,6 +12,9 @@
      profile    instrumented end-to-end workload reporting internal metrics
      corpus     sweep a directory of real workflow files across failure
                 scenarios and heuristics (golden-testable tables)
+     serve      scheduling-as-a-service daemon over a Unix/TCP socket with a
+                warm-engine LRU and bounded-queue admission control
+     request    client for a running daemon (text or binary protocol)
 
    Every analysis subcommand also takes --metrics (print internal counters
    after the normal output) and --trace FILE (write solver/simulator spans
@@ -93,6 +96,34 @@ let positive_int what =
     | None -> Error (`Msg (Printf.sprintf "invalid %s '%s'" what s))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some _ ->
+        Error (`Msg (Printf.sprintf "%s must be non-negative (got '%s')" what s))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s '%s'" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let port_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 && v <= 65535 -> Ok v
+    | Some _ ->
+        Error (`Msg (Printf.sprintf "port must be in [0, 65535] (got '%s')" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid port '%s'" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+(* --deadline SECONDS: one validated term shared by stress, corpus and the
+   serve-side text/binary protocol (which reuses the same wording in
+   Wfc_serve.Protocol.validate), so every surface rejects a bad deadline
+   with the same message. *)
+let deadline_arg ~doc =
+  Arg.(value & opt (some (positive_float "deadline")) None
+       & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
 (* --failures LAW: one validated inter-arrival law grammar shared by
    simulate, stress, adapt and replay. Nonsense dies as a usage error
@@ -803,9 +834,7 @@ let stress_cmd =
                    branch-and-bound node budget (0 = skip).")
   in
   let deadline_t =
-    Arg.(value & opt (some (positive_float "deadline")) None
-         & info [ "deadline" ] ~docv:"SECONDS"
-             ~doc:"Wall-clock deadline for the exact driver's search.")
+    deadline_arg ~doc:"Wall-clock deadline for the exact driver's search."
   in
   let p_ckpt_t =
     Arg.(value & opt (probability "checkpoint corruption probability") 0.
@@ -1540,26 +1569,16 @@ let corpus_cmd =
                    Repeatable; appended after the relative grid.")
   in
   let budget_t =
-    let nonneg_int =
-      let parse s =
-        match int_of_string_opt s with
-        | Some v when v >= 0 -> Ok v
-        | Some _ -> Error (`Msg "node budget must be non-negative")
-        | None -> Error (`Msg (Printf.sprintf "invalid node budget '%s'" s))
-      in
-      Arg.conv (parse, Format.pp_print_int)
-    in
-    Arg.(value & opt nonneg_int 0
+    Arg.(value & opt (nonneg_int "node budget") 0
          & info [ "exact-budget" ] ~docv:"NODES"
              ~doc:"Branch-and-bound node budget for an extra exact column \
                    (graceful solver-driver tiers); 0 (default) disables it.")
   in
   let deadline_t =
-    Arg.(value & opt (some (positive_float "deadline")) None
-         & info [ "deadline" ] ~docv:"SECONDS"
-             ~doc:"Wall-clock cap per exact attempt. Unset keeps the sweep \
-                   fully deterministic; setting it trades byte-stability \
-                   for bounded latency.")
+    deadline_arg
+      ~doc:"Wall-clock cap per exact attempt. Unset keeps the sweep \
+            fully deterministic; setting it trades byte-stability \
+            for bounded latency."
   in
   let exact_max_n_t =
     Arg.(value & opt (positive_int "task cap") 24
@@ -1590,11 +1609,158 @@ let corpus_cmd =
           $ deadline_t $ exact_max_n_t $ domains_t $ seed_t $ json_t
           $ metrics_t $ obs_trace_t)
 
+(* ---- serve / request ---- *)
+
+module Srv = Wfc_serve.Server
+module Cli = Wfc_serve.Client
+
+let listen_of ~socket ~port =
+  match socket with Some p -> Srv.Unix_sock p | None -> Srv.Tcp port
+
+let serve port socket cache_size queue_depth workers domains metrics trace =
+  let config =
+    { Srv.default_config with cache_size; queue_depth; workers; domains }
+  in
+  with_obs ~metrics ~trace @@ fun () ->
+  match
+    Srv.serve ~config
+      ~ready:(fun addr -> Printf.printf "wfc serve: listening on %s\n%!" addr)
+      (listen_of ~socket ~port)
+  with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "wfc serve: %s\n" msg;
+      exit 1
+
+let socket_t =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on (or connect to) a Unix-domain socket at $(docv) \
+                 instead of TCP. The path must not already exist when \
+                 serving; it is removed on shutdown.")
+
+let serve_cmd =
+  let port_t =
+    Arg.(value & opt port_conv 0
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port to bind on 127.0.0.1; 0 (default) picks a free \
+                   port and reports it on stdout.")
+  in
+  let cache_size_t =
+    Arg.(value & opt (nonneg_int "cache size") Srv.default_config.cache_size
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Warm evaluation engines kept in the LRU; 0 disables the \
+                   cache. Responses are byte-identical either way — only \
+                   latency changes.")
+  in
+  let queue_depth_t =
+    Arg.(value & opt (positive_int "queue depth") Srv.default_config.queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission bound on outstanding compute requests; beyond \
+                   it requests are refused with a structured $(b,busy) \
+                   error instead of queueing unboundedly.")
+  in
+  let workers_t =
+    Arg.(value & opt (positive_int "worker count") Srv.default_config.workers
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains draining the compute queue.")
+  in
+  let domains_t =
+    Arg.(value & opt (positive_int "domain count") Srv.default_config.domains
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Parallelism handed to corpus sweeps inside the daemon. \
+                   Never affects response bytes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the scheduling daemon: solve / simulate / adapt / corpus \
+             requests over a Unix or TCP socket, in a line-oriented text \
+             mode or a length-prefixed binary protocol, with a warm-engine \
+             LRU and bounded-queue admission control")
+    Term.(const serve $ port_t $ socket_t $ cache_size_t $ queue_depth_t
+          $ workers_t $ domains_t $ metrics_t $ obs_trace_t)
+
+let request port socket binary retry from_stdin words =
+  let target =
+    match (socket, port) with
+    | Some p, _ -> Srv.Unix_sock p
+    | None, Some p -> Srv.Tcp p
+    | None, None ->
+        Printf.eprintf "wfc request: need --socket PATH or --port PORT\n";
+        exit 1
+  in
+  let lines =
+    if from_stdin then In_channel.input_lines In_channel.stdin
+    else if words = [] then []
+    else [ String.concat " " words ]
+  in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  if lines = [] then begin
+    Printf.eprintf "wfc request: nothing to send\n";
+    exit 1
+  end;
+  match Cli.connect ~retry target with
+  | Error msg ->
+      Printf.eprintf "wfc request: %s\n" msg;
+      exit 1
+  | Ok fd ->
+      let replies = Cli.exchange ~binary fd lines in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let failed = ref false in
+      List.iter
+        (fun (r : Cli.reply) ->
+          match r.body with
+          | Ok body -> List.iter print_endline body
+          | Error detail ->
+              failed := true;
+              Printf.printf "error: %s\n" detail)
+        replies;
+      if !failed then exit 1
+
+let request_cmd =
+  let port_t =
+    Arg.(value & opt (some port_conv) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Connect to the daemon on 127.0.0.1:$(docv).")
+  in
+  let binary_t =
+    Arg.(value & flag
+         & info [ "binary" ]
+             ~doc:"Use the length-prefixed binary codec instead of the text \
+                   protocol. Rendered output is byte-identical to text mode.")
+  in
+  let retry_t =
+    Arg.(value & opt (nonneg_float "retry budget") 5.
+         & info [ "retry" ] ~docv:"SECONDS"
+             ~doc:"Keep retrying a refused connection for up to $(docv) \
+                   (the daemon may still be starting).")
+  in
+  let stdin_t =
+    Arg.(value & flag
+         & info [ "stdin" ]
+             ~doc:"Read one request per line from standard input and \
+                   pipeline them over a single connection; replies print \
+                   in request order regardless of completion order.")
+  in
+  let words_t =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"WORD"
+             ~doc:"Request words, joined into one text-protocol line, e.g. \
+                   $(b,wfc request --port P solve family=chain n=8).")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send requests to a running wfc serve daemon and print the \
+             replies (exit 1 if any reply is an error)")
+    Term.(const request $ port_t $ socket_t $ binary_t $ retry_t $ stdin_t
+          $ words_t)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "wfc" ~version:"1.0.0"
        ~doc:"Scheduling computational workflows on failure-prone platforms")
     [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd;
-      stress_cmd; adapt_cmd; replay_cmd; profile_cmd; corpus_cmd ]
+      stress_cmd; adapt_cmd; replay_cmd; profile_cmd; corpus_cmd;
+      serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

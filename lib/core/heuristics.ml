@@ -156,8 +156,8 @@ let record_outcome ckpt (o : outcome) =
   end;
   o
 
-let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand model
-    g ~lin ~ckpt =
+let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand
+    ?engine model g ~lin ~ckpt =
   Wfc_obs.Trace.with_span "heuristics.run" ~args:[ ("heuristic", name lin ckpt) ]
   @@ fun () ->
   record_outcome ckpt
@@ -219,8 +219,20 @@ let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand model
                vectors differ in a handful of tasks, so each step costs a
                suffix re-evaluation instead of a full one. Flat and
                incremental handles score bit-identically, so the winner is
-               backend-independent *)
-            let engine = Eval_engine.handle backend model g ~order in
+               backend-independent. A warm [engine] (the serving layer's
+               LRU) skips the build; the sweep only ever sets whole flag
+               vectors, so a warm engine scores every candidate bit-identically
+               to a cold one whatever flags it was left holding. *)
+            let engine =
+              match engine with
+              | Some h ->
+                  if Eval_engine.h_order h <> order then
+                    invalid_arg
+                      "Heuristics.run: warm engine bound to another order";
+                  Eval_engine.h_set_model h model;
+                  h
+              | None -> Eval_engine.handle backend model g ~order
+            in
             let best = ref None in
             List.iter
               (fun n_ckpt ->

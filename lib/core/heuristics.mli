@@ -67,6 +67,7 @@ val run :
   ?search:search ->
   ?backend:Eval_engine.backend ->
   ?rand:(int -> int) ->
+  ?engine:Eval_engine.handle ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   lin:Wfc_dag.Linearize.strategy ->
@@ -76,7 +77,19 @@ val run :
     checkpoint placement with [ckpt]. [search] defaults to [Exhaustive];
     [backend] (default [Incremental]) selects whether the [N]-sweep is
     evaluated through {!Eval_engine} or one {!Evaluator} call per candidate;
-    [rand] seeds the RF linearization. *)
+    [rand] seeds the RF linearization.
+
+    [engine] supplies a warm {!Eval_engine.handle} already bound to
+    [(g, order)] — the serving layer's LRU hands one back for repeat
+    requests so the sweep skips the engine build. The model is rebound with
+    {!Eval_engine.h_set_model} (cached lost-work rows survive); because the
+    sweep only assigns whole flag vectors and an engine's makespan is a pure
+    function of its flags, the outcome is bit-identical to a cold run.
+    Ignored by the [Naive] backend and by the unsearched strategies
+    (CkptNvr/CkptAlws, which cost one oracle call anyway).
+
+    @raise Invalid_argument if [engine] is bound to a different order than
+      [lin]'s linearization of [g]. *)
 
 (** {1 Replication — the second resilience axis} *)
 

@@ -211,6 +211,41 @@ let critical_path g =
     order;
   !result
 
+(* FNV-1a over the full structural content: task count, every task's label,
+   weight and cost bits, and every edge. Two DAGs that evaluate identically
+   under every model collide iff they are structurally equal (up to the
+   2^-64 hash collision risk callers accept for cache keying). *)
+let fingerprint g =
+  let fnv_prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let step b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) fnv_prime
+  in
+  let int64 x =
+    for shift = 0 to 7 do
+      step (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+    done
+  in
+  let float f = int64 (Int64.bits_of_float f) in
+  let string s = String.iter (fun c -> step (Char.code c)) s; step 0xff in
+  int64 (Int64.of_int (n_tasks g));
+  Array.iter
+    (fun (t : Task.t) ->
+      string t.Task.label;
+      float t.Task.weight;
+      float t.Task.checkpoint_cost;
+      float t.Task.recovery_cost)
+    g.tasks;
+  Array.iteri
+    (fun u succs ->
+      Array.iter
+        (fun v ->
+          int64 (Int64.of_int u);
+          int64 (Int64.of_int v))
+        succs)
+    g.succs;
+  !h
+
 let pp_stats ppf g =
   let n = n_tasks g in
   let wmin = ref infinity and wmax = ref 0. in

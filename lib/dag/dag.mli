@@ -101,5 +101,12 @@ val descendants : t -> int -> bool array
 val critical_path : t -> float
 (** Weight of the heaviest path, including its endpoints. *)
 
+val fingerprint : t -> int64
+(** Deterministic 64-bit structural digest (FNV-1a over task count, labels,
+    weight/cost bits and edges). Structurally equal DAGs — same tasks in the
+    same positions, same edges — have equal fingerprints; the converse holds
+    up to hash collision, the risk accepted by engine-cache keying. Stable
+    across processes and platforms (no [Hashtbl.hash] involved). *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: task/edge counts, weight statistics, depth. *)

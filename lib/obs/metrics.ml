@@ -106,6 +106,14 @@ let observe h x =
     atomic_add_float s.h_sum x
   end
 
+let time h f =
+  if Atomic.get enabled_flag then begin
+    let t0 = Unix.gettimeofday () in
+    let finally () = observe h (Unix.gettimeofday () -. t0) in
+    Fun.protect ~finally f
+  end
+  else f ()
+
 (* ---- reading ---------------------------------------------------------- *)
 
 type hist_snapshot = { hcount : int; hsum : float; buckets : int array }

@@ -42,6 +42,12 @@ val histogram : string -> histogram
 val observe : histogram -> float -> unit
 (** Record one sample into its log-scale bucket (see {!bucket_of}). *)
 
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()] and records its wall-clock duration in seconds
+    into [h] — the per-endpoint latency histograms of the serving layer.
+    When the layer is disabled this is exactly [f ()] (no clock read); the
+    sample is recorded even when [f] raises. *)
+
 (** {1 Buckets} *)
 
 val n_buckets : int

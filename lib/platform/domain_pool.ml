@@ -22,6 +22,95 @@ let run ~domains worker =
     let first = worker 0 in
     first :: List.map Domain.join handles
 
+(* ---- persistent bounded pool (the serving layer's worker side) -------- *)
+
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    jobs : (unit -> unit) Queue.t;
+    mutable outstanding : int;  (* queued + running *)
+    depth : int;
+    mutable stopping : bool;
+    mutable drained : bool;  (* workers must exit even with jobs queued *)
+    mutable workers : unit Domain.t array;
+  }
+
+  let worker_loop t =
+    let rec next () =
+      Mutex.lock t.mutex;
+      let rec wait () =
+        if Queue.is_empty t.jobs && not t.stopping then begin
+          Condition.wait t.work_ready t.mutex;
+          wait ()
+        end
+      in
+      wait ();
+      if Queue.is_empty t.jobs || t.drained then Mutex.unlock t.mutex
+      else begin
+        let job = Queue.pop t.jobs in
+        Mutex.unlock t.mutex;
+        (* a job must not take the pool down; the submitting layer reports
+           its own errors in-band *)
+        (try job () with _ -> ());
+        Mutex.lock t.mutex;
+        t.outstanding <- t.outstanding - 1;
+        Mutex.unlock t.mutex;
+        next ()
+      end
+    in
+    next ()
+
+  let create ~workers ~depth =
+    if workers <= 0 then invalid_arg "Domain_pool.Pool.create: workers <= 0";
+    if depth <= 0 then invalid_arg "Domain_pool.Pool.create: depth <= 0";
+    let t =
+      {
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        jobs = Queue.create ();
+        outstanding = 0;
+        depth;
+        stopping = false;
+        drained = false;
+        workers = [||];
+      }
+    in
+    t.workers <-
+      Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let try_submit t job =
+    Mutex.lock t.mutex;
+    let admitted =
+      if t.stopping || t.outstanding >= t.depth then false
+      else begin
+        t.outstanding <- t.outstanding + 1;
+        Queue.push job t.jobs;
+        Condition.signal t.work_ready;
+        true
+      end
+    in
+    Mutex.unlock t.mutex;
+    admitted
+
+  let outstanding t =
+    Mutex.lock t.mutex;
+    let n = t.outstanding in
+    Mutex.unlock t.mutex;
+    n
+
+  let depth t = t.depth
+
+  let shutdown ?(drain = true) t =
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    t.drained <- not drain;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+end
+
 (* Self-scheduling loop over an atomic cursor: every idle worker grabs the
    next unclaimed item, so imbalanced items (branch-and-bound subtrees) are
    stolen from the static round-robin owner instead of serializing on it.

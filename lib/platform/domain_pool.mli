@@ -25,6 +25,42 @@ val run : domains:int -> (int -> 'a) -> 'a list
 
     @raise Invalid_argument if [domains <= 0]. *)
 
+(** Persistent bounded worker pool — the compute side of the serving
+    daemon. Unlike {!run} (fork-join, joined per call), a [Pool.t] keeps its
+    worker domains alive across submissions and bounds the number of
+    {e outstanding} jobs (queued plus running): {!Pool.try_submit} refuses
+    work beyond the bound instead of queueing unboundedly, which is the
+    admission-control contract the server turns into structured [busy]
+    responses. *)
+module Pool : sig
+  type t
+
+  val create : workers:int -> depth:int -> t
+  (** [create ~workers ~depth] spawns [workers] domains that sleep on a
+      shared queue. At most [depth] jobs may be outstanding at once.
+
+      @raise Invalid_argument if [workers <= 0] or [depth <= 0]. *)
+
+  val try_submit : t -> (unit -> unit) -> bool
+  (** [try_submit t job] enqueues [job] and returns [true], or returns
+      [false] without enqueueing when [depth] jobs are already outstanding
+      (or the pool is shutting down). A job counts as outstanding from
+      admission until it finishes running. Exceptions escaping [job] are
+      swallowed: workers never die with the pool. *)
+
+  val outstanding : t -> int
+  (** Jobs admitted and not yet finished (queued + running). *)
+
+  val depth : t -> int
+  (** The admission bound. *)
+
+  val shutdown : ?drain:bool -> t -> unit
+  (** Stop accepting work and join every worker. With [drain] (default
+      [true]) queued jobs run to completion first; with [~drain:false]
+      queued jobs are dropped. Blocks until all workers exit; running jobs
+      are never interrupted. *)
+end
+
 val self_schedule :
   domains:int -> total:int -> (worker:int -> int -> unit) -> int
 (** [self_schedule ~domains ~total f] runs [f ~worker i] for every item

@@ -1,0 +1,162 @@
+(* Client side of [wfc request]: connect (with retry, so cram scripts can
+   race the daemon startup), ship a batch of text-mode lines over one
+   connection, collect the response blocks, and return them sorted by
+   request id — pipelined responses may complete out of order on the
+   server's workers, sorting makes the output deterministic.
+
+   In binary mode the same lines are parsed locally, encoded as frames and
+   the decoded responses rendered with the same [Protocol.render_response],
+   so text and binary transcripts are byte-comparable — which is exactly
+   how the cram suite pins codec/daemon agreement. *)
+
+module Pr = Protocol
+
+type reply = { rid : int64; body : (string list, string) result }
+(* [Error] carries "CODE MESSAGE" from an error response. *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let connect ?(retry = 5.) target =
+  let addr =
+    match target with
+    | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    | Server.Unix_sock path -> Unix.ADDR_UNIX path
+  in
+  let rec go left =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when left > 0. ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        go (left -. 0.05)
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "cannot connect to %s: %s"
+             (match target with
+             | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+             | Server.Unix_sock p -> p)
+             (Unix.error_message e))
+  in
+  go retry
+
+let by_rid a b = Int64.compare a.rid b.rid
+
+(* ---- text transport ---------------------------------------------------- *)
+
+type linereader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let read_line lr =
+  let b = Buffer.create 80 in
+  let rec go () =
+    if lr.pos >= lr.len then begin
+      lr.len <- Unix.read lr.fd lr.buf 0 (Bytes.length lr.buf);
+      lr.pos <- 0
+    end;
+    if lr.len = 0 then
+      if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    else
+      match Bytes.get lr.buf lr.pos with
+      | '\n' ->
+          lr.pos <- lr.pos + 1;
+          Some (Buffer.contents b)
+      | '\r' ->
+          lr.pos <- lr.pos + 1;
+          go ()
+      | c ->
+          lr.pos <- lr.pos + 1;
+          Buffer.add_char b c;
+          go ()
+  in
+  go ()
+
+let split2 s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let text_exchange fd lines =
+  write_all fd (String.concat "" (List.map (fun l -> l ^ "\n") lines));
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let lr = { fd; buf = Bytes.create 8192; pos = 0; len = 0 } in
+  let rec read_body acc =
+    match read_line lr with
+    | None | Some "." -> List.rev acc
+    | Some l -> read_body (l :: acc)
+  in
+  let rec go acc =
+    match read_line lr with
+    | None -> List.rev acc
+    | Some header -> (
+        match split2 header with
+        | "ok", rest ->
+            let rid, _ = split2 rest in
+            let rid = Option.value ~default:0L (Int64.of_string_opt rid) in
+            go ({ rid; body = Ok (read_body []) } :: acc)
+        | "error", rest ->
+            let rid, detail = split2 rest in
+            let rid = Option.value ~default:0L (Int64.of_string_opt rid) in
+            go ({ rid; body = Error detail } :: acc)
+        | _ ->
+            (* not a header we know: surface it rather than hide it *)
+            go ({ rid = 0L; body = Error ("garbled response: " ^ header) } :: acc))
+  in
+  List.sort by_rid (go [])
+
+(* ---- binary transport -------------------------------------------------- *)
+
+let binary_exchange fd lines =
+  (* parse locally so encode/decode gets exercised end to end *)
+  let parsed =
+    List.mapi
+      (fun i line -> (Int64.of_int (i + 1), Pr.request_of_line line))
+      lines
+  in
+  let local, sendable =
+    List.partition_map
+      (fun (rid, r) ->
+        match r with
+        | Error msg ->
+            Left { rid; body = Error ("bad-request " ^ msg) }
+        | Ok req -> Right (rid, req))
+      parsed
+  in
+  List.iter
+    (fun (rid, req) ->
+      write_all fd (Codec.frame (Codec.encode_request ~id:rid req)))
+    sendable;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let read buf off len = Unix.read fd buf off len in
+  let rec go acc =
+    match Codec.read_frame read with
+    | Ok None -> List.rev acc
+    | Error msg -> List.rev ({ rid = 0L; body = Error ("framing " ^ msg) } :: acc)
+    | Ok (Some payload) -> (
+        match Codec.decode_response payload with
+        | Error msg ->
+            go ({ rid = 0L; body = Error ("decode " ^ msg) } :: acc)
+        | Ok (rid, Pr.Error { code; message }) ->
+            go
+              ({ rid; body = Error (Pr.error_code_name code ^ " " ^ message) }
+              :: acc)
+        | Ok (rid, resp) ->
+            go ({ rid; body = Ok (Pr.render_response resp) } :: acc))
+  in
+  List.sort by_rid (go [] @ local)
+
+let exchange ?(binary = false) fd lines =
+  if binary then binary_exchange fd lines else text_exchange fd lines

@@ -1,0 +1,26 @@
+(** Client side of [wfc request].
+
+    Ships a batch of text-mode request lines over one connection — as text
+    lines or as binary frames ([binary]) — and returns the responses sorted
+    by request id, so pipelined output is deterministic even when the
+    server's workers complete out of order. Binary mode parses the same
+    lines locally, encodes them through {!Codec} and renders decoded
+    responses with {!Protocol.render_response}: text and binary transcripts
+    of the same batch are byte-comparable. *)
+
+type reply = {
+  rid : int64;
+  body : (string list, string) result;
+      (** [Ok lines] rendered body; [Error "CODE MESSAGE"] for error
+          responses *)
+}
+
+val connect :
+  ?retry:float -> Server.listen -> (Unix.file_descr, string) result
+(** Connect to the daemon, retrying connection-refused / not-found every
+    50 ms for up to [retry] seconds (default 5) — lets scripts race the
+    daemon's startup. *)
+
+val exchange : ?binary:bool -> Unix.file_descr -> string list -> reply list
+(** Send every line, half-close the write side, read until EOF or all
+    responses arrive. The caller closes the descriptor. *)

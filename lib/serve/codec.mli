@@ -1,0 +1,43 @@
+(** Binary wire format of [wfc serve].
+
+    A frame is a 4-byte big-endian payload length followed by the payload,
+    capped at {!default_max_frame}. A payload is a version byte, an 8-byte
+    request id (chosen by the client, echoed on the response) and a tagged
+    body. Floats travel as IEEE bits, so values round-trip exactly.
+
+    Connections are sniffed by their first byte: payload lengths stay far
+    below [2^24], so a binary frame always begins with [0x00], while every
+    text command begins with a letter.
+
+    Decoding NEVER raises: arbitrary bytes produce [Error _]. Lengths and
+    counts are validated against the bytes actually remaining before any
+    allocation, and decoded payloads must be consumed exactly (trailing
+    bytes are an error), which is what makes encode/decode a bijection on
+    well-formed values. *)
+
+val version : int
+val default_max_frame : int  (** 16 MiB *)
+
+val encode_request : id:int64 -> Protocol.request -> string
+(** The payload (unframed). *)
+
+val encode_response : id:int64 -> Protocol.response -> string
+
+val decode_request : string -> (int64 * Protocol.request, string) result
+val decode_response : string -> (int64 * Protocol.response, string) result
+
+val frame : string -> string
+(** Prepend the 4-byte length header. *)
+
+val read_frame :
+  ?max_frame:int ->
+  (bytes -> int -> int -> int) ->
+  (string option, string) result
+(** [read_frame read] pulls one frame through [read buf off len] (the
+    [Unix.read] contract; 0 = EOF). [Ok None] is a clean EOF at a frame
+    boundary; truncation mid-frame, oversized frames and reader exceptions
+    are [Error]s. *)
+
+val reader_of_string : string -> bytes -> int -> int -> int
+(** A [read] function over an in-memory string — the fuzz harness feeds
+    arbitrary bytes through this. *)

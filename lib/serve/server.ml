@@ -1,0 +1,693 @@
+(* The scheduling service: a pure request dispatcher (usable in-process by
+   tests and the bench) plus the socket serving loop around it.
+
+   Responses must be byte-identical whether the warm-engine cache is on or
+   off, across evaluation backends and across worker/domain counts — that
+   is the regression contract the serve bench pins. Consequently:
+
+   - the warm cache only short-circuits the engine {e build}; the search it
+     feeds ([Heuristics.run ?engine]) is bit-identical to a cold run;
+   - request deadlines map to solver budgets {e deterministically}
+     (a node budget at a fixed calibration rate, never a wall-clock abort);
+   - everything nondeterministic (latency, uptime, hit rates) is only
+     reachable through the [Stats] endpoint. *)
+
+module FM = Wfc_platform.Failure_model
+module Stats = Wfc_platform.Stats
+module Pool = Wfc_platform.Domain_pool.Pool
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module Dag = Wfc_dag.Dag
+module Lin = Wfc_dag.Linearize
+module H = Wfc_core.Heuristics
+module E = Wfc_core.Eval_engine
+module Key = Wfc_core.Engine_key
+module Schedule = Wfc_core.Schedule
+module Evaluator = Wfc_core.Evaluator
+module LS = Wfc_core.Local_search
+module Driver = Wfc_resilience.Solver_driver
+module Robust = Wfc_resilience.Robust
+module SA = Wfc_simulator.Sim_adaptive
+module MC = Wfc_simulator.Monte_carlo
+module Corpus = Wfc_corpus.Corpus
+module Table = Wfc_reporting.Table
+module Metrics = Wfc_obs.Metrics
+module Pr = Protocol
+
+type config = {
+  cache_size : int;  (* warm engines kept; 0 disables the cache *)
+  queue_depth : int;  (* admission bound: queued + running compute jobs *)
+  workers : int;  (* worker domains draining the queue *)
+  domains : int;  (* corpus-sweep parallelism (never affects bytes) *)
+  max_frame : int;
+  exact_max_n : int;  (* deadline tiering: largest n going exact *)
+  nodes_per_second : float;  (* deadline seconds -> node budget *)
+}
+
+let default_config =
+  {
+    cache_size = 32;
+    queue_depth = 64;
+    workers = 2;
+    domains = 1;
+    max_frame = Codec.default_max_frame;
+    exact_max_n = 24;
+    nodes_per_second = 20_000.;
+  }
+
+(* ---- per-endpoint stats (server-local, so tests stay isolated) -------- *)
+
+let endpoints =
+  [| "ping"; "solve"; "simulate"; "adapt"; "corpus"; "stats"; "sleep";
+     "shutdown" |]
+
+let endpoint_index = function
+  | Pr.Ping -> 0
+  | Pr.Solve _ -> 1
+  | Pr.Simulate _ -> 2
+  | Pr.Adapt _ -> 3
+  | Pr.Corpus _ -> 4
+  | Pr.Stats -> 5
+  | Pr.Sleep _ -> 6
+  | Pr.Shutdown -> 7
+
+type ep_stats = {
+  mutable count : int;
+  mutable errors : int;
+  lat_buckets : int array;  (* Metrics log-scale buckets, seconds *)
+  mutable lat_count : int;
+  mutable lat_sum : float;
+}
+
+type t = {
+  config : config;
+  cache : Engine_cache.t;
+  mutex : Mutex.t;
+  eps : ep_stats array;
+  tiers : (string, int) Hashtbl.t;
+  mutable busy_count : int;
+  started : float;
+  stop : bool Atomic.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    cache = Engine_cache.create ~capacity:config.cache_size;
+    mutex = Mutex.create ();
+    eps =
+      Array.init (Array.length endpoints) (fun _ ->
+          {
+            count = 0;
+            errors = 0;
+            lat_buckets = Array.make Metrics.n_buckets 0;
+            lat_count = 0;
+            lat_sum = 0.;
+          });
+    tiers = Hashtbl.create 4;
+    busy_count = 0;
+    started = Unix.gettimeofday ();
+    stop = Atomic.make false;
+  }
+
+let cache_stats t = Engine_cache.stats t.cache
+let stopping t = Atomic.get t.stop
+
+let mcounter name = Metrics.incr (Metrics.counter name)
+
+let note_busy t =
+  Mutex.protect t.mutex (fun () -> t.busy_count <- t.busy_count + 1);
+  mcounter "serve.busy"
+
+let note_tier t tier =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.replace t.tiers tier
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.tiers tier)));
+  mcounter ("serve.tier." ^ tier)
+
+let err code message = Pr.Error { code; message }
+
+(* ---- solve ------------------------------------------------------------ *)
+
+let dag_of_spec = function
+  | Pr.Generated { family; n; seed; cost } ->
+      if n < P.min_size family then
+        Stdlib.Error
+          (Printf.sprintf "%s needs at least %d tasks" (P.family_name family)
+             (P.min_size family))
+      else Ok (CM.apply cost (P.generate family ~n ~seed))
+  | Pr.Inline { name; text; cost } ->
+      Result.map (CM.ensure cost) (Wfc_io.Workflow_io.load_string ~path:name text)
+  | Pr.File { path; cost } ->
+      Result.map (CM.ensure cost) (Wfc_io.Workflow_io.load path)
+
+(* Deadline seconds -> solver tier, deterministically: the budget is a node
+   count at a fixed calibration rate, so the same request always gets the
+   same tier and the same answer — a deliberate trade against wall-clock
+   accuracy (an unlucky instance can overrun its deadline; it can never
+   return different bytes). *)
+let deadline_plan cfg ~n d =
+  let nodes = int_of_float (Float.min (d *. cfg.nodes_per_second) 1e9) in
+  if nodes >= 500 && n <= cfg.exact_max_n then `Exact nodes
+  else if nodes >= 100 then `Local_search (Int.min 2000 nodes)
+  else `Heuristic
+
+(* Warm-engine checkout around a solve: [take] removes the cached engine
+   (two workers must never share one — a concurrent same-key request just
+   builds cold), the solve runs, and check-in re-inserts at MRU. *)
+let with_engine t (p : Pr.solve_params) model g ~order f =
+  if Engine_cache.capacity t.cache = 0 || p.backend = E.Naive then f None
+  else begin
+    let key = Key.make p.backend model g ~order in
+    let engine =
+      match Engine_cache.take t.cache key with
+      | Some h ->
+          mcounter "serve.cache.hit";
+          h
+      | None ->
+          mcounter "serve.cache.miss";
+          E.handle p.backend model g ~order
+    in
+    Fun.protect
+      ~finally:(fun () -> Engine_cache.put t.cache key engine)
+      (fun () -> f (Some engine))
+  end
+
+let run_solve t (p : Pr.solve_params) =
+  match dag_of_spec p.workflow with
+  | Stdlib.Error msg -> Stdlib.Error msg
+  | Ok g ->
+      let model = FM.of_mtbf ~mtbf:p.mtbf ~downtime:p.downtime () in
+      let order = Lin.run p.lin g in
+      let search = if p.grid <= 0 then H.Exhaustive else H.Grid p.grid in
+      let heuristic = H.name p.lin p.ckpt in
+      let finish ~tier ~evaluations sched makespan =
+        note_tier t tier;
+        let tinf = Evaluator.fail_free_time g in
+        ( {
+            Pr.source = Pr.spec_source p.workflow;
+            n_tasks = Dag.n_tasks g;
+            heuristic;
+            tier;
+            makespan;
+            ratio = (if tinf > 0. then makespan /. tinf else 1.);
+            n_ckpt = Schedule.checkpoint_count sched;
+            ckpt_tasks = Schedule.checkpointed_tasks sched;
+            evaluations;
+          },
+          sched,
+          g,
+          model )
+      in
+      let heuristic_tier () =
+        with_engine t p model g ~order (fun engine ->
+            let o = H.run ~search ~backend:p.backend ?engine model g ~lin:p.lin ~ckpt:p.ckpt in
+            finish ~tier:(Driver.tier_name Driver.Heuristic)
+              ~evaluations:o.H.evaluations o.H.schedule o.H.makespan)
+      in
+      let plan =
+        match p.deadline with
+        | None -> `Heuristic
+        | Some d -> deadline_plan t.config ~n:(Dag.n_tasks g) d
+      in
+      Ok
+        (match plan with
+        | `Heuristic -> heuristic_tier ()
+        | `Local_search evals ->
+            with_engine t p model g ~order (fun engine ->
+                let o =
+                  H.run ~search ~backend:p.backend ?engine model g ~lin:p.lin
+                    ~ckpt:p.ckpt
+                in
+                let ls =
+                  LS.improve ~max_evaluations:evals ~backend:p.backend model g
+                    o.H.schedule
+                in
+                finish
+                  ~tier:(Driver.tier_name Driver.Local_search)
+                  ~evaluations:(o.H.evaluations + ls.LS.evaluations)
+                  ls.LS.schedule ls.LS.makespan)
+        | `Exact nodes ->
+            let config =
+              { Driver.default_config with
+                Driver.max_nodes = nodes;
+                search;
+                backend = p.backend;
+              }
+            in
+            let r = Driver.solve ~config model g ~order in
+            finish ~tier:(Driver.tier_name r.Driver.tier) ~evaluations:r.Driver.nodes
+              r.Driver.schedule r.Driver.makespan)
+
+(* ---- the other compute endpoints -------------------------------------- *)
+
+let run_simulate t (p : Pr.solve_params) ~runs ~mcseed =
+  Result.map
+    (fun (solved, sched, g, model) ->
+      let est = MC.estimate ~runs ~seed:mcseed model g sched in
+      let ci_lo, ci_hi = Stats.confidence95 est.MC.makespan in
+      {
+        Pr.solved;
+        runs;
+        sim_mean = Stats.mean est.MC.makespan;
+        ci_lo;
+        ci_hi;
+        failures_mean = Stats.mean est.MC.failures;
+      })
+    (run_solve t p)
+
+let run_adapt t (p : Pr.solve_params) ~true_mtbf ~traces ~mcseed =
+  Result.map
+    (fun ((solved : Pr.solved), sched, g, planning) ->
+      let truth = FM.of_mtbf ~mtbf:true_mtbf ~downtime:p.downtime () in
+      let scenarios = Robust.default_scenarios truth in
+      let replanner = Driver.replanner ~backend:p.backend g in
+      let config =
+        { (SA.default_config planning) with SA.replan = Some replanner }
+      in
+      let candidates =
+        [
+          Robust.static ~name:solved.Pr.heuristic g sched;
+          Robust.adaptive ~name:"adaptive" config g sched;
+        ]
+      in
+      let min_uptime = 200. *. Dag.total_weight g in
+      let r =
+        Robust.evaluate ~traces_per_scenario:traces ~seed:mcseed ~min_uptime
+          ~criterion:(Robust.CVaR 0.95) ~scenarios candidates
+      in
+      {
+        Pr.asource = solved.Pr.source;
+        winner = r.Robust.winner.Robust.candidate;
+        policies =
+          List.map
+            (fun (s : Robust.score) ->
+              (s.Robust.candidate, s.Robust.mean, s.Robust.cvar, s.Robust.worst))
+            r.Robust.scores;
+      })
+    (run_solve t p)
+
+let run_corpus t ~dir ~ratios ~grid ~backend =
+  match Corpus.load_dir ~cost:(CM.Proportional 0.1) dir with
+  | Stdlib.Error msg -> err Pr.Bad_request msg
+  | Ok ([], _) -> err Pr.Bad_request ("no workflow files in " ^ dir)
+  | Ok (instances, skipped) ->
+      let config =
+        { Corpus.default_config with
+          Corpus.scenarios = List.map (fun r -> Corpus.Relative r) ratios;
+          search = (if grid <= 0 then H.Exhaustive else H.Grid grid);
+          backend;
+          domains = t.config.domains;
+        }
+      in
+      let report = Corpus.sweep ~config ~skipped instances in
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun (path, msg) ->
+          Buffer.add_string buf (Printf.sprintf "skipped %s: %s\n" path msg))
+        report.Corpus.skipped;
+      List.iter
+        (fun (name, table) ->
+          Buffer.add_string buf (name ^ "\n");
+          Buffer.add_string buf (Table.render table);
+          Buffer.add_char buf '\n')
+        (Corpus.tables report);
+      Pr.Corpus_report
+        {
+          instances = List.length instances;
+          scenarios = List.length report.Corpus.scenario_names;
+          text = Buffer.contents buf;
+        }
+
+(* ---- stats endpoint ---------------------------------------------------- *)
+
+let stats_rows t =
+  let cs = Engine_cache.stats t.cache in
+  let uptime = Unix.gettimeofday () -. t.started in
+  Mutex.protect t.mutex (fun () ->
+      let rows = ref [] in
+      let add name value = rows := (name, value) :: !rows in
+      let addi name v = add name (string_of_int v) in
+      (* deterministic rows first: cram output pins these and filters the
+         latency/uptime tail *)
+      addi "workers" t.config.workers;
+      addi "queue.depth" t.config.queue_depth;
+      addi "cache.capacity" cs.Engine_cache.capacity;
+      addi "cache.size" cs.Engine_cache.size;
+      addi "cache.hits" cs.Engine_cache.hits;
+      addi "cache.misses" cs.Engine_cache.misses;
+      addi "cache.evictions" cs.Engine_cache.evictions;
+      Array.iteri
+        (fun i (ep : ep_stats) ->
+          if ep.count > 0 then addi ("requests." ^ endpoints.(i)) ep.count)
+        t.eps;
+      Array.iteri
+        (fun i (ep : ep_stats) ->
+          if ep.errors > 0 then addi ("errors." ^ endpoints.(i)) ep.errors)
+        t.eps;
+      if t.busy_count > 0 then addi "busy" t.busy_count;
+      Hashtbl.fold (fun tier n acc -> (tier, n) :: acc) t.tiers []
+      |> List.sort compare
+      |> List.iter (fun (tier, n) -> addi ("tier." ^ tier) n);
+      (* nondeterministic tail *)
+      add "uptime_s" (Printf.sprintf "%.1f" uptime);
+      let total = Array.fold_left (fun acc ep -> acc + ep.count) 0 t.eps in
+      add "qps"
+        (Printf.sprintf "%.1f"
+           (if uptime > 0. then float_of_int total /. uptime else 0.));
+      Array.iteri
+        (fun i (ep : ep_stats) ->
+          if ep.lat_count > 0 then begin
+            let snap =
+              {
+                Metrics.hcount = ep.lat_count;
+                hsum = ep.lat_sum;
+                buckets = Array.copy ep.lat_buckets;
+              }
+            in
+            let q p = 1000. *. Metrics.hist_quantile snap p in
+            add
+              (Printf.sprintf "latency.%s.p50_ms" endpoints.(i))
+              (Printf.sprintf "%.3f" (q 0.5));
+            add
+              (Printf.sprintf "latency.%s.p99_ms" endpoints.(i))
+              (Printf.sprintf "%.3f" (q 0.99))
+          end)
+        t.eps;
+      List.rev !rows)
+
+(* ---- dispatch ---------------------------------------------------------- *)
+
+let dispatch t req =
+  match Pr.validate req with
+  | Stdlib.Error msg -> err Pr.Bad_request msg
+  | Ok () -> (
+      match req with
+      | Pr.Ping -> Pr.Pong
+      | Pr.Stats -> Pr.Stats_report (stats_rows t)
+      | Pr.Shutdown ->
+          Atomic.set t.stop true;
+          Pr.Bye
+      | Pr.Sleep s ->
+          Unix.sleepf s;
+          Pr.Slept s
+      | Pr.Solve p -> (
+          match run_solve t p with
+          | Ok (solved, _, _, _) -> Pr.Solved solved
+          | Stdlib.Error msg -> err Pr.Bad_request msg)
+      | Pr.Simulate { params; runs; mcseed } -> (
+          match run_simulate t params ~runs ~mcseed with
+          | Ok s -> Pr.Simulated s
+          | Stdlib.Error msg -> err Pr.Bad_request msg)
+      | Pr.Adapt { params; true_mtbf; traces; mcseed } -> (
+          match run_adapt t params ~true_mtbf ~traces ~mcseed with
+          | Ok a -> Pr.Adapted a
+          | Stdlib.Error msg -> err Pr.Bad_request msg)
+      | Pr.Corpus { dir; ratios; grid; backend } ->
+          run_corpus t ~dir ~ratios ~grid ~backend)
+
+let handle t req =
+  let i = endpoint_index req in
+  Mutex.protect t.mutex (fun () -> t.eps.(i).count <- t.eps.(i).count + 1);
+  mcounter ("serve.requests." ^ endpoints.(i));
+  let hist = Metrics.histogram ("serve.latency." ^ endpoints.(i)) in
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Metrics.time hist (fun () ->
+        try dispatch t req
+        with exn -> err Pr.Internal (Printexc.to_string exn))
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.protect t.mutex (fun () ->
+      let ep = t.eps.(i) in
+      let b = Metrics.bucket_of dt in
+      ep.lat_buckets.(b) <- ep.lat_buckets.(b) + 1;
+      ep.lat_count <- ep.lat_count + 1;
+      ep.lat_sum <- ep.lat_sum +. dt;
+      if Pr.is_error resp then ep.errors <- ep.errors + 1);
+  resp
+
+(* ---- socket layer ------------------------------------------------------ *)
+
+type listen = Tcp of int | Unix_sock of string
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+(* Tiny buffered reader: lets the first-byte mode sniff push the byte back,
+   serves both line reads (text mode) and the Codec read contract. *)
+type bufreader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let bufreader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+let refill br =
+  let n = Unix.read br.fd br.buf 0 (Bytes.length br.buf) in
+  br.pos <- 0;
+  br.len <- n;
+  n
+
+let read_byte br =
+  if br.pos < br.len then begin
+    let c = Bytes.get br.buf br.pos in
+    br.pos <- br.pos + 1;
+    Some c
+  end
+  else if refill br = 0 then None
+  else begin
+    let c = Bytes.get br.buf 0 in
+    br.pos <- 1;
+    Some c
+  end
+
+let unread_byte br = br.pos <- br.pos - 1
+
+let reader_fn br buf off len =
+  if br.pos < br.len then begin
+    let n = Int.min len (br.len - br.pos) in
+    Bytes.blit br.buf br.pos buf off n;
+    br.pos <- br.pos + n;
+    n
+  end
+  else Unix.read br.fd buf off len
+
+let read_line br =
+  let b = Buffer.create 80 in
+  let rec go () =
+    match read_byte br with
+    | None -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | Some '\n' -> Some (Buffer.contents b)
+    | Some '\r' -> go ()
+    | Some c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+type conn = {
+  cfd : Unix.file_descr;
+  wmutex : Mutex.t;  (* workers and the reader interleave whole responses *)
+  pmutex : Mutex.t;
+  done_cond : Condition.t;
+  mutable pending : int;  (* jobs admitted for this connection, not yet sent *)
+}
+
+let send_binary conn ~id resp =
+  Mutex.protect conn.wmutex (fun () ->
+      write_all conn.cfd (Codec.frame (Codec.encode_response ~id resp)))
+
+(* Text framing: `ok ID` + body + `.`, or a single `error ID CODE MESSAGE`
+   line. The client sorts blocks by ID, so pipelined cram output is
+   deterministic even when jobs complete out of order. *)
+let send_text conn ~id resp =
+  let block =
+    match resp with
+    | Pr.Error { code; message } ->
+        Printf.sprintf "error %Ld %s %s\n" id (Pr.error_code_name code) message
+    | _ ->
+        let b = Buffer.create 256 in
+        Buffer.add_string b (Printf.sprintf "ok %Ld\n" id);
+        List.iter
+          (fun l ->
+            Buffer.add_string b l;
+            Buffer.add_char b '\n')
+          (Pr.render_response resp);
+        Buffer.add_string b ".\n";
+        Buffer.contents b
+  in
+  Mutex.protect conn.wmutex (fun () -> write_all conn.cfd block)
+
+let job_done conn =
+  Mutex.protect conn.pmutex (fun () ->
+      conn.pending <- conn.pending - 1;
+      Condition.signal conn.done_cond)
+
+(* Ping, Stats and Shutdown answer inline from the reader thread — the
+   control plane stays responsive while the queue sheds compute load. *)
+let inline_request = function
+  | Pr.Ping | Pr.Stats | Pr.Shutdown -> true
+  | Pr.Solve _ | Pr.Simulate _ | Pr.Adapt _ | Pr.Corpus _ | Pr.Sleep _ ->
+      false
+
+let process t pool conn ~send ~id req =
+  if inline_request req then send ~id (handle t req)
+  else if Atomic.get t.stop then
+    send ~id (err Pr.Stopping "server is shutting down")
+  else begin
+    Mutex.protect conn.pmutex (fun () -> conn.pending <- conn.pending + 1);
+    let job () =
+      Fun.protect
+        ~finally:(fun () -> job_done conn)
+        (fun () ->
+          let resp = handle t req in
+          try send ~id resp with _ -> ())
+    in
+    if not (Pool.try_submit pool job) then begin
+      job_done conn;
+      note_busy t;
+      send ~id
+        (err Pr.Busy
+           (Printf.sprintf "queue full (%d outstanding, depth %d)"
+              (Pool.outstanding pool) (Pool.depth pool)))
+    end
+  end
+
+let binary_loop t pool conn br =
+  let read = reader_fn br in
+  let rec loop () =
+    match Codec.read_frame ~max_frame:t.config.max_frame read with
+    | Ok None -> ()
+    | Stdlib.Error msg ->
+        (* the stream is no longer frame-aligned: answer once and drop *)
+        let code =
+          if String.length msg >= 15 && String.sub msg 0 15 = "frame too large"
+          then Pr.Too_large
+          else Pr.Bad_request
+        in
+        (try send_binary conn ~id:0L (err code msg) with _ -> ())
+    | Ok (Some payload) -> (
+        match Codec.decode_request payload with
+        | Stdlib.Error msg ->
+            (* framing is still aligned: report and keep the connection *)
+            send_binary conn ~id:0L (err Pr.Bad_request msg);
+            loop ()
+        | Ok (id, req) ->
+            process t pool conn ~send:(send_binary conn) ~id req;
+            loop ())
+  in
+  loop ()
+
+let text_loop t pool conn br =
+  let next_id = ref 0L in
+  let rec loop () =
+    match read_line br with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        next_id := Int64.add !next_id 1L;
+        let id = !next_id in
+        (match Pr.request_of_line line with
+        | Stdlib.Error msg -> send_text conn ~id (err Pr.Bad_request msg)
+        | Ok req -> process t pool conn ~send:(send_text conn) ~id req);
+        loop ()
+  in
+  loop ()
+
+let handle_conn t pool fd =
+  let conn =
+    {
+      cfd = fd;
+      wmutex = Mutex.create ();
+      pmutex = Mutex.create ();
+      done_cond = Condition.create ();
+      pending = 0;
+    }
+  in
+  let br = bufreader fd in
+  (try
+     match read_byte br with
+     | None -> ()
+     | Some '\000' ->
+         unread_byte br;
+         binary_loop t pool conn br
+     | Some _ ->
+         unread_byte br;
+         text_loop t pool conn br
+   with _ -> ());
+  (* responses may still be in flight on worker domains: close only once
+     every admitted job for this connection has sent *)
+  Mutex.protect conn.pmutex (fun () ->
+      while conn.pending > 0 do
+        Condition.wait conn.done_cond conn.pmutex
+      done);
+  try Unix.close fd with _ -> ()
+
+let bind_listener = function
+  | Tcp port -> (
+      try
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        let port =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        Ok (fd, (fun () -> ()), Printf.sprintf "127.0.0.1:%d" port)
+      with Unix.Unix_error (e, _, _) ->
+        Stdlib.Error
+          (Printf.sprintf "cannot listen on port %d: %s" port
+             (Unix.error_message e)))
+  | Unix_sock path -> (
+      if Sys.file_exists path then
+        Stdlib.Error (Printf.sprintf "socket path %s already exists" path)
+      else
+        try
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 64;
+          Ok (fd, (fun () -> try Sys.remove path with Sys_error _ -> ()), path)
+        with Unix.Unix_error (e, _, _) ->
+          Stdlib.Error
+            (Printf.sprintf "cannot listen on %s: %s" path
+               (Unix.error_message e)))
+
+let serve ?(config = default_config) ?(ready = fun _ -> ()) listen_on =
+  (* a client vanishing mid-response must be an EPIPE, not a fatal signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match bind_listener listen_on with
+  | Stdlib.Error _ as e -> e
+  | Ok (sock, cleanup, desc) ->
+      let t = create ~config () in
+      let pool = Pool.create ~workers:config.workers ~depth:config.queue_depth in
+      ready desc;
+      let rec accept_loop () =
+        if not (Atomic.get t.stop) then begin
+          (match Unix.select [ sock ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept sock with
+              | fd, _ ->
+                  ignore (Thread.create (fun () -> handle_conn t pool fd) ())
+              | exception Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      (* drain: every admitted job still answers before the process exits *)
+      Pool.shutdown ~drain:true pool;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      cleanup ();
+      Ok ()

@@ -1,0 +1,152 @@
+Scheduling-as-a-service golden tests: a daemon on a Unix-domain socket,
+driven end to end by wfc request. Solves are analytic and simulation is
+seeded, so every response body below is a byte-stable pin; the only
+deliberately nondeterministic surface (latency, uptime, qps) lives in the
+stats endpoint and is filtered out where stats is checked.
+
+Start a daemon; its own output goes to a log so this transcript stays
+ordered, and the client retries the connect until the socket appears:
+
+  $ ../bin/wfc.exe serve --socket s.sock --cache-size 8 > serve.log 2>&1 &
+  $ ../bin/wfc.exe request --socket s.sock ping
+  pong
+
+A solve, then the same solve again: the second answer is served by a warm
+engine out of the LRU and must be byte-identical:
+
+  $ ../bin/wfc.exe request --socket s.sock solve family=montage n=15 mtbf=100 | tee first.out
+  solve Montage-15 (15 tasks): DF-CkptW, tier heuristic
+    E[makespan] = 203.67 s (ratio 1.2271)
+    checkpoints = 14 (evaluations 14)
+  $ ../bin/wfc.exe request --socket s.sock solve family=montage n=15 mtbf=100 > warm.out
+  $ cmp first.out warm.out && echo identical
+  identical
+
+Binary mode ships the same request through the length-prefixed codec and
+renders the decoded response with the same formatter — transcripts are
+byte-comparable across the two wire modes:
+
+  $ ../bin/wfc.exe request --socket s.sock --binary solve family=montage n=15 mtbf=100 > binary.out
+  $ cmp first.out binary.out && echo identical
+  identical
+
+Deadline budgets map onto deterministic solver tiers — a node budget at a
+fixed calibration rate, never a wall-clock abort — so tightening the
+deadline degrades the tier, reproducibly:
+
+  $ ../bin/wfc.exe request --socket s.sock solve family=montage n=15 mtbf=100 deadline=0.001
+  solve Montage-15 (15 tasks): DF-CkptW, tier heuristic
+    E[makespan] = 203.67 s (ratio 1.2271)
+    checkpoints = 14 (evaluations 14)
+  $ ../bin/wfc.exe request --socket s.sock solve family=montage n=15 mtbf=100 deadline=0.01
+  solve Montage-15 (15 tasks): DF-CkptW, tier local-search
+    E[makespan] = 202.55 s (ratio 1.2203)
+    checkpoints = 11 (evaluations 45)
+  $ ../bin/wfc.exe request --socket s.sock solve family=montage n=15 mtbf=100 deadline=60
+  solve Montage-15 (15 tasks): DF-CkptW, tier exact
+    E[makespan] = 202.55 s (ratio 1.2203)
+    checkpoints = 11 (evaluations 655)
+
+Seeded Monte Carlo rides the same solve (and the same cache key):
+
+  $ ../bin/wfc.exe request --socket s.sock simulate family=montage n=15 mtbf=100 runs=300 mcseed=5
+  solve Montage-15 (15 tasks): DF-CkptW, tier heuristic
+    E[makespan] = 203.67 s (ratio 1.2271)
+    checkpoints = 14 (evaluations 14)
+    simulated mean = 202.10 s (95% CI [200.16, 204.04], 300 runs)
+    failures per run = 1.95
+
+Static-vs-adaptive comparison over shared failure traces:
+
+  $ ../bin/wfc.exe request --socket s.sock adapt family=montage n=12 mtbf=200 true-mtbf=50 traces=20 mcseed=3
+  adapt Montage-12: winner adaptive by cvar@0.95
+  policy    mean   cvar@0.95  worst
+  --------  -----  ---------  -----
+  DF-CkptW  173.3  268.3      340.6
+  adaptive  173.4  267.9      333.3
+
+Malformed requests come back as structured errors, and the connection
+survives them — pipeline a bad line between two good ones:
+
+  $ printf 'ping\nsolve mtbf=-5\nping\n' | ../bin/wfc.exe request --socket s.sock --stdin
+  pong
+  error: bad-request MTBF must be positive (got '-5')
+  pong
+  [1]
+  $ ../bin/wfc.exe request --socket s.sock solve frobnicate=1
+  error: bad-request unknown solve parameter "frobnicate"
+  [1]
+
+The deterministic rows of the stats endpoint pin the whole session: the
+seven solve requests include the rejected mtbf=-5 one (it parsed, then
+failed validation), while frobnicate never parsed and counts nowhere.
+The montage-15 engine warms on the first solve and hits four more times
+(warm, binary, two deadline tiers short of exact — the exact tier drives
+the solver directly) plus once under simulate; adapt's montage-12 is the
+second miss:
+
+  $ ../bin/wfc.exe request --socket s.sock stats | grep -E '^(workers|queue\.|cache\.|requests\.|tier\.)' | sed 's/ *$//'
+  workers                  2
+  queue.depth              64
+  cache.capacity           8
+  cache.size               2
+  cache.hits               5
+  cache.misses             2
+  cache.evictions          0
+  requests.ping            3
+  requests.solve           7
+  requests.simulate        1
+  requests.adapt           1
+  requests.stats           1
+  tier.exact               1
+  tier.heuristic           6
+  tier.local-search        1
+
+Shutdown drains in-flight work, and the daemon removes its socket:
+
+  $ ../bin/wfc.exe request --socket s.sock shutdown
+  stopping
+  $ wait
+  $ cat serve.log
+  wfc serve: listening on s.sock
+  $ test -S s.sock || echo removed
+  removed
+
+Admission control: a depth-1 queue with a single worker sheds the second
+of two pipelined compute requests with a structured busy error while the
+sleep holds the only slot (replies print in request order):
+
+  $ ../bin/wfc.exe serve --socket s2.sock --queue-depth 1 --workers 1 > serve2.log 2>&1 &
+  $ printf 'sleep ms=600\nsolve family=montage n=15 mtbf=100\n' | ../bin/wfc.exe request --socket s2.sock --stdin
+  slept 0.6 s
+  error: busy queue full (1 outstanding, depth 1)
+  [1]
+  $ ../bin/wfc.exe request --socket s2.sock shutdown
+  stopping
+  $ wait
+
+Bad daemon flags die as one-line cmdliner usage errors (exit 124), through
+the same validated converters as the rest of the CLI:
+
+  $ ../bin/wfc.exe serve --port 70000 2>&1 | head -1
+  wfc: option '--port': port must be in [0, 65535] (got '70000')
+  $ ../bin/wfc.exe serve --port 70000 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe serve --cache-size=-1 2>&1 | head -1
+  wfc: option '--cache-size': cache size must be non-negative (got '-1')
+  $ ../bin/wfc.exe serve --cache-size=-1 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe serve --queue-depth 0 2>&1 | head -1
+  wfc: option '--queue-depth': queue depth must be at least 1 (got '0')
+  $ ../bin/wfc.exe serve --queue-depth 0 2>/dev/null; echo "exit: $?"
+  exit: 124
+
+And --deadline is now one shared converter: stress, corpus and the
+protocol all reject a non-positive deadline with the same wording:
+
+  $ mkdir -p d && ../bin/wfc.exe corpus d --deadline 0 2>&1 | head -1
+  wfc: option '--deadline': deadline must be positive (got '0')
+  $ ../bin/wfc.exe corpus d --deadline 0 2>/dev/null; echo "exit: $?"
+  exit: 124
+  $ ../bin/wfc.exe stress -w montage -n 12 --deadline=-2 2>&1 | head -1
+  wfc: option '--deadline': deadline must be positive (got '-2')

@@ -1,0 +1,473 @@
+(* Protocol-level battery for the serving layer.
+
+   Three load-bearing contracts:
+
+   1. The binary codec is a bijection on well-formed values and NEVER
+      raises on arbitrary bytes — a daemon must survive any client.
+   2. A warm-cache solve is bit-identical to a cold one: same request
+      through a cache-enabled server, a cache-disabled server, and again
+      through the warm cache (hit path) must produce structurally equal
+      responses, across all three evaluation backends and under
+      interleaved eviction on a capacity-1 cache.
+   3. The LRU's take/put checkout semantics hold their invariants
+      (capacity bound, MRU ordering, eviction of the least recent), and
+      the bounded pool admits exactly [depth] outstanding jobs. *)
+
+module Pr = Wfc_serve.Protocol
+module Codec = Wfc_serve.Codec
+module Cache = Wfc_serve.Engine_cache
+module Server = Wfc_serve.Server
+module Key = Wfc_core.Engine_key
+module EE = Wfc_core.Eval_engine
+module H = Wfc_core.Heuristics
+module Lin = Wfc_dag.Linearize
+module P = Wfc_workflows.Pegasus
+module CM = Wfc_workflows.Cost_model
+module FM = Wfc_platform.Failure_model
+module Pool = Wfc_platform.Domain_pool.Pool
+open QCheck2
+
+(* ---- generators -------------------------------------------------------- *)
+
+let gen_family = Gen.oneofl P.extended
+let gen_lin = Gen.oneofl Lin.[ Depth_first; Breadth_first; Random_first; Depth_first_blevel ]
+let gen_ckpt = Gen.oneofl H.all_ckpt_strategies
+let gen_backend = Gen.oneofl EE.[ Naive; Incremental; Flat ]
+
+let gen_cost =
+  Gen.(
+    oneof
+      [ map (fun f -> CM.Proportional f) (float_range 0.01 1.);
+        map (fun f -> CM.Constant f) (float_range 0.1 10.) ])
+
+let gen_spec =
+  Gen.(
+    oneof
+      [ (let* family = gen_family and* n = int_range 1 500
+         and* seed = int_range 0 9999 and* cost = gen_cost in
+         return (Pr.Generated { family; n; seed; cost }));
+        (let* name = string_small and* text = string_small
+         and* cost = gen_cost in
+         return (Pr.Inline { name; text; cost }));
+        (let* path = string_small and* cost = gen_cost in
+         return (Pr.File { path; cost }));
+      ])
+
+let gen_solve_params =
+  Gen.(
+    let* workflow = gen_spec and* mtbf = float_range 1. 1e6
+    and* downtime = float_range 0. 100. and* lin = gen_lin
+    and* ckpt = gen_ckpt and* grid = int_range 0 64
+    and* backend = gen_backend
+    and* deadline = option (float_range 0.001 100.) in
+    return { Pr.workflow; mtbf; downtime; lin; ckpt; grid; backend; deadline })
+
+let gen_request =
+  Gen.(
+    oneof
+      [ return Pr.Ping;
+        return Pr.Stats;
+        return Pr.Shutdown;
+        map (fun s -> Pr.Sleep s) (float_range 0. 10.);
+        map (fun p -> Pr.Solve p) gen_solve_params;
+        (let* params = gen_solve_params and* runs = int_range 1 100_000
+         and* mcseed = int_range 0 9999 in
+         return (Pr.Simulate { params; runs; mcseed }));
+        (let* params = gen_solve_params and* true_mtbf = float_range 1. 1e6
+         and* traces = int_range 1 1000 and* mcseed = int_range 0 9999 in
+         return (Pr.Adapt { params; true_mtbf; traces; mcseed }));
+        (let* dir = string_small
+         and* ratios = list_size (int_range 1 5) (float_range 0.01 100.)
+         and* grid = int_range 0 64 and* backend = gen_backend in
+         return (Pr.Corpus { dir; ratios; grid; backend }));
+      ])
+
+let gen_solved =
+  Gen.(
+    let* source = string_small and* n_tasks = int_range 1 1000
+    and* heuristic = string_small and* tier = string_small
+    and* makespan = float_range 0. 1e9 and* ratio = float_range 0. 100.
+    and* n_ckpt = int_range 0 100
+    and* ckpt_tasks = list_size (int_range 0 20) (int_range 0 999)
+    and* evaluations = int_range 0 1_000_000 in
+    return
+      { Pr.source; n_tasks; heuristic; tier; makespan; ratio; n_ckpt;
+        ckpt_tasks; evaluations })
+
+let gen_error_code =
+  Gen.oneofl Pr.[ Bad_request; Busy; Too_large; Internal; Stopping ]
+
+let gen_response =
+  Gen.(
+    oneof
+      [ return Pr.Pong;
+        return Pr.Bye;
+        map (fun s -> Pr.Slept s) (float_range 0. 10.);
+        map (fun s -> Pr.Solved s) gen_solved;
+        (let* solved = gen_solved and* runs = int_range 1 100_000
+         and* sim_mean = float_range 0. 1e9 and* ci_lo = float_range 0. 1e9
+         and* ci_hi = float_range 0. 1e9
+         and* failures_mean = float_range 0. 1e4 in
+         return
+           (Pr.Simulated
+              { solved; runs; sim_mean; ci_lo; ci_hi; failures_mean }));
+        (let* asource = string_small and* winner = string_small
+         and* policies =
+           list_size (int_range 0 6)
+             (quad string_small (float_range 0. 1e6) (float_range 0. 1e6)
+                (float_range 0. 1e6))
+         in
+         return (Pr.Adapted { asource; winner; policies }));
+        (let* instances = int_range 0 100 and* scenarios = int_range 0 100
+         and* text = string_small in
+         return (Pr.Corpus_report { instances; scenarios; text }));
+        map (fun rows -> Pr.Stats_report rows)
+          (list_size (int_range 0 20) (pair string_small string_small));
+        (let* code = gen_error_code and* message = string_small in
+         return (Pr.Error { code; message }));
+      ])
+
+let gen_id = Gen.(map Int64.of_int (int_range 0 0x3FFFFFFF))
+
+(* ---- 1. codec round-trips and framing fuzz ----------------------------- *)
+
+let prop_request_roundtrip =
+  Wfc_test_util.qtest ~count:500 "codec: request round-trips exactly"
+    Gen.(pair gen_id gen_request)
+    (fun (id, _) -> Printf.sprintf "id=%Ld <request>" id)
+    (fun (id, req) ->
+      let bytes = Codec.encode_request ~id req in
+      match Codec.decode_request bytes with
+      | Error msg -> Test.fail_reportf "decode failed: %s" msg
+      | Ok (id', req') ->
+          id' = id && req' = req
+          && Codec.encode_request ~id req' = bytes)
+
+let prop_response_roundtrip =
+  Wfc_test_util.qtest ~count:500 "codec: response round-trips exactly"
+    Gen.(pair gen_id gen_response)
+    (fun (id, _) -> Printf.sprintf "id=%Ld <response>" id)
+    (fun (id, resp) ->
+      let bytes = Codec.encode_response ~id resp in
+      match Codec.decode_response bytes with
+      | Error msg -> Test.fail_reportf "decode failed: %s" msg
+      | Ok (id', resp') ->
+          id' = id && resp' = resp
+          && Codec.encode_response ~id resp' = bytes)
+
+(* Non-finite floats can't be compared structurally, but the IEEE bits
+   must still survive the wire: re-encoding the decoded value reproduces
+   the exact bytes. *)
+let test_nan_roundtrip () =
+  List.iter
+    (fun v ->
+      let req = Pr.Sleep v in
+      let bytes = Codec.encode_request ~id:7L req in
+      match Codec.decode_request bytes with
+      | Error msg -> Alcotest.failf "decode failed on %h: %s" v msg
+      | Ok (id, req') ->
+          Alcotest.(check int64) "id" 7L id;
+          Alcotest.(check string) "re-encoded bytes"
+            bytes
+            (Codec.encode_request ~id:7L req'))
+    [ Float.nan; Float.infinity; Float.neg_infinity; -0.; Float.min_float ]
+
+let prop_decode_never_raises =
+  Wfc_test_util.qtest ~count:2000 "codec: arbitrary bytes never raise"
+    Gen.(string_size (int_range 0 300))
+    String.escaped
+    (fun junk ->
+      (match Codec.decode_request junk with Ok _ | Error _ -> ());
+      (match Codec.decode_response junk with Ok _ | Error _ -> ());
+      (match Codec.read_frame (Codec.reader_of_string junk) with
+      | Ok _ | Error _ -> ());
+      true)
+
+let prop_frame_roundtrip =
+  Wfc_test_util.qtest ~count:300 "codec: framed payload reads back"
+    Gen.(string_size (int_range 0 2000))
+    String.escaped
+    (fun payload ->
+      let read = Codec.reader_of_string (Codec.frame payload) in
+      match Codec.read_frame read with
+      | Ok (Some p) -> p = payload && Codec.read_frame read = Ok None
+      | _ -> false)
+
+let test_frame_errors () =
+  (* truncation mid-frame *)
+  let framed = Codec.frame "hello" in
+  let cut = String.sub framed 0 (String.length framed - 2) in
+  (match Codec.read_frame (Codec.reader_of_string cut) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated frame must be an error");
+  (* oversized declared length *)
+  let big = "\x7F\xFF\xFF\xFF" in
+  (match Codec.read_frame (Codec.reader_of_string big) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame must be an error");
+  (* trailing garbage after a valid payload *)
+  let bytes = Codec.encode_request ~id:1L Pr.Ping ^ "x" in
+  match Codec.decode_request bytes with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes must be an error"
+
+(* Text-mode parse sanity: the same parser feeds both the daemon's text
+   loop and the binary client, so pin a few lines. *)
+let test_text_parse () =
+  (match Pr.request_of_line "ping" with
+  | Ok Pr.Ping -> ()
+  | _ -> Alcotest.fail "ping");
+  (match Pr.request_of_line "solve family=ligo n=12 mtbf=250 engine=flat" with
+  | Ok
+      (Pr.Solve
+         { workflow = Pr.Generated { family = P.Ligo; n = 12; _ };
+           mtbf = 250.;
+           backend = EE.Flat;
+           _
+         }) -> ()
+  | _ -> Alcotest.fail "solve line");
+  (match Pr.request_of_line "solve frobnicate=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key must not parse");
+  (match Pr.request_of_line "launch-missiles" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown command must not parse");
+  match Pr.validate (Pr.Solve { Pr.default_solve with mtbf = -1. }) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative MTBF must not validate"
+
+(* ---- 2. warm cache == cold cache, bit for bit -------------------------- *)
+
+let gen_warm_case =
+  Gen.(
+    let* family = gen_family and* n = int_range 5 40
+    and* seed = int_range 0 99 and* mtbf = float_range 10. 1000.
+    and* lin = gen_lin and* ckpt = gen_ckpt
+    and* grid = oneofl [ 0; 4; 8 ]
+    and* backend = gen_backend
+    (* 0.05 s = a 1000-node exact budget: enough to hit the exact tier on
+       small instances without making the property run for minutes *)
+    and* deadline = oneofl [ None; Some 0.001; Some 0.01; Some 0.05 ] in
+    let n = max n (P.min_size family) in
+    let workflow =
+      Pr.Generated { family; n; seed; cost = CM.Proportional 0.1 }
+    in
+    return
+      (Pr.Solve
+         { Pr.default_solve with workflow; mtbf; lin; ckpt; grid; backend;
+           deadline }))
+
+let print_warm_case = function
+  | Pr.Solve
+      { Pr.workflow = Pr.Generated { family; n; seed; _ }; mtbf; grid;
+        backend; deadline; _ } ->
+      Printf.sprintf "%s n=%d seed=%d mtbf=%g grid=%d engine=%s deadline=%s"
+        (P.family_name family) n seed mtbf grid (EE.backend_name backend)
+        (match deadline with None -> "-" | Some d -> string_of_float d)
+  | _ -> "<other>"
+
+let solve_twice server req = (Server.handle server req, Server.handle server req)
+
+let prop_warm_equals_cold =
+  Wfc_test_util.qtest ~count:30 "server: warm solve is bit-identical to cold"
+    gen_warm_case print_warm_case
+    (fun req ->
+      let cold =
+        Server.create ~config:{ Server.default_config with cache_size = 0 } ()
+      in
+      let warm = Server.create () in
+      let r_cold = Server.handle cold req in
+      let r_miss, r_hit = solve_twice warm req in
+      if Pr.is_error r_cold then
+        Test.fail_reportf "cold solve errored: %s"
+          (String.concat "\n" (Pr.render_response r_cold));
+      (* the cache only backs the heuristic and local-search plans: Naive
+         has no warmable handle, and the exact tier drives the solver
+         directly — those must still be byte-identical, just without a
+         recorded hit *)
+      let cacheable =
+        match req with
+        | Pr.Solve { backend = EE.Naive; _ } -> false
+        | Pr.Solve { workflow = Pr.Generated { n; _ }; deadline = Some d; _ }
+          when d >= 0.025 && n <= Server.default_config.exact_max_n ->
+            false
+        | _ -> true
+      in
+      r_miss = r_cold && r_hit = r_cold
+      && Pr.render_response r_hit = Pr.render_response r_cold
+      && ((not cacheable) || (Server.cache_stats warm).Cache.hits = 1))
+
+let prop_eviction_churn_identical =
+  Wfc_test_util.qtest ~count:10
+    "server: capacity-1 eviction churn never changes bytes"
+    Gen.(pair gen_warm_case gen_warm_case)
+    (fun (a, b) ->
+      Printf.sprintf "A=[%s] B=[%s]" (print_warm_case a) (print_warm_case b))
+    (fun (req_a, req_b) ->
+      let cold =
+        Server.create ~config:{ Server.default_config with cache_size = 0 } ()
+      in
+      let tiny =
+        Server.create ~config:{ Server.default_config with cache_size = 1 } ()
+      in
+      let a_cold = Server.handle cold req_a in
+      let b_cold = Server.handle cold req_b in
+      (* A warms, B evicts A (if keys differ), A rebuilds, B rebuilds … *)
+      let seq =
+        [ Server.handle tiny req_a; Server.handle tiny req_b;
+          Server.handle tiny req_a; Server.handle tiny req_b;
+          Server.handle tiny req_a ]
+      in
+      (Server.cache_stats tiny).Cache.size <= 1
+      && List.for_all2
+           (fun got want -> got = want)
+           seq [ a_cold; b_cold; a_cold; b_cold; a_cold ])
+
+let test_simulate_cached_identical () =
+  (* montage keeps task weights (and so injected failures per run) small *)
+  let mk () = Pr.request_of_line
+      "simulate family=montage n=15 mtbf=100 runs=300 mcseed=5 engine=flat"
+    |> Result.get_ok
+  in
+  let cold =
+    Server.create ~config:{ Server.default_config with cache_size = 0 } ()
+  in
+  let warm = Server.create () in
+  let want = Server.handle cold (mk ()) in
+  let miss, hit = solve_twice warm (mk ()) in
+  Alcotest.(check bool) "simulate miss == cold" true (miss = want);
+  Alcotest.(check bool) "simulate hit == cold" true (hit = want)
+
+(* ---- 3. LRU invariants -------------------------------------------------- *)
+
+let key i =
+  { Key.dag = Int64.of_int i; order = 0L; lambda = 0L; downtime = 0L;
+    backend = EE.Incremental }
+
+let dummy_handle =
+  let g =
+    Wfc_dag.Dag.of_weights
+      ~checkpoint_cost:(fun _ _ -> 0.1)
+      ~recovery_cost:(fun _ _ -> 0.1)
+      ~weights:[| 1.; 1.; 1. |]
+      ~edges:[ (0, 1); (1, 2) ] ()
+  in
+  EE.handle EE.Incremental (FM.of_mtbf ~mtbf:100. ()) g ~order:[| 0; 1; 2 |]
+
+let test_lru_basics () =
+  let c = Cache.create ~capacity:2 in
+  Cache.put c (key 1) dummy_handle;
+  Cache.put c (key 2) dummy_handle;
+  Alcotest.(check bool) "MRU order" true (Cache.keys c = [ key 2; key 1 ]);
+  Cache.put c (key 3) dummy_handle;
+  Alcotest.(check bool) "LRU evicted" true (Cache.keys c = [ key 3; key 2 ]);
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions;
+  (* take checks the entry OUT *)
+  Alcotest.(check bool) "take hit" true (Cache.take c (key 2) <> None);
+  Alcotest.(check bool) "taken entry is gone" true (Cache.keys c = [ key 3 ]);
+  Alcotest.(check bool) "second take misses" true (Cache.take c (key 2) = None);
+  (* put-back restores MRU position; duplicate keys collapse *)
+  Cache.put c (key 2) dummy_handle;
+  Cache.put c (key 2) dummy_handle;
+  Alcotest.(check int) "dedup" 2 (Cache.size c);
+  Alcotest.(check bool) "put-back is MRU" true
+    (Cache.keys c = [ key 2; key 3 ]);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses
+
+let test_lru_zero_and_negative () =
+  let c = Cache.create ~capacity:0 in
+  Cache.put c (key 1) dummy_handle;
+  Alcotest.(check int) "capacity 0 stores nothing" 0 (Cache.size c);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Engine_cache.create: negative capacity") (fun () ->
+      ignore (Cache.create ~capacity:(-1)))
+
+(* Model-based: after an arbitrary put sequence, the cache holds exactly
+   the last [capacity] distinct keys, most recent first. *)
+let prop_lru_model =
+  Wfc_test_util.qtest ~count:300 "cache: put sequence matches LRU model"
+    Gen.(
+      pair (int_range 1 5) (list_size (int_range 0 40) (int_range 0 9)))
+    (fun (cap, puts) ->
+      Printf.sprintf "cap=%d puts=[%s]" cap
+        (String.concat ";" (List.map string_of_int puts)))
+    (fun (cap, puts) ->
+      let c = Cache.create ~capacity:cap in
+      List.iter (fun i -> Cache.put c (key i) dummy_handle) puts;
+      let expect =
+        List.fold_left
+          (fun acc i -> i :: List.filter (( <> ) i) acc)
+          [] puts
+        |> fun l -> List.filteri (fun i _ -> i < cap) l
+      in
+      Cache.keys c = List.map key expect && Cache.size c <= cap)
+
+(* ---- 4. bounded-pool admission ------------------------------------------ *)
+
+let test_pool_admission () =
+  let pool = Pool.create ~workers:1 ~depth:2 in
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let job () =
+    while not (Atomic.get gate) do
+      Thread.yield ()
+    done;
+    Atomic.incr ran
+  in
+  Alcotest.(check bool) "first admitted" true (Pool.try_submit pool job);
+  Alcotest.(check bool) "second admitted" true (Pool.try_submit pool job);
+  Alcotest.(check bool) "third refused at depth" false
+    (Pool.try_submit pool job);
+  Alcotest.(check int) "outstanding = depth" 2 (Pool.outstanding pool);
+  Atomic.set gate true;
+  Pool.shutdown ~drain:true pool;
+  Alcotest.(check int) "drained jobs all ran" 2 (Atomic.get ran);
+  Alcotest.(check bool) "post-shutdown refused" false
+    (Pool.try_submit pool job)
+
+(* ---- 5. deadline tiering pins ------------------------------------------- *)
+
+let tier_of server line =
+  match Server.handle server (Result.get_ok (Pr.request_of_line line)) with
+  | Pr.Solved s -> s.Pr.tier
+  | r -> Alcotest.failf "expected Solved, got: %s"
+           (String.concat "\n" (Pr.render_response r))
+
+let test_deadline_tiers () =
+  let server = Server.create () in
+  let base = "solve family=montage n=15 mtbf=100" in
+  Alcotest.(check string) "no deadline" "heuristic" (tier_of server base);
+  Alcotest.(check string) "tiny budget" "heuristic"
+    (tier_of server (base ^ " deadline=0.001"));
+  Alcotest.(check string) "small budget" "local-search"
+    (tier_of server (base ^ " deadline=0.01"));
+  Alcotest.(check string) "big budget" "exact"
+    (tier_of server (base ^ " deadline=60"));
+  (* above exact-max-n the exact tier is out of reach by construction *)
+  Alcotest.(check string) "too many tasks for exact" "local-search"
+    (tier_of server ("solve family=montage n=40 mtbf=100 deadline=60"))
+
+let () =
+  Alcotest.run "serve"
+    [ ( "codec",
+        [ prop_request_roundtrip; prop_response_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_nan_roundtrip;
+          prop_decode_never_raises; prop_frame_roundtrip;
+          Alcotest.test_case "framing errors" `Quick test_frame_errors;
+          Alcotest.test_case "text parse" `Quick test_text_parse ] );
+      ( "warm-cache",
+        [ prop_warm_equals_cold; prop_eviction_churn_identical;
+          Alcotest.test_case "simulate cached" `Quick
+            test_simulate_cached_identical ] );
+      ( "lru",
+        [ Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "degenerate capacities" `Quick
+            test_lru_zero_and_negative;
+          prop_lru_model ] );
+      ( "admission",
+        [ Alcotest.test_case "bounded pool" `Quick test_pool_admission ] );
+      ( "deadline",
+        [ Alcotest.test_case "tier mapping" `Quick test_deadline_tiers ] );
+    ]
