@@ -13,6 +13,7 @@
           FIG=replication dune exec bench/main.exe  checkpoint-vs-replica CVaR trade-off
           FIG=corpus dune exec bench/main.exe    golden mini-corpus sweep, engine/domain invariance
           FIG=serve dune exec bench/main.exe     serving layer: warm-engine cache vs cold, byte-identity
+          FIG=chaos dune exec bench/main.exe     chaos soak: fault injection, watchdog, crash-only guard
           FULL=1 ...                             full 50..700 task range
           SEEDS=3 ...                            average over 3 workflow seeds
           CSV=out ...                            also dump CSV series
@@ -49,14 +50,15 @@ let () =
   | Some "replication" -> Replication_bench.run ()
   | Some "corpus" -> Corpus_bench.run ()
   | Some "serve" -> Serve_bench.run ()
+  | Some "chaos" -> Chaos_bench.run ()
   | Some id -> (
       match int_of_string_opt id with
       | Some id -> Figures.run cfg (Some id)
       | None ->
           Printf.eprintf
             "FIG must be 2..7, 'ablation', 'micro', 'stress', 'engine', \
-             'scale', 'obs', 'adaptive', 'replication', 'corpus' or \
-             'serve'\n")
+             'scale', 'obs', 'adaptive', 'replication', 'corpus', \
+             'serve' or 'chaos'\n")
   | None ->
       Figures.run cfg None;
       Ablation.run cfg;

@@ -1617,9 +1617,11 @@ module Cli = Wfc_serve.Client
 let listen_of ~socket ~port =
   match socket with Some p -> Srv.Unix_sock p | None -> Srv.Tcp port
 
-let serve port socket cache_size queue_depth workers domains metrics trace =
+let serve port socket cache_size queue_depth workers domains timeout metrics
+    trace =
   let config =
-    { Srv.default_config with cache_size; queue_depth; workers; domains }
+    { Srv.default_config with cache_size; queue_depth; workers; domains;
+      timeout }
   in
   with_obs ~metrics ~trace @@ fun () ->
   match
@@ -1671,6 +1673,15 @@ let serve_cmd =
              ~doc:"Parallelism handed to corpus sweeps inside the daemon. \
                    Never affects response bytes.")
   in
+  let timeout_t =
+    Arg.(value & opt (some (positive_float "timeout")) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request wall-clock watchdog: compute requests \
+                   running longer than $(docv) are cooperatively cancelled \
+                   and answer a structured $(b,timeout) error. Distinct \
+                   from the deterministic $(b,deadline) tiering; responses \
+                   that finish in time are byte-for-byte unaffected.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the scheduling daemon: solve / simulate / adapt / corpus \
@@ -1678,7 +1689,7 @@ let serve_cmd =
              mode or a length-prefixed binary protocol, with a warm-engine \
              LRU and bounded-queue admission control")
     Term.(const serve $ port_t $ socket_t $ cache_size_t $ queue_depth_t
-          $ workers_t $ domains_t $ metrics_t $ obs_trace_t)
+          $ workers_t $ domains_t $ timeout_t $ metrics_t $ obs_trace_t)
 
 let request port socket binary retry from_stdin words =
   let target =
@@ -1701,21 +1712,35 @@ let request port socket binary retry from_stdin words =
   end;
   match Cli.connect ~retry target with
   | Error msg ->
+      (* distinct exit code: scripts can tell "no daemon" from "daemon
+         said no" *)
       Printf.eprintf "wfc request: %s\n" msg;
-      exit 1
+      exit 2
   | Ok fd ->
       let replies = Cli.exchange ~binary fd lines in
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      let failed = ref false in
+      let failed = ref false and busy = ref false and timed_out = ref false in
       List.iter
         (fun (r : Cli.reply) ->
           match r.body with
           | Ok body -> List.iter print_endline body
           | Error detail ->
               failed := true;
+              (match String.index_opt detail ' ' with
+              | Some i -> (
+                  match String.sub detail 0 i with
+                  | "busy" -> busy := true
+                  | "timeout" -> timed_out := true
+                  | _ -> ())
+              | None ->
+                  if detail = "busy" then busy := true
+                  else if detail = "timeout" then timed_out := true);
               Printf.printf "error: %s\n" detail)
         replies;
-      if !failed then exit 1
+      (* timeout > busy > other: the most actionable failure wins *)
+      if !timed_out then exit 4
+      else if !busy then exit 3
+      else if !failed then exit 1
 
 let request_cmd =
   let port_t =
@@ -1751,9 +1776,87 @@ let request_cmd =
   Cmd.v
     (Cmd.info "request"
        ~doc:"Send requests to a running wfc serve daemon and print the \
-             replies (exit 1 if any reply is an error)")
+             replies. Exit codes separate the failure modes: 2 when no \
+             connection could be made, 3 when a reply was $(b,busy) \
+             (refused at admission), 4 when a reply was $(b,timeout) (the \
+             watchdog cancelled it mid-compute), 1 for any other error \
+             reply.")
     Term.(const request $ port_t $ socket_t $ binary_t $ retry_t $ stdin_t
           $ words_t)
+
+(* ---- chaos ---- *)
+
+module Chaos = Wfc_serve.Chaos
+
+let chaos port socket seeds seed_base spec =
+  let target =
+    match (socket, port) with
+    | Some p, _ -> Srv.Unix_sock p
+    | None, Some p -> Srv.Tcp p
+    | None, None ->
+        Printf.eprintf "wfc chaos: need --socket PATH or --port PORT\n";
+        exit 1
+  in
+  (match spec with
+  | Some s -> Printf.printf "chaos spec: %s\n" (Chaos.to_string s)
+  | None -> ());
+  let seed_list = List.init seeds (fun i -> seed_base + i) in
+  let r = Chaos.soak ?spec ~target ~seeds:seed_list () in
+  Printf.printf "chaos soak: %d runs (seed base %d)\n" r.Chaos.runs seed_base;
+  Printf.printf "  completed   %d\n" r.Chaos.completed;
+  Printf.printf "  structured  %d\n" r.Chaos.structured;
+  Printf.printf "  torn        %d\n" r.Chaos.torn;
+  Printf.printf "  mismatched  %d\n" r.Chaos.mismatched;
+  let ok = r.Chaos.mismatched = 0 && r.Chaos.leaked = 0 && r.Chaos.alive in
+  Printf.printf "invariants: mismatched=%d leaked=%d alive=%s\n"
+    r.Chaos.mismatched r.Chaos.leaked
+    (if r.Chaos.alive then "yes" else "no");
+  if not ok then exit 1
+
+let chaos_cmd =
+  let port_t =
+    Arg.(value & opt (some port_conv) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Attack the daemon on 127.0.0.1:$(docv).")
+  in
+  let seeds_t =
+    Arg.(value & opt (positive_int "seed count") 50
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Number of seeded fault schedules to run (seeds \
+                   $(b,base)..$(b,base+N-1); even seeds use the text \
+                   protocol, odd seeds the binary codec).")
+  in
+  let seed_base_t =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"BASE"
+             ~doc:"First seed of the soak; a failing run replays exactly \
+                   from its seed.")
+  in
+  let spec_t =
+    let parse s =
+      match Chaos.of_string s with
+      | Ok spec -> Ok spec
+      | Error msg -> Error (`Msg ("chaos spec: " ^ msg))
+    in
+    let spec_conv =
+      Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Chaos.to_string s))
+    in
+    Arg.(value & opt (some spec_conv) None
+         & info [ "spec" ] ~docv:"SPEC"
+             ~doc:"Inject this exact fault schedule on every run instead of \
+                   deriving one per seed: comma-separated \
+                   $(b,tear\\@K), $(b,reset\\@K), $(b,corrupt\\@K:MASK), \
+                   $(b,delay:MS), $(b,trickle:N), or $(b,none).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Soak a running wfc serve daemon through a fault-injecting \
+             proxy: seeded, replayable schedules of torn frames, corrupted \
+             bytes, delays and connection resets. Verifies the crash-only \
+             invariants — completed replies byte-identical to a chaos-free \
+             exchange, no hangs, daemon alive afterwards with zero warm \
+             engines leaked — and exits 1 if any is violated.")
+    Term.(const chaos $ port_t $ socket_t $ seeds_t $ seed_base_t $ spec_t)
 
 let main_cmd =
   Cmd.group
@@ -1761,6 +1864,6 @@ let main_cmd =
        ~doc:"Scheduling computational workflows on failure-prone platforms")
     [ generate_cmd; evaluate_cmd; schedule_cmd; simulate_cmd; solve_cmd;
       stress_cmd; adapt_cmd; replay_cmd; profile_cmd; corpus_cmd;
-      serve_cmd; request_cmd ]
+      serve_cmd; request_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

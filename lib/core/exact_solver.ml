@@ -60,7 +60,8 @@ type flat_worker = {
 
 let memo_min_suffix = 8
 
-let flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g ~order =
+let flat_bnb ~max_nodes ~should_stop ~cancel ~domains ~dominance ~memo model g
+    ~order =
   let n = Array.length order in
   Trace.with_span "exact.bnb"
     ~args:
@@ -77,6 +78,7 @@ let flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g ~order =
   let inc0_flags = ref (Array.make n false) in
   let inc0 = ref infinity in
   let try_inc cand =
+    Wfc_platform.Cancel.check cancel;
     let m =
       Evaluator.expected_makespan model g
         (Schedule.make g ~order ~checkpointed:cand)
@@ -94,7 +96,7 @@ let flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g ~order =
     let ls =
       Local_search.improve
         ~max_evaluations:(Int.min 4000 (Int.max 256 (8 * n)))
-        ~backend:Eval_engine.Flat model g
+        ~cancel ~backend:Eval_engine.Flat model g
         (Schedule.make g ~order ~checkpointed:!inc0_flags)
     in
     if ls.Local_search.makespan < !inc0 then begin
@@ -200,10 +202,19 @@ let flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g ~order =
     done
   in
   let exception Stop in
-  (* the deadline predicate is polled every 1024 expansions, as in the
-     sequential search; the stop flag broadcasts exhaustion to the pool *)
+  (* the deadline predicate and the cancellation token are polled every 1024
+     expansions, as in the sequential search; the stop flag broadcasts
+     exhaustion (or cancellation) to the pool. Cancellation is remembered
+     separately so it can re-raise as [Cancelled] once every domain has
+     wound down and joined. *)
+  let was_cancelled = Atomic.make false in
   let count_node () =
     let nd = Atomic.fetch_and_add node_total 1 + 1 in
+    if nd land 1023 = 0 && Wfc_platform.Cancel.cancelled cancel then begin
+      Atomic.set was_cancelled true;
+      Atomic.set stopped true;
+      raise Stop
+    end;
     if nd > max_nodes || (nd land 1023 = 0 && should_stop ()) then begin
       Atomic.set stopped true;
       raise Stop
@@ -299,6 +310,8 @@ let flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g ~order =
         if not (Atomic.get stopped) then
           try process states.(worker) r with Stop -> ())
   in
+  (* every domain has joined: safe to abort the request *)
+  if Atomic.get was_cancelled then raise Wfc_platform.Cancel.Cancelled;
   let status =
     if Atomic.get stopped then `Budget_exhausted else `Optimal
   in
@@ -326,7 +339,7 @@ let flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g ~order =
 
 (* ---- sequential search (naive and incremental backends) ---------------- *)
 
-let sequential_bnb ~max_nodes ~should_stop ~backend model g ~order =
+let sequential_bnb ~max_nodes ~should_stop ~cancel ~backend model g ~order =
   let n = Array.length order in
   Trace.with_span "exact.bnb"
     ~args:
@@ -369,6 +382,7 @@ let sequential_bnb ~max_nodes ~should_stop ~backend model g ~order =
   let incumbent_flags = ref (Array.make n false) in
   let incumbent = ref infinity in
   let try_incumbent candidate =
+    Wfc_platform.Cancel.check cancel;
     let m =
       Evaluator.expected_makespan model g
         (Schedule.make g ~order ~checkpointed:candidate)
@@ -387,6 +401,9 @@ let sequential_bnb ~max_nodes ~should_stop ~backend model g ~order =
      leave in the hot path, frequent enough for sub-second deadlines *)
   let rec go i cost =
     incr nodes;
+    (* same 1024-node throttle as the deadline predicate; Cancelled escapes
+       the search instead of degrading to Budget_exhausted *)
+    if !nodes land 1023 = 0 then Wfc_platform.Cancel.check cancel;
     if !nodes > max_nodes || (!nodes land 1023 = 0 && should_stop ()) then
       raise Stop;
     if i = n then begin
@@ -440,6 +457,7 @@ let sequential_bnb ~max_nodes ~should_stop ~backend model g ~order =
 
 let optimal_checkpoints_within ?(max_nodes = 1_000_000)
     ?(should_stop = fun () -> false)
+    ?(cancel = Wfc_platform.Cancel.never)
     ?(backend = Eval_engine.Incremental) ?(domains = 1) ?(dominance = true)
     ?(memo = true) model g ~order =
   if domains < 1 then
@@ -448,16 +466,16 @@ let optimal_checkpoints_within ?(max_nodes = 1_000_000)
     invalid_arg "Exact_solver.optimal_checkpoints: invalid order";
   match backend with
   | Eval_engine.Flat ->
-      flat_bnb ~max_nodes ~should_stop ~domains ~dominance ~memo model g
-        ~order
+      flat_bnb ~max_nodes ~should_stop ~cancel ~domains ~dominance ~memo model
+        g ~order
   | Eval_engine.Naive | Eval_engine.Incremental ->
-      sequential_bnb ~max_nodes ~should_stop ~backend model g ~order
+      sequential_bnb ~max_nodes ~should_stop ~cancel ~backend model g ~order
 
-let optimal_checkpoints ?max_nodes ?backend ?domains ?dominance ?memo model g
-    ~order =
+let optimal_checkpoints ?max_nodes ?cancel ?backend ?domains ?dominance ?memo
+    model g ~order =
   match
-    optimal_checkpoints_within ?max_nodes ?backend ?domains ?dominance ?memo
-      model g ~order
+    optimal_checkpoints_within ?max_nodes ?cancel ?backend ?domains ?dominance
+      ?memo model g ~order
   with
   | sol, `Optimal -> sol
   | _, `Budget_exhausted -> raise Node_budget_exceeded

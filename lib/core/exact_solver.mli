@@ -26,6 +26,7 @@ exception Node_budget_exceeded
 val optimal_checkpoints_within :
   ?max_nodes:int ->
   ?should_stop:(unit -> bool) ->
+  ?cancel:Wfc_platform.Cancel.t ->
   ?backend:Eval_engine.backend ->
   ?domains:int ->
   ?dominance:bool ->
@@ -41,6 +42,14 @@ val optimal_checkpoints_within :
     tagged [`Budget_exhausted], so callers can degrade gracefully; the
     incumbent is never worse than the warm-start heuristics, hence always a
     finite, valid schedule. [`Optimal] certifies the search completed.
+
+    [cancel] (default {!Wfc_platform.Cancel.never}) is polled at the same
+    1024-node throttle as [should_stop] but aborts instead of degrading:
+    a cancelled token makes the search raise
+    {!Wfc_platform.Cancel.Cancelled} (on the [Flat] backend only after
+    every worker domain has wound down and joined) rather than return the
+    incumbent. Use [should_stop] for "give me your best under a budget",
+    [cancel] for "stop computing, the caller no longer wants any answer".
 
     [backend] (default [Incremental]) selects how prefix costs are computed:
     an {!Eval_engine} cursor tracking the tree's flag assignments
@@ -74,6 +83,7 @@ val optimal_checkpoints_within :
 
 val optimal_checkpoints :
   ?max_nodes:int ->
+  ?cancel:Wfc_platform.Cancel.t ->
   ?backend:Eval_engine.backend ->
   ?domains:int ->
   ?dominance:bool ->

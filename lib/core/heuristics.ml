@@ -157,11 +157,13 @@ let record_outcome ckpt (o : outcome) =
   o
 
 let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand
-    ?engine model g ~lin ~ckpt =
+    ?engine ?(cancel = Wfc_platform.Cancel.never) model g ~lin ~ckpt =
   Wfc_obs.Trace.with_span "heuristics.run" ~args:[ ("heuristic", name lin ckpt) ]
   @@ fun () ->
   record_outcome ckpt
   @@
+  let poll () = Wfc_platform.Cancel.check cancel in
+  poll ();
   let order = Wfc_dag.Linearize.run ?rand lin g in
   let evaluate flags =
     let sched = Schedule.make g ~order ~checkpointed:flags in
@@ -207,6 +209,7 @@ let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand
             let best = ref None in
             List.iter
               (fun n_ckpt ->
+                poll ();
                 let m = snd (evaluate (next_flags n_ckpt)) in
                 incr evaluations;
                 match !best with
@@ -236,6 +239,7 @@ let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand
             let best = ref None in
             List.iter
               (fun n_ckpt ->
+                poll ();
                 Eval_engine.h_set_flags engine (next_flags n_ckpt);
                 let m = Eval_engine.h_makespan engine in
                 incr evaluations;
@@ -256,7 +260,7 @@ let run ?(search = Exhaustive) ?(backend = Eval_engine.Incremental) ?rand
 let m_replica_rounds = Metrics.counter "search.replica_rounds"
 
 let replication_counts ?(max_replicas = 4) ?(cost = Replication.default_cost)
-    spec model g ~sched =
+    ?(cancel = Wfc_platform.Cancel.never) spec model g ~sched =
   let n = Wfc_dag.Dag.n_tasks g in
   if max_replicas < 1 || max_replicas > Schedule.max_replicas then
     invalid_arg "Heuristics.replication_counts: max_replicas out of range";
@@ -294,6 +298,7 @@ let replication_counts ?(max_replicas = 4) ?(cost = Replication.default_cost)
         improved := false;
         let best = ref None in
         for v = 0 to n - 1 do
+          Wfc_platform.Cancel.check cancel;
           let dc = cost *. weight v in
           if reps.(v) < max_replicas && dc <= !budget then begin
             reps.(v) <- reps.(v) + 1;
@@ -319,12 +324,13 @@ let replication_counts ?(max_replicas = 4) ?(cost = Replication.default_cost)
       if Metrics.enabled () then Metrics.add m_replica_rounds !rounds;
       reps
 
-let replicate ?max_replicas ?cost spec model g (o : outcome) =
+let replicate ?max_replicas ?cost ?cancel spec model g (o : outcome) =
   match spec with
   | Replication.No_replication -> o
   | _ ->
       let reps =
-        replication_counts ?max_replicas ?cost spec model g ~sched:o.schedule
+        replication_counts ?max_replicas ?cost ?cancel spec model g
+          ~sched:o.schedule
       in
       if Array.for_all (fun r -> r = 1) reps then o
       else
@@ -334,15 +340,15 @@ let replicate ?max_replicas ?cost spec model g (o : outcome) =
         in
         { o with schedule; makespan; evaluations = o.evaluations + 1 }
 
-let run_replicated ?search ?backend ?rand ?max_replicas ?cost spec model g
-    ~lin ~ckpt =
-  replicate ?max_replicas ?cost spec model g
-    (run ?search ?backend ?rand model g ~lin ~ckpt)
+let run_replicated ?search ?backend ?rand ?max_replicas ?cost ?cancel spec
+    model g ~lin ~ckpt =
+  replicate ?max_replicas ?cost ?cancel spec model g
+    (run ?search ?backend ?rand ?cancel model g ~lin ~ckpt)
 
-let best_over_linearizations ?search ?backend ?rand model g ~ckpt =
+let best_over_linearizations ?search ?backend ?rand ?cancel model g ~ckpt =
   let outcomes =
     List.map
-      (fun lin -> (lin, run ?search ?backend ?rand model g ~lin ~ckpt))
+      (fun lin -> (lin, run ?search ?backend ?rand ?cancel model g ~lin ~ckpt))
       Wfc_dag.Linearize.all
   in
   List.fold_left

@@ -68,6 +68,7 @@ val run :
   ?backend:Eval_engine.backend ->
   ?rand:(int -> int) ->
   ?engine:Eval_engine.handle ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   lin:Wfc_dag.Linearize.strategy ->
@@ -77,7 +78,10 @@ val run :
     checkpoint placement with [ckpt]. [search] defaults to [Exhaustive];
     [backend] (default [Incremental]) selects whether the [N]-sweep is
     evaluated through {!Eval_engine} or one {!Evaluator} call per candidate;
-    [rand] seeds the RF linearization.
+    [rand] seeds the RF linearization. [cancel] (default
+    {!Wfc_platform.Cancel.never}) is polled once per candidate: a cancelled
+    token makes the sweep raise {!Wfc_platform.Cancel.Cancelled} instead of
+    returning a partial best.
 
     [engine] supplies a warm {!Eval_engine.handle} already bound to
     [(g, order)] — the serving layer's LRU hands one back for repeat
@@ -96,6 +100,7 @@ val run :
 val replication_counts :
   ?max_replicas:int ->
   ?cost:float ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Replication.spec ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
@@ -117,6 +122,7 @@ val replication_counts :
 val replicate :
   ?max_replicas:int ->
   ?cost:float ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Replication.spec ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
@@ -132,6 +138,7 @@ val run_replicated :
   ?rand:(int -> int) ->
   ?max_replicas:int ->
   ?cost:float ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Replication.spec ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
@@ -145,6 +152,7 @@ val best_over_linearizations :
   ?search:search ->
   ?backend:Eval_engine.backend ->
   ?rand:(int -> int) ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   ckpt:ckpt_strategy ->

@@ -28,8 +28,8 @@ let record_metrics ~sweeps r =
    flips. Every candidate goes through the replication-aware oracle — the
    suffix engines do not support replica moves — so this path is only taken
    for replicated seeds or when replica moves are requested. *)
-let improve_replicated ~max_evaluations ~replica_cost ~max_replicas model g
-    seed =
+let improve_replicated ~max_evaluations ~replica_cost ~max_replicas ~cancel
+    model g seed =
   Wfc_obs.Trace.with_span "local_search.improve"
     ~args:[ ("backend", "replicated") ]
   @@ fun () ->
@@ -46,6 +46,7 @@ let improve_replicated ~max_evaluations ~replica_cost ~max_replicas model g
   let evaluations = ref 0 in
   let flips = ref 0 in
   let evaluate () =
+    Wfc_platform.Cancel.check cancel;
     incr evaluations;
     Evaluator.expected_makespan ?replica_cost model g
       (Schedule.make ~replicas:reps g ~order ~checkpointed:flags)
@@ -93,10 +94,11 @@ let improve_replicated ~max_evaluations ~replica_cost ~max_replicas model g
     }
 
 let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
-    ?replica_cost ?max_replicas model g seed =
+    ?replica_cost ?max_replicas ?(cancel = Wfc_platform.Cancel.never) model g
+    seed =
   if Schedule.is_replicated seed || Option.is_some max_replicas then
-    improve_replicated ~max_evaluations ~replica_cost ~max_replicas model g
-      seed
+    improve_replicated ~max_evaluations ~replica_cost ~max_replicas ~cancel
+      model g seed
   else
   Wfc_obs.Trace.with_span "local_search.improve"
     ~args:[ ("backend", Eval_engine.backend_name backend) ]
@@ -109,6 +111,7 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
   match backend with
   | Eval_engine.Naive ->
       let evaluate () =
+        Wfc_platform.Cancel.check cancel;
         incr evaluations;
         Evaluator.expected_makespan model g
           (Schedule.make g ~order ~checkpointed:flags)
@@ -162,6 +165,7 @@ let improve ?(max_evaluations = 4000) ?(backend = Eval_engine.Incremental)
         Array.iter
           (fun v ->
             if !evaluations < max_evaluations then begin
+              Wfc_platform.Cancel.check cancel;
               let m = Eval_engine.h_flip engine v in
               incr evaluations;
               if m < !best -. (1e-12 *. Float.abs !best) then begin

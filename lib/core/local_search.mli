@@ -20,6 +20,7 @@ val improve :
   ?backend:Eval_engine.backend ->
   ?replica_cost:float ->
   ?max_replicas:int ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   Schedule.t ->
@@ -40,6 +41,10 @@ val improve :
     default [max 4 (max_replica_count s)]; [-1] down to a single copy), and
     every candidate is scored through the replication-aware evaluator with
     [replica_cost] per extra copy — this path ignores [backend].
+
+    [cancel] (default {!Wfc_platform.Cancel.never}) is polled once per
+    candidate move on every path; a cancelled token aborts the climb with
+    {!Wfc_platform.Cancel.Cancelled} instead of returning a partial result.
 
     @raise Invalid_argument if [max_replicas] is outside
       [1..Schedule.max_replicas]. *)

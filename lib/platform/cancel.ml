@@ -1,0 +1,48 @@
+(* Cooperative cancellation token.
+
+   A token is either [never] (polling it is a single pattern match — the
+   default for every solver entry point, so unarmed paths pay nothing) or a
+   shared atomic flag with an optional wall-clock expiry. Long-running
+   searches poll [check] at their existing budget poll points; the serving
+   layer arms one token per compute request and maps the {!Cancelled}
+   escape to a structured [timeout] response.
+
+   Cancellation only ever *aborts* — a poll point either raises or leaves
+   the computation untouched — so a run that finishes without tripping a
+   poll returns bytes identical to an uncancellable run. That is what lets
+   the watchdog coexist with the serving layer's byte-identity contract. *)
+
+exception Cancelled
+
+type t =
+  | Never
+  | Token of { flag : bool Atomic.t; expires_at : float (* +inf = none *) }
+
+let never = Never
+
+let create ?budget () =
+  let expires_at =
+    match budget with
+    | None -> Float.infinity
+    | Some s ->
+        if not (s > 0. && Float.is_finite s) then
+          invalid_arg "Cancel.create: budget must be positive and finite";
+        Unix.gettimeofday () +. s
+  in
+  Token { flag = Atomic.make false; expires_at }
+
+let cancel = function Never -> () | Token { flag; _ } -> Atomic.set flag true
+
+let cancelled = function
+  | Never -> false
+  | Token { flag; expires_at } ->
+      Atomic.get flag
+      || (expires_at < Float.infinity
+          && Unix.gettimeofday () > expires_at
+          && begin
+               (* latch: later polls skip the clock read *)
+               Atomic.set flag true;
+               true
+             end)
+
+let check t = if cancelled t then raise Cancelled

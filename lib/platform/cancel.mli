@@ -1,0 +1,35 @@
+(** Cooperative cancellation tokens for long-running searches.
+
+    A token is shared between the party that may abort a computation (the
+    serving layer's per-request watchdog, a test harness) and the
+    computation itself, which polls {!check} at its existing budget poll
+    points. Polling {!never} is a single pattern match, so solver entry
+    points take a [?cancel] defaulting to it at no cost to batch callers.
+
+    Cancellation is abort-only: a poll either raises {!Cancelled} or
+    leaves the computation untouched, so any run that completes produces
+    bytes identical to an uncancellable run — the serving layer's
+    byte-identity contract survives the watchdog. *)
+
+exception Cancelled
+
+type t
+
+val never : t
+(** The token that never cancels; polling it costs one pattern match. *)
+
+val create : ?budget:float -> unit -> t
+(** A fresh token. With [~budget:s] (seconds, must be positive and
+    finite) the token self-cancels once [s] seconds of wall clock have
+    elapsed from creation; expiry is detected lazily at poll time and
+    latched, there is no watchdog thread. Without [budget] the token only
+    cancels via {!cancel}. *)
+
+val cancel : t -> unit
+(** Request cancellation. Idempotent; a no-op on {!never}. *)
+
+val cancelled : t -> bool
+(** Has the token been cancelled (explicitly or by budget expiry)? *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if {!cancelled} holds, else return. *)

@@ -34,6 +34,7 @@ module Pool = struct
     mutable stopping : bool;
     mutable drained : bool;  (* workers must exit even with jobs queued *)
     mutable workers : unit Domain.t array;
+    restarts : int Atomic.t;  (* workers resurrected after a crash *)
   }
 
   let worker_loop t =
@@ -50,16 +51,35 @@ module Pool = struct
       else begin
         let job = Queue.pop t.jobs in
         Mutex.unlock t.mutex;
-        (* a job must not take the pool down; the submitting layer reports
-           its own errors in-band *)
-        (try job () with _ -> ());
-        Mutex.lock t.mutex;
-        t.outstanding <- t.outstanding - 1;
-        Mutex.unlock t.mutex;
+        (* crash-only: the outstanding count is settled whatever the job
+           does. An exception escaping [job] kills this worker — the
+           supervisor in [supervised] restarts it and counts the death —
+           instead of being silently swallowed here. *)
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.mutex;
+            t.outstanding <- t.outstanding - 1;
+            Mutex.unlock t.mutex)
+          job;
         next ()
       end
     in
     next ()
+
+  (* Each spawned domain runs the worker loop under a supervisor: a crash
+     (any exception escaping a job) is recorded and the loop is re-entered
+     in place, so the pool keeps its full worker complement without the
+     owner having to join and respawn domains. During shutdown the
+     restarted loop observes [stopping] and exits normally. *)
+  let supervised t =
+    let rec go () =
+      match worker_loop t with
+      | () -> ()
+      | exception _ ->
+          Atomic.incr t.restarts;
+          go ()
+    in
+    go ()
 
   let create ~workers ~depth =
     if workers <= 0 then invalid_arg "Domain_pool.Pool.create: workers <= 0";
@@ -74,10 +94,11 @@ module Pool = struct
         stopping = false;
         drained = false;
         workers = [||];
+        restarts = Atomic.make 0;
       }
     in
     t.workers <-
-      Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      Array.init workers (fun _ -> Domain.spawn (fun () -> supervised t));
     t
 
   let try_submit t job =
@@ -101,6 +122,7 @@ module Pool = struct
     n
 
   let depth t = t.depth
+  let restarts t = Atomic.get t.restarts
 
   let shutdown ?(drain = true) t =
     Mutex.lock t.mutex;

@@ -45,14 +45,21 @@ module Pool : sig
   (** [try_submit t job] enqueues [job] and returns [true], or returns
       [false] without enqueueing when [depth] jobs are already outstanding
       (or the pool is shutting down). A job counts as outstanding from
-      admission until it finishes running. Exceptions escaping [job] are
-      swallowed: workers never die with the pool. *)
+      admission until it finishes running — even if it raises. An
+      exception escaping [job] crashes that worker; the pool supervisor
+      immediately restarts it (counted by {!restarts}), so the pool never
+      loses capacity and never takes the owner down. *)
 
   val outstanding : t -> int
   (** Jobs admitted and not yet finished (queued + running). *)
 
   val depth : t -> int
   (** The admission bound. *)
+
+  val restarts : t -> int
+  (** Number of worker crashes survived: how many times a worker died on
+      an escaped job exception and was restarted by the supervisor. 0 in
+      a healthy pool. *)
 
   val shutdown : ?drain:bool -> t -> unit
   (** Stop accepting work and join every worker. With [drain] (default

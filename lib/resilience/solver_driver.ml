@@ -56,7 +56,8 @@ type result = {
   elapsed : float;
 }
 
-let solve ?(config = default_config) model g ~order =
+let solve ?(config = default_config) ?(cancel = Wfc_platform.Cancel.never)
+    model g ~order =
   Trace.with_span "driver.solve" @@ fun () ->
   let finish r = record_tier r.tier r.reason; r in
   let t0 = Unix.gettimeofday () in
@@ -68,8 +69,8 @@ let solve ?(config = default_config) model g ~order =
   let sol, status =
     Trace.with_span "driver.exact" (fun () ->
         Exact_solver.optimal_checkpoints_within ~max_nodes:config.max_nodes
-          ~should_stop ~backend:config.backend ~domains:config.bnb_domains
-          model g ~order)
+          ~should_stop ~cancel ~backend:config.backend
+          ~domains:config.bnb_domains model g ~order)
   in
   let elapsed () = Unix.gettimeofday () -. t0 in
   match status with
@@ -89,7 +90,8 @@ let solve ?(config = default_config) model g ~order =
       let ls =
         Trace.with_span "driver.local_search" (fun () ->
             Local_search.improve ~max_evaluations:config.ls_evaluations
-              ~backend:config.backend model g sol.Exact_solver.schedule)
+              ~cancel ~backend:config.backend model g
+              sol.Exact_solver.schedule)
       in
       (* tier 3: the configured heuristic chain, on their own linearizations *)
       let best_fallback =
@@ -98,7 +100,7 @@ let solve ?(config = default_config) model g ~order =
           (fun best (lin, ckpt) ->
             let o =
               Heuristics.run ~search:config.search ~backend:config.backend
-                model g ~lin ~ckpt
+                ~cancel model g ~lin ~ckpt
             in
             match best with
             | Some (_, b) when b.Heuristics.makespan <= o.Heuristics.makespan ->

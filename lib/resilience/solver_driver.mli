@@ -52,6 +52,7 @@ type result = {
 
 val solve :
   ?config:config ->
+  ?cancel:Wfc_platform.Cancel.t ->
   Wfc_platform.Failure_model.t ->
   Wfc_dag.Dag.t ->
   order:int array ->
@@ -59,6 +60,13 @@ val solve :
 (** [solve model g ~order] never raises {!Wfc_core.Exact_solver.Node_budget_exceeded}:
     it degrades through the configured chain instead. The returned makespan
     is never worse than the best configured fallback heuristic's.
+
+    [cancel] (default {!Wfc_platform.Cancel.never}) is threaded into every
+    tier — the branch and bound's 1024-node poll, each local-search move,
+    each fallback-heuristic candidate. Unlike [deadline] (which degrades to
+    the next tier), a cancelled token aborts the whole solve with
+    {!Wfc_platform.Cancel.Cancelled}: it is the serving layer's watchdog
+    hook, for when nobody is waiting for any answer at all.
 
     @raise Invalid_argument if [order] is not a linearization of [g]. *)
 

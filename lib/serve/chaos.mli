@@ -1,0 +1,100 @@
+(** Deterministic socket fault injection for [wfc serve].
+
+    {!start} runs an in-process TCP proxy between a client and a live
+    daemon and applies a {!spec} — a list of byte-level faults — to the
+    streams it forwards: tearing the request at an exact byte offset,
+    XOR-corrupting a request byte, delaying or trickling the request
+    bytes, and hard-resetting the connection mid-response. Every fault is
+    positioned by byte offset or fixed duration and specs are derived from
+    integer seeds ({!random}), so a failing chaos run replays exactly from
+    its seed.
+
+    {!soak} drives hundreds of seeded schedules against a daemon and
+    checks the crash-only serving invariants: every request that completes
+    is byte-identical to its chaos-free twin, damaged exchanges fail
+    structurally (a framing/decode error or a torn connection, never a
+    hang or an exception), and afterwards the daemon still answers pings
+    with zero warm engines checked out. *)
+
+(** One byte-level fault. Offsets count from byte 0 of the stream in the
+    stated direction; faults beyond the stream's length never fire. *)
+type fault =
+  | Tear of int
+      (** forward exactly this many request bytes, then half-close the
+          server side (the daemon sees a mid-frame EOF) *)
+  | Reset of int
+      (** after forwarding this many response bytes, shut the connection
+          down in both directions (the client sees a truncated reply) *)
+  | Corrupt of int * int
+      (** [Corrupt (off, mask)]: XOR the request byte at offset [off]
+          with [mask] (1–255) *)
+  | Delay of float  (** seconds to sleep before the first forwarded byte *)
+  | Trickle of int
+      (** forward the request in writes of at most this many bytes *)
+
+type spec = fault list
+(** Applied together on one connection; [[]] is a transparent proxy. *)
+
+val to_string : spec -> string
+(** Round-trips through {!of_string}. [[]] prints as ["none"]. *)
+
+val of_string : string -> (spec, string) result
+(** Parse the comma-separated grammar
+    [tear@K | reset@K | corrupt@K\[:MASK\] | delay:MS | trickle:N | none]:
+    offsets are non-negative bytes, [MASK] (default 255) is 1–255, [MS]
+    is a non-negative duration in milliseconds, [N] is a positive chunk
+    size. Unknown faults, malformed numbers and out-of-range values are
+    [Error]s (the [wfc chaos] CLI turns them into usage failures). *)
+
+val random : seed:int -> spec
+(** Derive a spec from a seed via {!Wfc_platform.Rng} (equal seeds yield
+    equal specs): one or two faults with offsets sized to the serve
+    protocol's small frames. *)
+
+type proxy
+
+val start : target:Server.listen -> spec -> (proxy, string) result
+(** Listen on a fresh loopback TCP port and forward every accepted
+    connection to [target] with the spec's faults applied. Faults are
+    per-connection: each connection gets the full schedule from offset 0. *)
+
+val listen : proxy -> Server.listen
+(** Where clients should connect ([Tcp port]). *)
+
+val stop : proxy -> unit
+(** Close the listener and every live connection; idempotent. *)
+
+type report = {
+  runs : int;  (** chaos exchanges attempted *)
+  completed : int;  (** replies byte-identical to the chaos-free reference *)
+  mismatched : int;
+      (** completed replies whose bytes differ from the reference — the
+          invariant violation; must be 0 *)
+  structured : int;
+      (** exchanges that failed with a structured transport error
+          (framing, decode, garbled header) *)
+  torn : int;  (** exchanges cut short: fewer replies than requests *)
+  alive : bool;  (** the daemon still answers a ping after the soak *)
+  leaked : int;
+      (** warm engines still checked out afterwards ([cache.outstanding]
+          from the stats endpoint); must be 0 *)
+}
+
+val soak :
+  ?lines:string list ->
+  ?recv_timeout:float ->
+  ?spec:spec ->
+  target:Server.listen ->
+  seeds:int list ->
+  unit ->
+  report
+(** For each seed: derive {!random}[ ~seed] (or use [spec] for every run
+    when given — the replay knob of [wfc chaos --spec]), proxy it in front of
+    [target] and run one {!Client.exchange} of [lines] through the proxy
+    (even seeds use text mode, odd seeds binary, so both transports face
+    every fault class), classifying the outcome against a chaos-free
+    reference exchange captured once per mode. Client sockets carry a
+    [recv_timeout]-second receive timeout (default 10) so a hung daemon
+    fails the run instead of blocking the soak. Afterwards [alive] and
+    [leaked] are probed over a direct connection. Runs are independent:
+    every proxy is stopped before the next seed starts. *)

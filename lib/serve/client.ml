@@ -22,21 +22,30 @@ let write_all fd s =
   in
   go 0
 
+(* Retry schedule: capped exponential backoff, deterministic (no jitter —
+   clients here race one local daemon's startup, not a thundering herd).
+   Sleeps are 50 ms, 100 ms, 200 ms, 400 ms, then 800 ms flat until the
+   [retry] budget is spent; attempts always total at most [retry] seconds
+   of sleeping, the last sleep truncated to whatever budget remains. *)
+let backoff_first = 0.05
+let backoff_cap = 0.8
+
 let connect ?(retry = 5.) target =
   let addr =
     match target with
     | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
     | Server.Unix_sock path -> Unix.ADDR_UNIX path
   in
-  let rec go left =
+  let rec go ~sleep left =
     let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () -> Ok fd
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when left > 0. ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        Unix.sleepf 0.05;
-        go (left -. 0.05)
+        let nap = Float.min sleep left in
+        Unix.sleepf nap;
+        go ~sleep:(Float.min backoff_cap (2. *. sleep)) (left -. nap)
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error
@@ -46,7 +55,7 @@ let connect ?(retry = 5.) target =
              | Server.Unix_sock p -> p)
              (Unix.error_message e))
   in
-  go retry
+  go ~sleep:backoff_first retry
 
 let by_rid a b = Int64.compare a.rid b.rid
 
@@ -93,9 +102,13 @@ let text_exchange fd lines =
   write_all fd (String.concat "" (List.map (fun l -> l ^ "\n") lines));
   Unix.shutdown fd Unix.SHUTDOWN_SEND;
   let lr = { fd; buf = Bytes.create 8192; pos = 0; len = 0 } in
+  (* a well-formed body ends with the "." terminator line; EOF before it
+     means the connection died mid-response — that must surface as a
+     structured error, never as a silently shortened Ok body *)
   let rec read_body acc =
     match read_line lr with
-    | None | Some "." -> List.rev acc
+    | None -> Error ()
+    | Some "." -> Ok (List.rev acc)
     | Some l -> read_body (l :: acc)
   in
   let rec go acc =
@@ -106,7 +119,12 @@ let text_exchange fd lines =
         | "ok", rest ->
             let rid, _ = split2 rest in
             let rid = Option.value ~default:0L (Int64.of_string_opt rid) in
-            go ({ rid; body = Ok (read_body []) } :: acc)
+            let body =
+              match read_body [] with
+              | Ok body -> Ok body
+              | Error () -> Error "truncated response (connection lost mid-body)"
+            in
+            go ({ rid; body } :: acc)
         | "error", rest ->
             let rid, detail = split2 rest in
             let rid = Option.value ~default:0L (Int64.of_string_opt rid) in

@@ -17,10 +17,19 @@ type reply = {
 
 val connect :
   ?retry:float -> Server.listen -> (Unix.file_descr, string) result
-(** Connect to the daemon, retrying connection-refused / not-found every
-    50 ms for up to [retry] seconds (default 5) — lets scripts race the
-    daemon's startup. *)
+(** Connect to the daemon, retrying connection-refused / not-found with
+    capped exponential backoff — sleeps of 50 ms doubling to a flat
+    800 ms, deterministic (no jitter) — until at most [retry] seconds
+    (default 5) have been spent sleeping; lets scripts race the daemon's
+    startup without hammering the listener. Any other connect error, or
+    budget exhaustion, returns [Error]. *)
 
 val exchange : ?binary:bool -> Unix.file_descr -> string list -> reply list
 (** Send every line, half-close the write side, read until EOF or all
-    responses arrive. The caller closes the descriptor. *)
+    responses arrive. The caller closes the descriptor.
+
+    Damage never passes silently: a text body cut off before its ["."]
+    terminator, a truncated binary frame, or an undecodable payload all
+    come back as [Error] replies (truncated/framing/decode) — an [Ok]
+    body is always a complete response, which is what lets the chaos
+    soak hold completed replies to byte-identity. *)

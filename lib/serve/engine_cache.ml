@@ -23,12 +23,14 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable puts : int;
 }
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  puts : int;
   size : int;
   capacity : int;
 }
@@ -42,6 +44,7 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    puts = 0;
   }
 
 let capacity (t : t) = t.capacity
@@ -68,6 +71,7 @@ let take (t : t) key =
 let put (t : t) key handle =
   if t.capacity > 0 then
     Mutex.protect t.mutex (fun () ->
+        t.puts <- t.puts + 1;
         let without = List.filter (fun (k, _) -> not (Key.equal k key)) t.entries in
         let entries = (key, handle) :: without in
         let rec trim n = function
@@ -90,6 +94,7 @@ let stats (t : t) =
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
+        puts = t.puts;
         size = List.length t.entries;
         capacity = t.capacity;
       })

@@ -17,6 +17,10 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  puts : int;
+      (** check-ins recorded (capacity > 0 only) — the leak pin: at rest,
+          every cacheable checkout must have been followed by a [put], so
+          [hits <= puts] whenever no engine is currently checked out *)
   size : int;  (** entries currently stored (checked-out engines excluded) *)
   capacity : int;
 }

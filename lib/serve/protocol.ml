@@ -52,7 +52,13 @@ type request =
   | Sleep of float  (* seconds; a test and bench aid *)
   | Shutdown
 
-type error_code = Bad_request | Busy | Too_large | Internal | Stopping
+type error_code =
+  | Bad_request
+  | Busy
+  | Too_large
+  | Internal
+  | Stopping
+  | Timeout
 
 let error_code_name = function
   | Bad_request -> "bad-request"
@@ -60,6 +66,7 @@ let error_code_name = function
   | Too_large -> "too-large"
   | Internal -> "internal"
   | Stopping -> "stopping"
+  | Timeout -> "timeout"
 
 let error_code_of_string = function
   | "bad-request" -> Some Bad_request
@@ -67,6 +74,7 @@ let error_code_of_string = function
   | "too-large" -> Some Too_large
   | "internal" -> Some Internal
   | "stopping" -> Some Stopping
+  | "timeout" -> Some Timeout
   | _ -> None
 
 (* ---- semantic validation (one gate for both transports) --------------- *)

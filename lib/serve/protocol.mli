@@ -54,10 +54,21 @@ type request =
   | Sleep of float  (** seconds; deterministic load for tests and bench *)
   | Shutdown
 
-type error_code = Bad_request | Busy | Too_large | Internal | Stopping
+type error_code =
+  | Bad_request
+  | Busy
+  | Too_large
+  | Internal
+  | Stopping
+  | Timeout
+      (** the per-request watchdog cancelled a runaway compute job —
+          distinct from [Busy] (refused at admission, nothing was
+          computed): a [Timeout] request was admitted, ran, and was
+          aborted mid-compute *)
 
 val error_code_name : error_code -> string
-(** "bad-request", "busy", "too-large", "internal" or "stopping". *)
+(** "bad-request", "busy", "too-large", "internal", "stopping" or
+    "timeout". *)
 
 val error_code_of_string : string -> error_code option
 

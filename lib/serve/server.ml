@@ -32,6 +32,7 @@ module MC = Wfc_simulator.Monte_carlo
 module Corpus = Wfc_corpus.Corpus
 module Table = Wfc_reporting.Table
 module Metrics = Wfc_obs.Metrics
+module Cancel = Wfc_platform.Cancel
 module Pr = Protocol
 
 type config = {
@@ -42,6 +43,9 @@ type config = {
   max_frame : int;
   exact_max_n : int;  (* deadline tiering: largest n going exact *)
   nodes_per_second : float;  (* deadline seconds -> node budget *)
+  timeout : float option;
+      (* per-request wall-clock watchdog (seconds); cancelled requests
+         answer a structured [timeout]. None disables the watchdog. *)
 }
 
 let default_config =
@@ -53,6 +57,7 @@ let default_config =
     max_frame = Codec.default_max_frame;
     exact_max_n = 24;
     nodes_per_second = 20_000.;
+    timeout = None;
   }
 
 (* ---- per-endpoint stats (server-local, so tests stay isolated) -------- *)
@@ -86,6 +91,12 @@ type t = {
   eps : ep_stats array;
   tiers : (string, int) Hashtbl.t;
   mutable busy_count : int;
+  mutable timeout_count : int;
+  engines_out : int Atomic.t;
+      (* warm engines currently checked out of the cache: incremented at
+         checkout, decremented in the check-in finalizer, so a non-zero
+         value at rest IS a leak — the invariant the chaos soak pins *)
+  mutable pool : Pool.t option;  (* attached by [serve] for stats *)
   started : float;
   stop : bool Atomic.t;
 }
@@ -106,6 +117,9 @@ let create ?(config = default_config) () =
           });
     tiers = Hashtbl.create 4;
     busy_count = 0;
+    timeout_count = 0;
+    engines_out = Atomic.make 0;
+    pool = None;
     started = Unix.gettimeofday ();
     stop = Atomic.make false;
   }
@@ -118,6 +132,12 @@ let mcounter name = Metrics.incr (Metrics.counter name)
 let note_busy t =
   Mutex.protect t.mutex (fun () -> t.busy_count <- t.busy_count + 1);
   mcounter "serve.busy"
+
+let note_timeout t =
+  Mutex.protect t.mutex (fun () -> t.timeout_count <- t.timeout_count + 1);
+  mcounter "serve.timeouts"
+
+let engines_outstanding t = Atomic.get t.engines_out
 
 let note_tier t tier =
   Mutex.protect t.mutex (fun () ->
@@ -154,26 +174,37 @@ let deadline_plan cfg ~n d =
 
 (* Warm-engine checkout around a solve: [take] removes the cached engine
    (two workers must never share one — a concurrent same-key request just
-   builds cold), the solve runs, and check-in re-inserts at MRU. *)
+   builds cold), the solve runs, and check-in re-inserts at MRU.
+
+   Crash-only discipline: the check-in finalizer is installed the moment an
+   engine exists and nothing else runs between checkout and [Fun.protect] —
+   a handler exception (including a watchdog [Cancelled]), a crashing
+   worker or a vanished client can never strand a warm engine. The paired
+   [engines_out] counter is the observable pin: it is non-zero only while a
+   checkout is live, so [cache.outstanding] in [stats] must read 0 at
+   rest. *)
+let checked_out t key engine counter f =
+  Atomic.incr t.engines_out;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine_cache.put t.cache key engine;
+      Atomic.decr t.engines_out)
+    (fun () ->
+      mcounter counter;
+      f (Some engine))
+
 let with_engine t (p : Pr.solve_params) model g ~order f =
   if Engine_cache.capacity t.cache = 0 || p.backend = E.Naive then f None
   else begin
     let key = Key.make p.backend model g ~order in
-    let engine =
-      match Engine_cache.take t.cache key with
-      | Some h ->
-          mcounter "serve.cache.hit";
-          h
-      | None ->
-          mcounter "serve.cache.miss";
-          E.handle p.backend model g ~order
-    in
-    Fun.protect
-      ~finally:(fun () -> Engine_cache.put t.cache key engine)
-      (fun () -> f (Some engine))
+    match Engine_cache.take t.cache key with
+    | Some h -> checked_out t key h "serve.cache.hit" f
+    | None ->
+        let h = E.handle p.backend model g ~order in
+        checked_out t key h "serve.cache.miss" f
   end
 
-let run_solve t (p : Pr.solve_params) =
+let run_solve t ~cancel (p : Pr.solve_params) =
   match dag_of_spec p.workflow with
   | Stdlib.Error msg -> Stdlib.Error msg
   | Ok g ->
@@ -201,7 +232,10 @@ let run_solve t (p : Pr.solve_params) =
       in
       let heuristic_tier () =
         with_engine t p model g ~order (fun engine ->
-            let o = H.run ~search ~backend:p.backend ?engine model g ~lin:p.lin ~ckpt:p.ckpt in
+            let o =
+              H.run ~search ~backend:p.backend ?engine ~cancel model g
+                ~lin:p.lin ~ckpt:p.ckpt
+            in
             finish ~tier:(Driver.tier_name Driver.Heuristic)
               ~evaluations:o.H.evaluations o.H.schedule o.H.makespan)
       in
@@ -216,12 +250,12 @@ let run_solve t (p : Pr.solve_params) =
         | `Local_search evals ->
             with_engine t p model g ~order (fun engine ->
                 let o =
-                  H.run ~search ~backend:p.backend ?engine model g ~lin:p.lin
-                    ~ckpt:p.ckpt
+                  H.run ~search ~backend:p.backend ?engine ~cancel model g
+                    ~lin:p.lin ~ckpt:p.ckpt
                 in
                 let ls =
-                  LS.improve ~max_evaluations:evals ~backend:p.backend model g
-                    o.H.schedule
+                  LS.improve ~max_evaluations:evals ~backend:p.backend ~cancel
+                    model g o.H.schedule
                 in
                 finish
                   ~tier:(Driver.tier_name Driver.Local_search)
@@ -235,13 +269,13 @@ let run_solve t (p : Pr.solve_params) =
                 backend = p.backend;
               }
             in
-            let r = Driver.solve ~config model g ~order in
+            let r = Driver.solve ~config ~cancel model g ~order in
             finish ~tier:(Driver.tier_name r.Driver.tier) ~evaluations:r.Driver.nodes
               r.Driver.schedule r.Driver.makespan)
 
 (* ---- the other compute endpoints -------------------------------------- *)
 
-let run_simulate t (p : Pr.solve_params) ~runs ~mcseed =
+let run_simulate t ~cancel (p : Pr.solve_params) ~runs ~mcseed =
   Result.map
     (fun (solved, sched, g, model) ->
       let est = MC.estimate ~runs ~seed:mcseed model g sched in
@@ -254,9 +288,9 @@ let run_simulate t (p : Pr.solve_params) ~runs ~mcseed =
         ci_hi;
         failures_mean = Stats.mean est.MC.failures;
       })
-    (run_solve t p)
+    (run_solve t ~cancel p)
 
-let run_adapt t (p : Pr.solve_params) ~true_mtbf ~traces ~mcseed =
+let run_adapt t ~cancel (p : Pr.solve_params) ~true_mtbf ~traces ~mcseed =
   Result.map
     (fun ((solved : Pr.solved), sched, g, planning) ->
       let truth = FM.of_mtbf ~mtbf:true_mtbf ~downtime:p.downtime () in
@@ -285,7 +319,7 @@ let run_adapt t (p : Pr.solve_params) ~true_mtbf ~traces ~mcseed =
               (s.Robust.candidate, s.Robust.mean, s.Robust.cvar, s.Robust.worst))
             r.Robust.scores;
       })
-    (run_solve t p)
+    (run_solve t ~cancel p)
 
 let run_corpus t ~dir ~ratios ~grid ~backend =
   match Corpus.load_dir ~cost:(CM.Proportional 0.1) dir with
@@ -337,6 +371,9 @@ let stats_rows t =
       addi "cache.hits" cs.Engine_cache.hits;
       addi "cache.misses" cs.Engine_cache.misses;
       addi "cache.evictions" cs.Engine_cache.evictions;
+      addi "cache.puts" cs.Engine_cache.puts;
+      (* checked-out engines right now: 0 at rest, or something leaked *)
+      addi "cache.outstanding" (Atomic.get t.engines_out);
       Array.iteri
         (fun i (ep : ep_stats) ->
           if ep.count > 0 then addi ("requests." ^ endpoints.(i)) ep.count)
@@ -346,6 +383,12 @@ let stats_rows t =
           if ep.errors > 0 then addi ("errors." ^ endpoints.(i)) ep.errors)
         t.eps;
       if t.busy_count > 0 then addi "busy" t.busy_count;
+      if t.timeout_count > 0 then addi "timeouts" t.timeout_count;
+      (match t.pool with
+      | Some pool ->
+          let r = Pool.restarts pool in
+          if r > 0 then addi "pool.restarts" r
+      | None -> ());
       Hashtbl.fold (fun tier n acc -> (tier, n) :: acc) t.tiers []
       |> List.sort compare
       |> List.iter (fun (tier, n) -> addi ("tier." ^ tier) n);
@@ -378,7 +421,14 @@ let stats_rows t =
 
 (* ---- dispatch ---------------------------------------------------------- *)
 
-let dispatch t req =
+(* Ping, Stats and Shutdown are control plane: answered inline by the
+   socket layer and never armed with a watchdog. *)
+let inline_request = function
+  | Pr.Ping | Pr.Stats | Pr.Shutdown -> true
+  | Pr.Solve _ | Pr.Simulate _ | Pr.Adapt _ | Pr.Corpus _ | Pr.Sleep _ ->
+      false
+
+let dispatch t ~cancel req =
   match Pr.validate req with
   | Stdlib.Error msg -> err Pr.Bad_request msg
   | Ok () -> (
@@ -389,33 +439,62 @@ let dispatch t req =
           Atomic.set t.stop true;
           Pr.Bye
       | Pr.Sleep s ->
-          Unix.sleepf s;
+          (* sleep in short slices so the watchdog can interrupt; the
+             response reports the requested duration, so a non-cancelled
+             sleep answers the same bytes as an unsliced one *)
+          let rec nap remaining =
+            Cancel.check cancel;
+            if remaining > 0. then begin
+              Unix.sleepf (Float.min 0.01 remaining);
+              nap (remaining -. 0.01)
+            end
+          in
+          nap s;
           Pr.Slept s
       | Pr.Solve p -> (
-          match run_solve t p with
+          match run_solve t ~cancel p with
           | Ok (solved, _, _, _) -> Pr.Solved solved
           | Stdlib.Error msg -> err Pr.Bad_request msg)
       | Pr.Simulate { params; runs; mcseed } -> (
-          match run_simulate t params ~runs ~mcseed with
+          match run_simulate t ~cancel params ~runs ~mcseed with
           | Ok s -> Pr.Simulated s
           | Stdlib.Error msg -> err Pr.Bad_request msg)
       | Pr.Adapt { params; true_mtbf; traces; mcseed } -> (
-          match run_adapt t params ~true_mtbf ~traces ~mcseed with
+          match run_adapt t ~cancel params ~true_mtbf ~traces ~mcseed with
           | Ok a -> Pr.Adapted a
           | Stdlib.Error msg -> err Pr.Bad_request msg)
       | Pr.Corpus { dir; ratios; grid; backend } ->
           run_corpus t ~dir ~ratios ~grid ~backend)
 
-let handle t req =
+let handle ?cancel t req =
   let i = endpoint_index req in
   Mutex.protect t.mutex (fun () -> t.eps.(i).count <- t.eps.(i).count + 1);
   mcounter ("serve.requests." ^ endpoints.(i));
   let hist = Metrics.histogram ("serve.latency." ^ endpoints.(i)) in
+  (* the watchdog arms compute requests only; its budget is wall-clock but
+     the [timeout] message is deterministic (the budget, never the elapsed
+     time), so cancelled responses are pinnable too *)
+  let budget = t.config.timeout in
+  let cancel =
+    match cancel with
+    | Some c -> c
+    | None -> (
+        match budget with
+        | Some s when not (inline_request req) -> Cancel.create ~budget:s ()
+        | _ -> Cancel.never)
+  in
   let t0 = Unix.gettimeofday () in
   let resp =
     Metrics.time hist (fun () ->
-        try dispatch t req
-        with exn -> err Pr.Internal (Printexc.to_string exn))
+        try dispatch t ~cancel req with
+        | Cancel.Cancelled ->
+            note_timeout t;
+            err Pr.Timeout
+              (match budget with
+              | Some s ->
+                  Printf.sprintf "request exceeded its %gs compute budget" s
+              | None -> "request cancelled by watchdog")
+        | exn -> err Pr.Internal (Printexc.to_string exn))
   in
   let dt = Unix.gettimeofday () -. t0 in
   Mutex.protect t.mutex (fun () ->
@@ -533,11 +612,6 @@ let job_done conn =
 
 (* Ping, Stats and Shutdown answer inline from the reader thread — the
    control plane stays responsive while the queue sheds compute load. *)
-let inline_request = function
-  | Pr.Ping | Pr.Stats | Pr.Shutdown -> true
-  | Pr.Solve _ | Pr.Simulate _ | Pr.Adapt _ | Pr.Corpus _ | Pr.Sleep _ ->
-      false
-
 let process t pool conn ~send ~id req =
   if inline_request req then send ~id (handle t req)
   else if Atomic.get t.stop then
@@ -671,6 +745,7 @@ let serve ?(config = default_config) ?(ready = fun _ -> ()) listen_on =
   | Ok (sock, cleanup, desc) ->
       let t = create ~config () in
       let pool = Pool.create ~workers:config.workers ~depth:config.queue_depth in
+      t.pool <- Some pool;
       ready desc;
       let rec accept_loop () =
         if not (Atomic.get t.stop) then begin

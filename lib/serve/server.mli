@@ -29,27 +29,49 @@ type config = {
   nodes_per_second : float;
       (** calibration rate turning deadline seconds into a
           branch-and-bound node budget *)
+  timeout : float option;
+      (** per-request wall-clock watchdog (seconds): compute requests
+          exceeding it are cooperatively cancelled mid-solve and answer a
+          structured [timeout] error ([None] disables, the default).
+          Distinct from the deterministic [deadline] tiering — the
+          watchdog is the abort-of-last-resort for runaway jobs; its
+          [timeout] message quotes the budget (never the elapsed time) so
+          even cancelled responses are byte-deterministic. Non-cancelled
+          responses are bit-for-bit unaffected by the watchdog. *)
 }
 
 val default_config : config
 (** cache 32, depth 64, 2 workers, 1 domain, 16 MiB frames,
-    [exact_max_n = 24], 20k nodes/s. *)
+    [exact_max_n = 24], 20k nodes/s, no watchdog. *)
 
 type t
 
 val create : ?config:config -> unit -> t
 
-val handle : t -> Protocol.request -> Protocol.response
+val handle :
+  ?cancel:Wfc_platform.Cancel.t -> t -> Protocol.request -> Protocol.response
 (** Validate, dispatch, and record per-endpoint stats. Never raises: an
-    escaping exception becomes an [internal] error response. The deadline
+    escaping exception becomes an [internal] error response, and a
+    watchdog cancellation a [timeout] one. The deadline
     mapping: budget [= deadline * nodes_per_second] nodes; at least 500
     nodes and at most [exact_max_n] tasks runs the budgeted
     {!Wfc_resilience.Solver_driver} (tier [exact], degrading itself);
     at least 100 nodes hill-climbs the heuristic winner (tier
     [local-search]); below that, the heuristic sweep alone (tier
-    [heuristic], also the no-deadline default). *)
+    [heuristic], also the no-deadline default).
+
+    [cancel] overrides the watchdog token for this request (tests hand in
+    pre-cancelled tokens); without it, a compute request is armed with a
+    fresh [config.timeout]-budget token, control-plane requests with
+    {!Wfc_platform.Cancel.never}. *)
 
 val cache_stats : t -> Engine_cache.stats
+
+val engines_outstanding : t -> int
+(** Warm engines currently checked out of the cache (the [cache.outstanding]
+    stats row). 0 whenever no request is mid-solve; a non-zero value at
+    rest is a checkout leak. *)
+
 val stopping : t -> bool
 (** Whether a [Shutdown] request has been dispatched. *)
 

@@ -83,7 +83,8 @@ failed validation), while frobnicate never parsed and counts nowhere.
 The montage-15 engine warms on the first solve and hits four more times
 (warm, binary, two deadline tiers short of exact — the exact tier drives
 the solver directly) plus once under simulate; adapt's montage-12 is the
-second miss:
+second miss. Every checkout came back: puts = hits + misses and nothing
+is outstanding — the no-leak pin:
 
   $ ../bin/wfc.exe request --socket s.sock stats | grep -E '^(workers|queue\.|cache\.|requests\.|tier\.)' | sed 's/ *$//'
   workers                  2
@@ -93,6 +94,8 @@ second miss:
   cache.hits               5
   cache.misses             2
   cache.evictions          0
+  cache.puts               7
+  cache.outstanding        0
   requests.ping            3
   requests.solve           7
   requests.simulate        1
@@ -114,13 +117,14 @@ Shutdown drains in-flight work, and the daemon removes its socket:
 
 Admission control: a depth-1 queue with a single worker sheds the second
 of two pipelined compute requests with a structured busy error while the
-sleep holds the only slot (replies print in request order):
+sleep holds the only slot (replies print in request order; busy gets its
+own exit code, 3, so scripts can back off and retry):
 
   $ ../bin/wfc.exe serve --socket s2.sock --queue-depth 1 --workers 1 > serve2.log 2>&1 &
   $ printf 'sleep ms=600\nsolve family=montage n=15 mtbf=100\n' | ../bin/wfc.exe request --socket s2.sock --stdin
   slept 0.6 s
   error: busy queue full (1 outstanding, depth 1)
-  [1]
+  [3]
   $ ../bin/wfc.exe request --socket s2.sock shutdown
   stopping
   $ wait
@@ -150,3 +154,60 @@ protocol all reject a non-positive deadline with the same wording:
   exit: 124
   $ ../bin/wfc.exe stress -w montage -n 12 --deadline=-2 2>&1 | head -1
   wfc: option '--deadline': deadline must be positive (got '-2')
+
+The per-request watchdog is wall-clock, unlike the deterministic deadline
+tiering: a runaway job is cooperatively cancelled mid-compute and answers
+a structured timeout error (its own exit code, 4, distinct from busy's 3),
+while requests that finish inside the budget are byte-for-byte unaffected.
+The timeout message quotes the budget, never the elapsed time, so even
+cancelled responses are byte-stable:
+
+  $ ../bin/wfc.exe serve --socket s3.sock --timeout 0.05 > serve3.log 2>&1 &
+  $ ../bin/wfc.exe request --socket s3.sock sleep ms=600
+  error: timeout request exceeded its 0.05s compute budget
+  [4]
+  $ ../bin/wfc.exe request --socket s3.sock solve family=montage n=15 mtbf=100
+  solve Montage-15 (15 tasks): DF-CkptW, tier heuristic
+    E[makespan] = 203.67 s (ratio 1.2271)
+    checkpoints = 14 (evaluations 14)
+  $ ../bin/wfc.exe request --socket s3.sock stats | awk '$1 == "timeouts" { print $1, $2 }'
+  timeouts 1
+  $ ../bin/wfc.exe request --socket s3.sock shutdown
+  stopping
+  $ wait
+
+Chaos soak: seeded, replayable fault schedules through an in-process
+proxy — torn frames, corrupted bytes, trickled writes, delays, hard
+connection resets — alternating the text and binary transports. Completed
+replies must match a chaos-free exchange byte for byte, and afterwards
+the daemon must still answer with zero warm engines checked out. The
+damage breakdown depends on response interleaving, so only the invariant
+line is pinned here:
+
+  $ ../bin/wfc.exe serve --socket s4.sock > serve4.log 2>&1 &
+  $ ../bin/wfc.exe chaos --socket s4.sock --seeds 40 | grep -E '^(chaos soak|invariants)'
+  chaos soak: 40 runs (seed base 0)
+  invariants: mismatched=0 leaked=0 alive=yes
+
+A fixed spec replays one schedule on every run; a transparent one must
+complete every exchange identically:
+
+  $ ../bin/wfc.exe chaos --socket s4.sock --spec none --seeds 2
+  chaos spec: none
+  chaos soak: 2 runs (seed base 0)
+    completed   2
+    structured  0
+    torn        0
+    mismatched  0
+  invariants: mismatched=0 leaked=0 alive=yes
+  $ ../bin/wfc.exe request --socket s4.sock shutdown
+  stopping
+  $ wait
+
+The fault grammar goes through a validated converter like every other
+flag — bad specs die as one-line usage errors (exit 124):
+
+  $ ../bin/wfc.exe chaos --socket s4.sock --spec "tear@x" 2>&1 | head -1
+  wfc: option '--spec': chaos spec: tear: byte offset must be a non-negative
+  $ ../bin/wfc.exe chaos --socket s4.sock --spec "tear@x" 2>/dev/null; echo "exit: $?"
+  exit: 124

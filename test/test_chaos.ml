@@ -1,0 +1,178 @@
+(* Chaos layer: the fault-spec grammar, seed determinism, and live
+   proxying against an in-process daemon — a transparent proxy changes
+   nothing, torn requests at every byte offset never hang or crash the
+   daemon, and a seeded mini-soak upholds the crash-only invariants
+   (completed replies byte-identical, daemon alive, zero engines leaked). *)
+
+module Chaos = Wfc_serve.Chaos
+module Server = Wfc_serve.Server
+module Client = Wfc_serve.Client
+
+(* ---- grammar ------------------------------------------------------------ *)
+
+let test_grammar_roundtrip () =
+  List.iter
+    (fun s ->
+      match Chaos.of_string s with
+      | Ok spec -> Alcotest.(check string) s s (Chaos.to_string spec)
+      | Error m -> Alcotest.failf "%S failed to parse: %s" s m)
+    [ "none"; "tear@0"; "tear@17"; "reset@333"; "corrupt@5"; "corrupt@5:1";
+      "corrupt@0:128"; "delay:2.5"; "trickle:3";
+      "tear@9,corrupt@2:128,delay:10" ]
+
+let test_grammar_rejects () =
+  List.iter
+    (fun s ->
+      match Chaos.of_string s with
+      | Error _ -> ()
+      | Ok spec ->
+          Alcotest.failf "%S must not parse (got %s)" s (Chaos.to_string spec))
+    [ "tear"; "tear@"; "tear@-1"; "tear@x"; "corrupt@1:0"; "corrupt@1:256";
+      "delay:-5"; "delay:inf"; "trickle:0"; "frobnicate@2"; "reset:5";
+      "tear@1,," ]
+
+let test_seed_determinism () =
+  for seed = 0 to 50 do
+    Alcotest.(check string) "same seed, same spec"
+      (Chaos.to_string (Chaos.random ~seed))
+      (Chaos.to_string (Chaos.random ~seed))
+  done;
+  let distinct =
+    List.init 50 (fun seed -> Chaos.to_string (Chaos.random ~seed))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "seeds actually vary" true (List.length distinct > 10);
+  (* every derived spec is expressible in (and survives) the grammar *)
+  for seed = 0 to 50 do
+    let s = Chaos.to_string (Chaos.random ~seed) in
+    match Chaos.of_string s with
+    | Ok spec -> Alcotest.(check string) "grammar round-trip" s (Chaos.to_string spec)
+    | Error m -> Alcotest.failf "derived spec %S does not reparse: %s" s m
+  done
+
+(* ---- live daemon helpers ------------------------------------------------ *)
+
+let with_daemon f =
+  let addr = ref None in
+  let m = Mutex.create () and c = Condition.create () in
+  let th =
+    Thread.create
+      (fun () ->
+        match
+          Server.serve
+            ~ready:(fun a ->
+              Mutex.protect m (fun () ->
+                  addr := Some a;
+                  Condition.signal c))
+            (Server.Tcp 0)
+        with
+        | Ok () -> ()
+        | Error msg -> failwith ("daemon failed to start: " ^ msg))
+      ()
+  in
+  Mutex.protect m (fun () ->
+      while !addr = None do
+        Condition.wait c m
+      done);
+  let port =
+    match !addr with
+    | Some a -> (
+        match String.rindex_opt a ':' with
+        | Some i ->
+            int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+        | None -> Alcotest.failf "unparsable daemon address %S" a)
+    | None -> assert false
+  in
+  let target = Server.Tcp port in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.connect target with
+      | Ok fd ->
+          ignore (Client.exchange fd [ "shutdown" ]);
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | Error _ -> ());
+      Thread.join th)
+    (fun () -> f target)
+
+let exchange_via target lines =
+  match Client.connect target with
+  | Error msg -> Alcotest.failf "connect failed: %s" msg
+  | Ok fd ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.
+       with Unix.Unix_error _ -> ());
+      let r = Client.exchange fd lines in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+
+(* ---- proxy behaviour ---------------------------------------------------- *)
+
+let test_passthrough_identity () =
+  with_daemon @@ fun target ->
+  let lines = [ "ping"; "solve family=montage n=15 mtbf=100"; "ping" ] in
+  let direct = exchange_via target lines in
+  match Chaos.start ~target [] with
+  | Error m -> Alcotest.failf "proxy failed to start: %s" m
+  | Ok p ->
+      let via_proxy = exchange_via (Chaos.listen p) lines in
+      Chaos.stop p;
+      Alcotest.(check bool) "transparent proxy changes nothing" true
+        (via_proxy = direct);
+      Alcotest.(check bool) "daemon still answers" true
+        (exchange_via target [ "ping" ]
+        = [ { Client.rid = 1L; body = Ok [ "pong" ] } ])
+
+(* Tear the request stream at EVERY byte offset of a small batch: the
+   client must get replies or a torn connection, never hang, and the
+   daemon must survive all of it. *)
+let test_torn_at_every_offset_live () =
+  with_daemon @@ fun target ->
+  let lines = [ "ping"; "ping" ] in
+  let stream_len =
+    List.fold_left (fun acc l -> acc + String.length l + 1) 0 lines
+  in
+  for cut = 0 to stream_len do
+    match Chaos.start ~target [ Chaos.Tear cut ] with
+    | Error m -> Alcotest.failf "proxy failed to start: %s" m
+    | Ok p ->
+        let replies = exchange_via (Chaos.listen p) lines in
+        Chaos.stop p;
+        (* whatever came back is a subset of the undamaged replies *)
+        List.iter
+          (fun (r : Client.reply) ->
+            match r.body with
+            | Ok body ->
+                Alcotest.(check (list string))
+                  (Printf.sprintf "cut=%d rid=%Ld" cut r.rid)
+                  [ "pong" ] body
+            | Error _ -> ())
+          replies
+  done;
+  Alcotest.(check bool) "daemon alive after every tear" true
+    (exchange_via target [ "ping" ]
+    = [ { Client.rid = 1L; body = Ok [ "pong" ] } ])
+
+let test_mini_soak () =
+  with_daemon @@ fun target ->
+  let seeds = List.init 30 (fun i -> i) in
+  let r = Chaos.soak ~target ~seeds () in
+  Alcotest.(check int) "all seeds ran" 30 r.Chaos.runs;
+  Alcotest.(check int) "no byte mismatches" 0 r.Chaos.mismatched;
+  Alcotest.(check int) "no leaked engines" 0 r.Chaos.leaked;
+  Alcotest.(check bool) "daemon alive" true r.Chaos.alive;
+  Alcotest.(check int) "every run classified" 30
+    (r.Chaos.completed + r.Chaos.structured + r.Chaos.torn)
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "grammar",
+        [ Alcotest.test_case "round-trips" `Quick test_grammar_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_grammar_rejects;
+          Alcotest.test_case "seed determinism" `Quick test_seed_determinism ] );
+      ( "proxy",
+        [ Alcotest.test_case "transparent pass-through" `Quick
+            test_passthrough_identity;
+          Alcotest.test_case "torn at every offset, live" `Quick
+            test_torn_at_every_offset_live ] );
+      ( "soak",
+        [ Alcotest.test_case "seeded mini-soak" `Quick test_mini_soak ] );
+    ]

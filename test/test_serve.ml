@@ -95,7 +95,7 @@ let gen_solved =
         ckpt_tasks; evaluations })
 
 let gen_error_code =
-  Gen.oneofl Pr.[ Bad_request; Busy; Too_large; Internal; Stopping ]
+  Gen.oneofl Pr.[ Bad_request; Busy; Too_large; Internal; Stopping; Timeout ]
 
 let gen_response =
   Gen.(
@@ -210,6 +210,52 @@ let test_frame_errors () =
   match Codec.decode_request bytes with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing bytes must be an error"
+
+(* Mid-stream damage, exhaustively: a valid framed request torn at every
+   byte offset must read back as a clean EOF (only at offset 0), a
+   truncation error, or the full frame (only at the end) — never an
+   exception, never a partial success. *)
+let damaged_frame () =
+  Codec.frame
+    (Codec.encode_request ~id:9L
+       (Result.get_ok (Pr.request_of_line "solve family=montage n=15 mtbf=100")))
+
+let test_torn_at_every_offset () =
+  let framed = damaged_frame () in
+  let len = String.length framed in
+  for cut = 0 to len do
+    let prefix = String.sub framed 0 cut in
+    match Codec.read_frame (Codec.reader_of_string prefix) with
+    | Ok None ->
+        if cut <> 0 then
+          Alcotest.failf "cut at %d/%d read as a clean EOF" cut len
+    | Ok (Some p) ->
+        if cut <> len then
+          Alcotest.failf "cut at %d/%d read as a whole frame" cut len;
+        Alcotest.(check int) "payload length" (len - 4) (String.length p)
+    | Error _ ->
+        if cut = 0 || cut = len then
+          Alcotest.failf "cut at %d/%d must not be an error" cut len
+  done
+
+(* Every single-bit flip of the same frame: the reader and decoder must
+   return Ok or Error for all 8 * len damaged variants — completing the
+   loop without an exception is the assertion. A flip may legitimately
+   decode as a different valid request (there is no checksum); what it may
+   never do is raise or hang. *)
+let test_bitflip_every_byte () =
+  let framed = damaged_frame () in
+  for i = 0 to String.length framed - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string framed in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      let read = Codec.reader_of_string (Bytes.to_string b) in
+      match Codec.read_frame read with
+      | Error _ | Ok None -> ()
+      | Ok (Some p) -> (
+          match Codec.decode_request p with Ok _ | Error _ -> ())
+    done
+  done
 
 (* Text-mode parse sanity: the same parser feeds both the daemon's text
    loop and the binary client, so pin a few lines. *)
@@ -427,7 +473,91 @@ let test_pool_admission () =
   Alcotest.(check bool) "post-shutdown refused" false
     (Pool.try_submit pool job)
 
-(* ---- 5. deadline tiering pins ------------------------------------------- *)
+(* ---- 5. watchdog cancellation and checkout balance ---------------------- *)
+
+module Cancel = Wfc_platform.Cancel
+
+let test_cancel_expiry () =
+  Alcotest.(check bool) "never is never cancelled" false
+    (Cancel.cancelled Cancel.never);
+  let c = Cancel.create () in
+  Alcotest.(check bool) "fresh token live" false (Cancel.cancelled c);
+  Cancel.cancel c;
+  Alcotest.(check bool) "cancel latches" true (Cancel.cancelled c);
+  let b = Cancel.create ~budget:0.005 () in
+  Alcotest.(check bool) "budget not yet spent" false (Cancel.cancelled b);
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "expired budget cancels" true (Cancel.cancelled b);
+  Alcotest.check_raises "check raises on a cancelled token" Cancel.Cancelled
+    (fun () -> Cancel.check b)
+
+(* A cancelled solve must answer a structured timeout, put its checked-out
+   engine back (the Fun.protect leak fix), and leave the warm cache in a
+   state where the SAME request later hits and still matches a cold server
+   byte for byte — abort-only cancellation never poisons state. *)
+let test_watchdog_cancel_no_leak () =
+  let server = Server.create () in
+  let req =
+    Result.get_ok (Pr.request_of_line "solve family=montage n=15 mtbf=100")
+  in
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel;
+  (match Server.handle ~cancel server req with
+  | Pr.Error { code = Pr.Timeout; _ } -> ()
+  | r ->
+      Alcotest.failf "expected a timeout error, got: %s"
+        (String.concat "\n" (Pr.render_response r)));
+  Alcotest.(check int) "no engine outstanding after cancel" 0
+    (Server.engines_outstanding server);
+  let s = Server.cache_stats server in
+  Alcotest.(check int) "cancelled checkout was put back" 1 s.Cache.puts;
+  let cold =
+    Server.create ~config:{ Server.default_config with cache_size = 0 } ()
+  in
+  let want = Server.handle cold req in
+  let after = Server.handle server req in
+  Alcotest.(check bool) "post-cancel solve == cold solve" true (after = want);
+  let s = Server.cache_stats server in
+  Alcotest.(check int) "engine survived the cancel warm" 1 s.Cache.hits;
+  Alcotest.(check int) "puts balance every checkout" (s.Cache.hits + s.Cache.misses)
+    s.Cache.puts;
+  Alcotest.(check int) "still nothing outstanding" 0
+    (Server.engines_outstanding server)
+
+(* An almost-expired budget that trips mid-solve must also produce the
+   structured timeout — the lazy-expiry path, not just the pre-cancelled
+   one. The montage-400 local-search tier runs far longer than 1 ms on any
+   hardware this test will meet. *)
+let test_watchdog_budget_expiry () =
+  let server = Server.create () in
+  let req =
+    Result.get_ok
+      (Pr.request_of_line "solve family=montage n=400 mtbf=500 deadline=50")
+  in
+  let cancel = Cancel.create ~budget:0.001 () in
+  match Server.handle ~cancel server req with
+  | Pr.Error { code = Pr.Timeout; _ } ->
+      Alcotest.(check int) "nothing outstanding" 0
+        (Server.engines_outstanding server)
+  | r ->
+      Alcotest.failf "expected a timeout error, got: %s"
+        (String.concat "\n" (Pr.render_response r))
+
+(* Crash-only workers: a job that raises kills its worker domain, the
+   supervisor restarts it (counted), and queued work still drains. *)
+let test_pool_crash_restart () =
+  let pool = Pool.create ~workers:1 ~depth:4 in
+  Alcotest.(check int) "no restarts yet" 0 (Pool.restarts pool);
+  Alcotest.(check bool) "crashing job admitted" true
+    (Pool.try_submit pool (fun () -> failwith "boom"));
+  let ran = Atomic.make false in
+  Alcotest.(check bool) "follow-up admitted" true
+    (Pool.try_submit pool (fun () -> Atomic.set ran true));
+  Pool.shutdown ~drain:true pool;
+  Alcotest.(check bool) "job after the crash still ran" true (Atomic.get ran);
+  Alcotest.(check int) "restart counted" 1 (Pool.restarts pool)
+
+(* ---- 6. deadline tiering pins ------------------------------------------- *)
 
 let tier_of server line =
   match Server.handle server (Result.get_ok (Pr.request_of_line line)) with
@@ -456,6 +586,10 @@ let () =
           Alcotest.test_case "non-finite floats" `Quick test_nan_roundtrip;
           prop_decode_never_raises; prop_frame_roundtrip;
           Alcotest.test_case "framing errors" `Quick test_frame_errors;
+          Alcotest.test_case "torn at every offset" `Quick
+            test_torn_at_every_offset;
+          Alcotest.test_case "bit flips never raise" `Quick
+            test_bitflip_every_byte;
           Alcotest.test_case "text parse" `Quick test_text_parse ] );
       ( "warm-cache",
         [ prop_warm_equals_cold; prop_eviction_churn_identical;
@@ -468,6 +602,14 @@ let () =
           prop_lru_model ] );
       ( "admission",
         [ Alcotest.test_case "bounded pool" `Quick test_pool_admission ] );
+      ( "watchdog",
+        [ Alcotest.test_case "cancel tokens" `Quick test_cancel_expiry;
+          Alcotest.test_case "cancel leaks nothing" `Quick
+            test_watchdog_cancel_no_leak;
+          Alcotest.test_case "budget expiry mid-solve" `Quick
+            test_watchdog_budget_expiry;
+          Alcotest.test_case "crashed worker restarts" `Quick
+            test_pool_crash_restart ] );
       ( "deadline",
         [ Alcotest.test_case "tier mapping" `Quick test_deadline_tiers ] );
     ]
